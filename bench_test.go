@@ -1,0 +1,495 @@
+package repro
+
+// One benchmark per experiment table/figure (see DESIGN.md §4 and
+// EXPERIMENTS.md). Benchmarks report wall-clock per protocol execution plus
+// amortized communication as custom metrics, so `go test -bench=. -benchmem`
+// regenerates the performance side of every experiment; cmd/experiments
+// regenerates the correctness/soundness side.
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bitgen"
+	"repro/internal/coin"
+	"repro/internal/coingen"
+	"repro/internal/core"
+	"repro/internal/fastfield"
+	"repro/internal/gf2big"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/rba"
+	"repro/internal/simnet"
+	"repro/internal/vss"
+)
+
+// --- E2/E4: VSS and Batch-VSS ----------------------------------------------
+
+func benchVSSCeremony(b *testing.B, n, t, m int) {
+	field := gf2k.MustNew(32)
+	var ctr metrics.Counters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		batches, _, err := coin.DealTrusted(field, n, t, 1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw := simnet.New(n, simnet.WithCounters(&ctr))
+		fns := make([]simnet.PlayerFunc, n)
+		for p := 0; p < n; p++ {
+			p := p
+			fns[p] = func(nd *simnet.Node) (interface{}, error) {
+				cfg := vss.Config{Field: field, N: n, T: t, Coins: batches[p]}
+				var rnd *rand.Rand
+				var secrets []gf2k.Element
+				if p == 0 {
+					rnd = rand.New(rand.NewSource(int64(i)))
+					secrets = make([]gf2k.Element, m)
+					for j := range secrets {
+						secrets[j] = gf2k.Element(j + 1)
+					}
+				}
+				inst, err := vss.Deal(nd, cfg, 0, secrets, rnd)
+				if err != nil {
+					return nil, err
+				}
+				ok, err := inst.Verify(nd)
+				if err != nil || !ok {
+					return nil, fmt.Errorf("verify: %v %v", ok, err)
+				}
+				return nil, nil
+			}
+		}
+		for p, r := range simnet.Run(nw, fns) {
+			if r.Err != nil {
+				b.Fatalf("player %d: %v", p, r.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	s := ctr.Snapshot()
+	b.ReportMetric(float64(s.Bytes)/float64(b.N)/float64(m), "bytes/secret")
+	b.ReportMetric(float64(s.Messages)/float64(b.N)/float64(m), "msgs/secret")
+}
+
+func BenchmarkE2VSSSingle(b *testing.B) {
+	for _, tc := range []struct{ n, t int }{{4, 1}, {7, 2}, {13, 4}} {
+		b.Run(fmt.Sprintf("n=%d", tc.n), func(b *testing.B) {
+			benchVSSCeremony(b, tc.n, tc.t, 1)
+		})
+	}
+}
+
+func BenchmarkE4BatchVSS(b *testing.B) {
+	for _, m := range []int{1, 16, 256, 1024} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			benchVSSCeremony(b, 7, 2, m)
+		})
+	}
+}
+
+// --- E5: Bit-Gen -------------------------------------------------------------
+
+func BenchmarkE5BitGen(b *testing.B) {
+	for _, m := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			n, t := 7, 1
+			field := gf2k.MustNew(32)
+			cfg := bitgen.Config{Field: field, N: n, T: t, M: m}
+			for i := 0; i < b.N; i++ {
+				nw := simnet.New(n)
+				fns := make([]simnet.PlayerFunc, n)
+				for p := 0; p < n; p++ {
+					p := p
+					fns[p] = func(nd *simnet.Node) (interface{}, error) {
+						rnd := rand.New(rand.NewSource(int64(i*100 + p)))
+						sh, err := bitgen.DealAll(nd, cfg, rnd)
+						if err != nil {
+							return nil, err
+						}
+						return bitgen.ExchangeGammas(nd, cfg, sh, 0x5555)
+					}
+				}
+				for p, r := range simnet.Run(nw, fns) {
+					if r.Err != nil {
+						b.Fatalf("player %d: %v", p, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- E8: Coin-Gen ------------------------------------------------------------
+
+func BenchmarkE8CoinGen(b *testing.B) {
+	for _, m := range []int{4, 64, 256} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			n, t := 7, 1
+			field := gf2k.MustNew(32)
+			var ctr metrics.Counters
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i + 1)))
+				seeds, _, err := coin.DealTrusted(field, n, t, 8, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nw := simnet.New(n, simnet.WithCounters(&ctr))
+				fns := make([]simnet.PlayerFunc, n)
+				for p := 0; p < n; p++ {
+					p := p
+					fns[p] = func(nd *simnet.Node) (interface{}, error) {
+						cfg := coingen.Config{Field: field, N: n, T: t, M: m, Seed: seeds[p]}
+						rnd := rand.New(rand.NewSource(int64(i*100 + p)))
+						return coingen.Run(nd, cfg, rnd)
+					}
+				}
+				for p, r := range simnet.Run(nw, fns) {
+					if r.Err != nil {
+						b.Fatalf("player %d: %v", p, r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			s := ctr.Snapshot()
+			b.ReportMetric(float64(s.Bytes)/float64(b.N)/float64(m), "bytes/coin")
+		})
+	}
+}
+
+// --- E9: field multiplication crossover --------------------------------------
+
+func BenchmarkE9FieldMulGF2k(b *testing.B) {
+	for _, k := range []int{16, 32, 64} {
+		f := gf2k.MustNew(k)
+		rng := rand.New(rand.NewSource(1))
+		x, _ := f.Rand(rng)
+		y, _ := f.Rand(rng)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x = f.Mul(x, y) | 1
+			}
+		})
+	}
+}
+
+func BenchmarkE9FieldMulGF2Big(b *testing.B) {
+	for _, k := range []int{64, 256, 1024, 4096} {
+		f, err := gf2big.New(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		x, _ := f.Rand(rng)
+		y, _ := f.Rand(rng)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x = f.Mul(x, y)
+			}
+		})
+		_ = x
+	}
+}
+
+func BenchmarkE9FieldMulFastNTT(b *testing.B) {
+	for _, k := range []int{64, 256, 1024, 4096} {
+		f, err := fastfield.New(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		x, _ := f.Rand(rng)
+		y, _ := f.Rand(rng)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x = f.Mul(x, y)
+			}
+		})
+		_ = x
+	}
+}
+
+// --- E10: D-PRBG vs from-scratch ----------------------------------------------
+
+func BenchmarkE10DPRBGPerCoin(b *testing.B) {
+	n, t := 7, 1
+	field := gf2k.MustNew(32)
+	var ctr metrics.Counters
+	cfg := core.Config{Field: field, N: n, T: t, BatchSize: 32}
+	rng := rand.New(rand.NewSource(1))
+	gens, err := core.SetupTrusted(cfg, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := simnet.New(n, simnet.WithCounters(&ctr))
+	b.ResetTimer()
+	fns := make([]simnet.PlayerFunc, n)
+	for p := 0; p < n; p++ {
+		p := p
+		fns[p] = func(nd *simnet.Node) (interface{}, error) {
+			rnd := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < b.N; i++ {
+				if _, err := gens[p].Next(nd, rnd); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+	}
+	for p, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			b.Fatalf("player %d: %v", p, r.Err)
+		}
+	}
+	b.StopTimer()
+	s := ctr.Snapshot()
+	b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes/coin")
+	b.ReportMetric(float64(s.Messages)/float64(b.N), "msgs/coin")
+}
+
+func BenchmarkE10FromScratchPerCoin(b *testing.B) {
+	n, t := 7, 1
+	field := gf2k.MustNew(32)
+	var ctr metrics.Counters
+	cfg := baseline.FromScratchConfig{Field: field, N: n, T: t, Kappa: 16}
+	nw := simnet.New(n, simnet.WithCounters(&ctr))
+	b.ResetTimer()
+	fns := make([]simnet.PlayerFunc, n)
+	for p := 0; p < n; p++ {
+		p := p
+		fns[p] = func(nd *simnet.Node) (interface{}, error) {
+			rnd := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.FromScratchCoin(nd, cfg, rnd); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+	}
+	for p, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			b.Fatalf("player %d: %v", p, r.Err)
+		}
+	}
+	b.StopTimer()
+	s := ctr.Snapshot()
+	b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes/coin")
+	b.ReportMetric(float64(s.Messages)/float64(b.N), "msgs/coin")
+}
+
+// --- E11: VSS comparison -------------------------------------------------------
+
+func BenchmarkE11OursVSS(b *testing.B)    { benchVSSCeremony(b, 7, 2, 1) }
+func BenchmarkE11CCDVSS(b *testing.B)     { benchCCD(b, 32) }
+func BenchmarkE11FeldmanVSS(b *testing.B) { benchFeldman(b) }
+
+func benchCCD(b *testing.B, kappa int) {
+	n, t := 7, 2
+	field := gf2k.MustNew(32)
+	cfg := baseline.CCDConfig{Field: field, N: n, T: t, Kappa: kappa}
+	for i := 0; i < b.N; i++ {
+		nw := simnet.New(n)
+		fns := make([]simnet.PlayerFunc, n)
+		for p := 0; p < n; p++ {
+			p := p
+			fns[p] = func(nd *simnet.Node) (interface{}, error) {
+				rnd := rand.New(rand.NewSource(int64(i*100 + p)))
+				ok, _, err := baseline.CCDVSS(nd, cfg, 0, 7, rnd)
+				if err != nil || !ok {
+					return nil, fmt.Errorf("ccd: %v %v", ok, err)
+				}
+				return nil, nil
+			}
+		}
+		for p, r := range simnet.Run(nw, fns) {
+			if r.Err != nil {
+				b.Fatalf("player %d: %v", p, r.Err)
+			}
+		}
+	}
+}
+
+func benchFeldman(b *testing.B) {
+	grp, err := baseline.NewFeldmanGroup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, t := 7, 2
+	cfg := baseline.FeldmanConfig{Group: grp, N: n, T: t}
+	for i := 0; i < b.N; i++ {
+		nw := simnet.New(n)
+		fns := make([]simnet.PlayerFunc, n)
+		for p := 0; p < n; p++ {
+			p := p
+			fns[p] = func(nd *simnet.Node) (interface{}, error) {
+				rnd := rand.New(rand.NewSource(int64(i*100 + p)))
+				ok, _, err := baseline.FeldmanVSS(nd, cfg, 0, big.NewInt(99), rnd)
+				if err != nil || !ok {
+					return nil, fmt.Errorf("feldman: %v %v", ok, err)
+				}
+				return nil, nil
+			}
+		}
+		for p, r := range simnet.Run(nw, fns) {
+			if r.Err != nil {
+				b.Fatalf("player %d: %v", p, r.Err)
+			}
+		}
+	}
+}
+
+// --- E14: randomized BA --------------------------------------------------------
+
+func BenchmarkE14RandomizedBA(b *testing.B) {
+	n, t, phases := 6, 1, 8
+	field := gf2k.MustNew(32)
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		batches, _, err := coin.DealTrusted(field, n, t, phases+1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw := simnet.New(n)
+		fns := make([]simnet.PlayerFunc, n)
+		for p := 0; p < n; p++ {
+			p := p
+			fns[p] = func(nd *simnet.Node) (interface{}, error) {
+				return rba.Run(nd, rba.Config{N: n, T: t, Phases: phases, Coins: batches[p]}, byte(p%2))
+			}
+		}
+		for p, r := range simnet.Run(nw, fns) {
+			if r.Err != nil {
+				b.Fatalf("player %d: %v", p, r.Err)
+			}
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------------
+
+// BenchmarkAblationBatchVsLoop compares verifying M secrets with one
+// Batch-VSS ceremony against M single-secret ceremonies — the paper's core
+// amortization claim in one number.
+func BenchmarkAblationBatchVsLoop(b *testing.B) {
+	const m = 64
+	b.Run("batch", func(b *testing.B) { benchVSSCeremony(b, 7, 2, m) })
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < m; j++ {
+				benchOneVSS(b, 7, 2, int64(i*1000+j))
+			}
+		}
+	})
+}
+
+func benchOneVSS(b *testing.B, n, t int, seed int64) {
+	field := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(seed))
+	batches, _, err := coin.DealTrusted(field, n, t, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := simnet.New(n)
+	fns := make([]simnet.PlayerFunc, n)
+	for p := 0; p < n; p++ {
+		p := p
+		fns[p] = func(nd *simnet.Node) (interface{}, error) {
+			cfg := vss.Config{Field: field, N: n, T: t, Coins: batches[p]}
+			var rnd *rand.Rand
+			var secrets []gf2k.Element
+			if p == 0 {
+				rnd = rand.New(rand.NewSource(seed))
+				secrets = []gf2k.Element{42}
+			}
+			inst, err := vss.Deal(nd, cfg, 0, secrets, rnd)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := inst.Verify(nd)
+			if err != nil || !ok {
+				return nil, fmt.Errorf("verify: %v %v", ok, err)
+			}
+			return nil, nil
+		}
+	}
+	for p, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			b.Fatalf("player %d: %v", p, r.Err)
+		}
+	}
+}
+
+// BenchmarkAblationNTTvsNaiveFastfield isolates the O(l log l) vs O(l²)
+// reduction inside the special field.
+func BenchmarkAblationNTTvsNaiveFastfield(b *testing.B) {
+	f, err := fastfield.New(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x, _ := f.Rand(rng)
+	y, _ := f.Rand(rng)
+	b.Run("ntt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = f.Mul(x, y)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x = f.MulNaive(x, y)
+		}
+	})
+	_ = x
+}
+
+// BenchmarkAblationChallengeReuse quantifies the saving from Coin-Gen's
+// reuse of ONE exposed coin as the batch-check challenge for all n Bit-Gen
+// invocations (Fig. 5 step 3; "n polynomial interpolations have been saved
+// by using the same coin for all the invocations", Theorem 2). The variants
+// run the full dealing + γ exchange preceded by 1 vs n coin exposures.
+func BenchmarkAblationChallengeReuse(b *testing.B) {
+	n, t, m := 7, 1, 8
+	field := gf2k.MustNew(32)
+	run := func(b *testing.B, exposures int) {
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(int64(i + 1)))
+			seeds, _, err := coin.DealTrusted(field, n, t, exposures, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := bitgen.Config{Field: field, N: n, T: t, M: m}
+			nw := simnet.New(n)
+			fns := make([]simnet.PlayerFunc, n)
+			for p := 0; p < n; p++ {
+				p := p
+				fns[p] = func(nd *simnet.Node) (interface{}, error) {
+					rnd := rand.New(rand.NewSource(int64(i*100 + p)))
+					sh, err := bitgen.DealAll(nd, cfg, rnd)
+					if err != nil {
+						return nil, err
+					}
+					var r gf2k.Element
+					for e := 0; e < exposures; e++ {
+						r, err = seeds[p].Expose(nd)
+						if err != nil {
+							return nil, err
+						}
+					}
+					return bitgen.ExchangeGammas(nd, cfg, sh, r)
+				}
+			}
+			for p, r := range simnet.Run(nw, fns) {
+				if r.Err != nil {
+					b.Fatalf("player %d: %v", p, r.Err)
+				}
+			}
+		}
+	}
+	b.Run("shared-challenge", func(b *testing.B) { run(b, 1) })
+	b.Run("per-dealer-challenge", func(b *testing.B) { run(b, n) })
+}

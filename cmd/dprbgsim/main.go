@@ -1,0 +1,180 @@
+// Command dprbgsim runs a configurable D-PRBG simulation: n players
+// (optionally some Byzantine), a one-time trusted seed, and a stream of
+// shared coins generated on demand with full cost accounting. It is the
+// interactive companion to cmd/experiments.
+//
+// Usage:
+//
+//	dprbgsim -n 13 -t 2 -k 32 -coins 200 -batch 32 -crash 2,9 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 7, "number of players (n ≥ 6t+1)")
+		t       = flag.Int("t", 1, "Byzantine fault bound")
+		k       = flag.Int("k", 32, "coin field GF(2^k), 2 ≤ k ≤ 64")
+		coins   = flag.Int("coins", 100, "shared coins to generate")
+		batch   = flag.Int("batch", 16, "Coin-Gen batch size M")
+		seed    = flag.Int("seed", 8, "initial trusted-dealer seed coins")
+		crash   = flag.String("crash", "", "comma-separated player indices that crash at start")
+		rngSeed = flag.Int64("rngseed", time.Now().UnixNano(), "PRNG seed (reproducibility)")
+		verbose = flag.Bool("v", false, "print every coin")
+		useTCP  = flag.Bool("tcp", false, "carry every protocol message over TCP loopback sockets")
+	)
+	flag.Parse()
+
+	field, err := gf2k.New(*k)
+	if err != nil {
+		return err
+	}
+	crashed := map[int]bool{}
+	if *crash != "" {
+		for _, s := range strings.Split(*crash, ",") {
+			idx, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || idx < 0 || idx >= *n {
+				return fmt.Errorf("bad -crash entry %q", s)
+			}
+			crashed[idx] = true
+		}
+	}
+	if len(crashed) > *t {
+		return fmt.Errorf("%d crashed players exceed fault bound t=%d", len(crashed), *t)
+	}
+
+	var ctr metrics.Counters
+	cfg := core.Config{
+		Field:     field.WithCounters(&ctr),
+		N:         *n,
+		T:         *t,
+		BatchSize: *batch,
+		Counters:  &ctr,
+	}
+	rng := rand.New(rand.NewSource(*rngSeed))
+	gens, err := core.SetupTrusted(cfg, *seed, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "dprbgsim: n=%d t=%d k=%d batch=%d seed=%d crashed=%v rngseed=%d tcp=%v\n",
+		*n, *t, *k, *batch, *seed, keys(crashed), *rngSeed, *useTCP)
+
+	var nw *simnet.Network
+	if *useTCP {
+		nw, err = simnet.NewTCP(*n, simnet.WithCounters(&ctr))
+		if err != nil {
+			return err
+		}
+		defer nw.Close()
+	} else {
+		nw = simnet.New(*n, simnet.WithCounters(&ctr))
+	}
+	fns := make([]simnet.PlayerFunc, *n)
+	for i := 0; i < *n; i++ {
+		if crashed[i] {
+			fns[i] = adversary.Crash()
+			continue
+		}
+		i := i
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			rnd := rand.New(rand.NewSource(*rngSeed + int64(i) + 1))
+			out := make([]gf2k.Element, 0, *coins)
+			for len(out) < *coins {
+				c, err := gens[i].Next(nd, rnd)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+			return out, nil
+		}
+	}
+	start := time.Now()
+	results := simnet.Run(nw, fns)
+	elapsed := time.Since(start)
+
+	var ref []gf2k.Element
+	var refIdx int
+	for i, r := range results {
+		if crashed[i] {
+			continue
+		}
+		if r.Err != nil {
+			return fmt.Errorf("player %d: %w", i, r.Err)
+		}
+		if ref == nil {
+			ref = r.Value.([]gf2k.Element)
+			refIdx = i
+			continue
+		}
+		got := r.Value.([]gf2k.Element)
+		for h := range ref {
+			if got[h] != ref[h] {
+				return fmt.Errorf("UNANIMITY VIOLATION at coin %d between players %d and %d", h, refIdx, i)
+			}
+		}
+	}
+
+	if *verbose {
+		for h, c := range ref {
+			fmt.Printf("coin %4d: %0*x\n", h, (field.K()+3)/4, uint64(c))
+		}
+	}
+	st := gens[refIdx].Stats()
+	s := ctr.Snapshot()
+	fmt.Printf("coins delivered:   %d (all honest players unanimous)\n", st.CoinsDelivered)
+	fmt.Printf("refills:           %d (batch size %d; %.2f seed coins each; %.2f leader attempts each)\n",
+		st.Batches, *batch, float64(st.SeedSpent)/max1(st.Batches), float64(st.Attempts)/max1(st.Batches))
+	fmt.Printf("totals:            %d msgs, %d bytes, %d rounds, %d interpolations, %d field mults\n",
+		s.Messages, s.Bytes, s.Rounds, s.Interpolations, s.FieldMuls)
+	fmt.Printf("amortized/coin:    %.1f msgs, %.1f bytes, %.2f rounds, %.2f interpolations\n",
+		float64(s.Messages)/float64(*coins), float64(s.Bytes)/float64(*coins),
+		float64(s.Rounds)/float64(*coins), float64(s.Interpolations)/float64(*coins))
+	fmt.Printf("wall clock:        %v (%.1f µs/coin)\n", elapsed,
+		float64(elapsed.Microseconds())/float64(*coins))
+	return nil
+}
+
+func max1(v int) float64 {
+	if v < 1 {
+		return 1
+	}
+	return float64(v)
+}
+
+func keys(m map[int]bool) []int {
+	var out []int
+	for v := range m {
+		out = append(out, v)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates every experiment in EXPERIMENTS.md —
+// the reproduction of each quantitative claim (lemma, theorem, corollary,
+// comparison) in the paper's evaluation. Run a single experiment with
+// -exp e4 or everything with -exp all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	claim string
+	run   func()
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run (e1..e14 or 'all')")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"e1", "Lemma 1: cheating dealer passes VSS w.p. ≤ 1/p", runE1},
+		{"e2", "Lemma 2: single-VSS cost (2 rounds, n msgs/round of size k, 1 interpolation)", runE2},
+		{"e3", "Lemma 3: Batch-VSS soundness error ≤ M/p", runE3},
+		{"e4", "Lemma 4 + Cor 1: Batch-VSS amortized cost per secret", runE4},
+		{"e5", "Lemma 6 + Cor 2: Bit-Gen communication nMk + 2n²k bits", runE5},
+		{"e6", "Lemma 7: agreed clique ≥ n−2t, identical at all honest players", runE6},
+		{"e7", "Lemma 8: Coin-Gen expected constant BA iterations", runE7},
+		{"e8", "Thm 2 + Cor 3: Coin-Gen amortized per-coin cost", runE8},
+		{"e9", "§2 remark: naive GF(2^k) vs special-field multiplication crossover", runE9},
+		{"e10", "§1.4: D-PRBG amortized per-coin cost vs from-scratch generation", runE10},
+		{"e11", "§3.1: our VSS vs cut-and-choose [9] vs Feldman [12]", runE11},
+		{"e12", "Fig 1: bootstrap self-sufficiency over many batches", runE12},
+		{"e13", "§1.2: pro-active setting — moving faulty set", runE13},
+		{"e14", "§1: randomized BA application consuming shared coins", runE14},
+	}
+
+	want := strings.ToLower(*expFlag)
+	found := false
+	for _, e := range experiments {
+		if want != "all" && e.name != want {
+			continue
+		}
+		found = true
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", strings.ToUpper(e.name), e.claim)
+		fmt.Printf("==================================================================\n")
+		e.run()
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e14 or all)\n", *expFlag)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

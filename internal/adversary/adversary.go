@@ -1,0 +1,107 @@
+// Package adversary collects reusable Byzantine player behaviours for
+// tests, experiments and examples. Each constructor returns a
+// simnet.PlayerFunc that can be dropped in place of an honest player's
+// protocol code. Protocol-specific attacks (wrong-degree dealers,
+// equivocating γ announcers, leader griefers) live next to the protocols
+// they attack; the strategies here are protocol-agnostic.
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/simnet"
+)
+
+// Crash returns a player that halts immediately — the classic crash fault.
+// Because simnet removes halted players from the round barrier, the
+// remaining players observe pure silence from it.
+func Crash() simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		return nil, nil
+	}
+}
+
+// CrashAfter returns a player that participates silently (sending nothing)
+// for `rounds` rounds and then halts.
+func CrashAfter(rounds int) simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		for r := 0; r < rounds; r++ {
+			if _, err := nd.EndRound(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+}
+
+// Silent returns a player that stays in lockstep forever but never sends a
+// message — an omission fault that, unlike Crash, keeps consuming rounds.
+// It runs until the network errors out (protocol end).
+func Silent() simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		for {
+			if _, err := nd.EndRound(); err != nil {
+				return nil, nil //nolint:nilerr // expected shutdown path
+			}
+		}
+	}
+}
+
+// SilentFor returns a player silent for `rounds` rounds; the caller's
+// continuation runs afterwards (for recovery scenarios).
+func SilentFor(rounds int, then simnet.PlayerFunc) simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		for r := 0; r < rounds; r++ {
+			if _, err := nd.EndRound(); err != nil {
+				return nil, err
+			}
+		}
+		if then == nil {
+			return nil, nil
+		}
+		return then(nd)
+	}
+}
+
+// GarbageSpammer returns a player that sends random junk of random sizes to
+// every other player each round, with per-receiver differences (maximal
+// equivocation), for `rounds` rounds.
+func GarbageSpammer(seed int64, rounds, maxLen int) simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		rng := rand.New(rand.NewSource(seed + int64(nd.Index())))
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < nd.N(); i++ {
+				if i == nd.Index() {
+					continue
+				}
+				junk := make([]byte, rng.Intn(maxLen+1))
+				rng.Read(junk)
+				nd.Send(i, junk)
+			}
+			if _, err := nd.EndRound(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+}
+
+// Replayer returns a player that echoes back to each sender whatever that
+// sender sent it in the previous round — a cheap confusion strategy that
+// stays syntactically well-formed.
+func Replayer(rounds int) simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		var last []simnet.Message
+		for r := 0; r < rounds; r++ {
+			for _, m := range last {
+				nd.Send(m.From, m.Payload)
+			}
+			msgs, err := nd.EndRound()
+			if err != nil {
+				return nil, err
+			}
+			last = msgs
+		}
+		return nil, nil
+	}
+}

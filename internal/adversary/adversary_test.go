@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// runWith runs the adversary on node 0 while an honest observer on node 1
+// records what it sees for `rounds` rounds.
+func runWith(t *testing.T, adv simnet.PlayerFunc, rounds int) [][]simnet.Message {
+	t.Helper()
+	nw := simnet.New(2, simnet.WithMaxRounds(rounds+5))
+	var seen [][]simnet.Message
+	fns := []simnet.PlayerFunc{
+		adv,
+		func(nd *simnet.Node) (interface{}, error) {
+			for r := 0; r < rounds; r++ {
+				msgs, err := nd.EndRound()
+				if err != nil {
+					return nil, err
+				}
+				seen = append(seen, msgs)
+			}
+			return nil, nil
+		},
+	}
+	results := simnet.Run(nw, fns)
+	if results[1].Err != nil {
+		t.Fatalf("observer: %v", results[1].Err)
+	}
+	return seen
+}
+
+func TestCrashIsSilent(t *testing.T) {
+	seen := runWith(t, Crash(), 3)
+	for r, msgs := range seen {
+		if len(msgs) != 0 {
+			t.Fatalf("round %d: crash sent %d messages", r, len(msgs))
+		}
+	}
+}
+
+func TestCrashAfterParticipatesThenStops(t *testing.T) {
+	seen := runWith(t, CrashAfter(2), 4)
+	for r, msgs := range seen {
+		if len(msgs) != 0 {
+			t.Fatalf("round %d: silent participant sent messages", r)
+		}
+	}
+}
+
+func TestSilentForRunsContinuation(t *testing.T) {
+	ran := false
+	adv := SilentFor(2, func(nd *simnet.Node) (interface{}, error) {
+		ran = true
+		nd.Send(1, []byte("back"))
+		_, err := nd.EndRound()
+		return nil, err
+	})
+	seen := runWith(t, adv, 3)
+	if !ran {
+		t.Fatal("continuation never ran")
+	}
+	if len(seen[2]) != 1 || string(seen[2][0].Payload) != "back" {
+		t.Fatalf("continuation message not observed: %v", seen[2])
+	}
+}
+
+func TestSilentForNilContinuation(t *testing.T) {
+	runWith(t, SilentFor(2, nil), 3)
+}
+
+func TestGarbageSpammerSends(t *testing.T) {
+	seen := runWith(t, GarbageSpammer(1, 3, 8), 3)
+	total := 0
+	for _, msgs := range seen {
+		total += len(msgs)
+		for _, m := range msgs {
+			if len(m.Payload) > 8 {
+				t.Fatalf("garbage longer than maxLen: %d", len(m.Payload))
+			}
+		}
+	}
+	if total != 3 {
+		t.Fatalf("spammer sent %d messages over 3 rounds, want 3", total)
+	}
+}
+
+func TestReplayerEchoes(t *testing.T) {
+	nw := simnet.New(2, simnet.WithMaxRounds(10))
+	fns := []simnet.PlayerFunc{
+		Replayer(3),
+		func(nd *simnet.Node) (interface{}, error) {
+			nd.Send(0, []byte("ping"))
+			if _, err := nd.EndRound(); err != nil {
+				return nil, err
+			}
+			msgs, err := nd.EndRound()
+			if err != nil {
+				return nil, err
+			}
+			if len(msgs) != 1 || string(msgs[0].Payload) != "ping" {
+				t.Errorf("replayer did not echo: %v", msgs)
+			}
+			_, err = nd.EndRound()
+			return nil, err
+		},
+	}
+	for i, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestSilentStopsOnNetworkError(t *testing.T) {
+	nw := simnet.New(1, simnet.WithMaxRounds(5))
+	results := simnet.Run(nw, []simnet.PlayerFunc{Silent()})
+	if results[0].Err != nil {
+		t.Fatalf("Silent should swallow the shutdown error, got %v", results[0].Err)
+	}
+}

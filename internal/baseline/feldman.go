@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// Feldman's VSS [12] over a 1024-bit prime field, as cited in §1.4: "he
+// achieves O(n) communication and O(n² log³ p) computation" under the
+// discrete-log assumption, with "both the dealer and the players [having]
+// to carry out t exponentiations". Implemented here purely as a cost
+// comparator for experiment E11.
+//
+// The group is the order-q subgroup of Z_p^* for the 1024-bit safe prime p
+// of RFC 2409 (Oakley group 2), generator 4 (a quadratic residue, so it
+// generates the order-q subgroup with q = (p−1)/2). Shamir sharing is over
+// Z_q; commitments are g^{a_j} mod p.
+
+// oakley2Hex is the 1024-bit safe prime of RFC 2409 §6.2.
+const oakley2Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74" +
+	"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437" +
+	"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF"
+
+// FeldmanGroup holds the group parameters (build once with NewFeldmanGroup).
+type FeldmanGroup struct {
+	P, Q, G *big.Int
+}
+
+// NewFeldmanGroup returns the Oakley-group-2 parameters.
+func NewFeldmanGroup() (*FeldmanGroup, error) {
+	p, ok := new(big.Int).SetString(oakley2Hex, 16)
+	if !ok {
+		return nil, fmt.Errorf("baseline: bad prime constant")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	return &FeldmanGroup{P: p, Q: q, G: big.NewInt(4)}, nil
+}
+
+// FeldmanConfig parameterizes a Feldman VSS ceremony.
+type FeldmanConfig struct {
+	Group *FeldmanGroup
+	// N, T: players and fault bound.
+	N, T int
+	// Counters records communication when non-nil. Computation is measured
+	// by the caller in wall-clock time (big.Int exponentiations dominate).
+	Counters *metrics.Counters
+}
+
+// FeldmanVSS runs one dealer's non-interactive verifiable sharing: the
+// dealer broadcasts t+1 coefficient commitments and sends each player its
+// share; each player verifies g^{share} = Π C_j^{i^j} (t+1 exponentiations)
+// and broadcasts accept/complain; the sharing is accepted with ≤ t
+// complaints. Returns this player's verdict and share. Consumes two rounds.
+func FeldmanVSS(nd *simnet.Node, cfg FeldmanConfig, dealer int, secret *big.Int, rnd io.Reader) (bool, *big.Int, error) {
+	if cfg.N < 3*cfg.T+1 {
+		return false, nil, fmt.Errorf("baseline: need n ≥ 3t+1, got n=%d t=%d", cfg.N, cfg.T)
+	}
+	grp := cfg.Group
+	me := nd.Index()
+
+	// Round 1: dealer broadcasts commitments and unicasts shares.
+	var myShare *big.Int
+	if me == dealer {
+		coeffs := make([]*big.Int, cfg.T+1)
+		coeffs[0] = new(big.Int).Mod(secret, grp.Q)
+		for j := 1; j <= cfg.T; j++ {
+			c, err := randScalar(grp.Q, rnd)
+			if err != nil {
+				return false, nil, err
+			}
+			coeffs[j] = c
+		}
+		var commitBuf []byte
+		for _, c := range coeffs {
+			commit := new(big.Int).Exp(grp.G, c, grp.P)
+			commitBuf = appendBig(commitBuf, commit)
+		}
+		nd.Broadcast(commitBuf)
+		for i := 0; i < cfg.N; i++ {
+			share := evalPoly(coeffs, int64(i+1), grp.Q)
+			if i == me {
+				myShare = share
+				continue
+			}
+			nd.Send(i, appendBig(nil, share))
+		}
+	}
+	msgs, err := nd.EndRound()
+	if err != nil {
+		return false, nil, err
+	}
+
+	var commits []*big.Int
+	for _, m := range msgs {
+		if m.From != dealer {
+			continue
+		}
+		if m.Kind == simnet.Broadcast {
+			commits, _ = readBigs(m.Payload, cfg.T+1)
+		} else if me != dealer {
+			if s, rest := readBig(m.Payload); len(rest) == 0 {
+				myShare = s
+			}
+		}
+	}
+
+	// Local verification: g^share = Π C_j^{(i+1)^j}.
+	ok := commits != nil && myShare != nil
+	if ok {
+		lhs := new(big.Int).Exp(grp.G, myShare, grp.P)
+		rhs := big.NewInt(1)
+		x := big.NewInt(int64(me + 1))
+		xj := big.NewInt(1)
+		for _, c := range commits {
+			rhs.Mul(rhs, new(big.Int).Exp(c, xj, grp.P))
+			rhs.Mod(rhs, grp.P)
+			xj = new(big.Int).Mul(xj, x)
+		}
+		ok = lhs.Cmp(rhs) == 0
+	}
+
+	// Round 2: complaints.
+	if ok {
+		nd.Broadcast([]byte{0})
+	} else {
+		nd.Broadcast([]byte{1})
+	}
+	msgs, err = nd.EndRound()
+	if err != nil {
+		return false, nil, err
+	}
+	complaints := 0
+	responses := 0
+	for _, payload := range simnet.FirstFromEach(msgs) {
+		responses++
+		if len(payload) != 1 || payload[0] != 0 {
+			complaints++
+		}
+	}
+	complaints += nd.N() - responses // silence counts as a complaint
+	return complaints <= cfg.T, myShare, nil
+}
+
+func randScalar(q *big.Int, rnd io.Reader) (*big.Int, error) {
+	buf := make([]byte, (q.BitLen()+15)/8) // extra byte: negligible bias
+	if _, err := io.ReadFull(rnd, buf); err != nil {
+		return nil, err
+	}
+	return new(big.Int).Mod(new(big.Int).SetBytes(buf), q), nil
+}
+
+func evalPoly(coeffs []*big.Int, x int64, q *big.Int) *big.Int {
+	acc := new(big.Int)
+	bx := big.NewInt(x)
+	for j := len(coeffs) - 1; j >= 0; j-- {
+		acc.Mul(acc, bx)
+		acc.Add(acc, coeffs[j])
+		acc.Mod(acc, q)
+	}
+	return acc
+}
+
+func appendBig(dst []byte, v *big.Int) []byte {
+	b := v.Bytes()
+	dst = append(dst, byte(len(b)), byte(len(b)>>8))
+	return append(dst, b...)
+}
+
+func readBig(src []byte) (*big.Int, []byte) {
+	if len(src) < 2 {
+		return nil, nil
+	}
+	l := int(src[0]) | int(src[1])<<8
+	src = src[2:]
+	if l > len(src) {
+		return nil, nil
+	}
+	return new(big.Int).SetBytes(src[:l]), src[l:]
+}
+
+func readBigs(src []byte, count int) ([]*big.Int, []byte) {
+	out := make([]*big.Int, 0, count)
+	for i := 0; i < count; i++ {
+		var v *big.Int
+		v, src = readBig(src)
+		if v == nil {
+			return nil, nil
+		}
+		out = append(out, v)
+	}
+	return out, src
+}

@@ -1,0 +1,291 @@
+// Package bitgen implements protocol Bit-Gen (Fig. 4): dealing M sealed
+// secrets over point-to-point channels only, with batch verification against
+// a single exposed coin. Coin-Gen (internal/coingen) runs n instances — one
+// per dealer — simultaneously, reusing one challenge coin for all of them
+// ("using the same coin r for all invocations", Fig. 5 step 3; Theorem 2
+// notes the n polynomial interpolations this saves).
+//
+// As with internal/vss, every dealer additionally deals one random masking
+// polynomial g and the announced value is γ_i = g(i) + Σ_j r^j·f_j(i), so
+// publishing γ reveals nothing about the sealed secrets. (Fig. 4's extended
+// abstract elides the mask; without it the γ's would disclose one linear
+// combination of the dealer's coins.)
+//
+// There is no broadcast channel here, so players can disagree about which
+// dealings succeeded; each player only reaches the local verdict of Fig. 4
+// step 5 — output (F, S) if a degree-≤t polynomial agrees with at least n−t
+// of the received γ's, and (⊥, S) otherwise. Reconciling the local verdicts
+// is Coin-Gen's job.
+package bitgen
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bw"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/poly"
+	"repro/internal/simnet"
+)
+
+// Config holds the parameters of an n-dealer Bit-Gen batch.
+type Config struct {
+	// Field is GF(2^k).
+	Field gf2k.Field
+	// N is the player count, T the fault bound, M the secrets per dealer.
+	N, T, M int
+	// Counters, when non-nil, records costs.
+	Counters *metrics.Counters
+}
+
+// Validate checks structural preconditions. Bit-Gen itself needs n ≥ 3t+1
+// for the Berlekamp–Welch step; Coin-Gen imposes the paper's stricter
+// n ≥ 6t+1 on top.
+func (c Config) Validate() error {
+	if c.N < 3*c.T+1 {
+		return fmt.Errorf("bitgen: need n ≥ 3t+1, got n=%d t=%d", c.N, c.T)
+	}
+	if c.T < 0 || c.M < 1 {
+		return fmt.Errorf("bitgen: invalid t=%d or M=%d", c.T, c.M)
+	}
+	return nil
+}
+
+// Shares is one player's received share state across all n dealings.
+type Shares struct {
+	// Alpha[j][h] is this player's share of dealer j's secret h; the row is
+	// nil when dealer j's dealing never arrived or was malformed.
+	Alpha [][]gf2k.Element
+	// Mask[j] is this player's share of dealer j's masking polynomial.
+	Mask []gf2k.Element
+	// Received[j] reports whether dealer j's dealing arrived intact.
+	Received []bool
+	// OwnPolys holds this player's own dealt polynomials (mask last).
+	OwnPolys []poly.Poly
+}
+
+// DealAll performs Fig. 4 step 1 for all n dealers at once: this player
+// draws M random sealed secrets plus a mask, evaluates them at every
+// player's id, and sends each player one message with its M+1 shares.
+// Consumes one round.
+func DealAll(nd *simnet.Node, cfg Config, rnd io.Reader) (*Shares, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nd.N() != cfg.N {
+		return nil, fmt.Errorf("bitgen: network size %d != configured %d", nd.N(), cfg.N)
+	}
+	f := cfg.Field
+
+	polys := make([]poly.Poly, cfg.M+1)
+	for j := 0; j <= cfg.M; j++ {
+		secret, err := f.Rand(rnd)
+		if err != nil {
+			return nil, err
+		}
+		p, err := poly.Random(f, cfg.T, secret, rnd)
+		if err != nil {
+			return nil, err
+		}
+		polys[j] = p
+	}
+
+	sh := &Shares{
+		Alpha:    make([][]gf2k.Element, cfg.N),
+		Mask:     make([]gf2k.Element, cfg.N),
+		Received: make([]bool, cfg.N),
+		OwnPolys: polys,
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		id, err := f.ElementFromID(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		if i == nd.Index() {
+			row := make([]gf2k.Element, cfg.M)
+			for h := 0; h < cfg.M; h++ {
+				row[h] = poly.Eval(f, polys[h], id)
+			}
+			sh.Alpha[i] = row
+			sh.Mask[i] = poly.Eval(f, polys[cfg.M], id)
+			sh.Received[i] = true
+			continue
+		}
+		buf := make([]byte, 0, (cfg.M+1)*f.ByteLen())
+		for _, p := range polys {
+			buf = f.AppendElement(buf, poly.Eval(f, p, id))
+		}
+		nd.Send(i, buf)
+	}
+
+	msgs, err := nd.EndRound()
+	if err != nil {
+		return nil, fmt.Errorf("bitgen: deal round: %w", err)
+	}
+	for j, payload := range simnet.FirstFromEach(msgs) {
+		if j == nd.Index() {
+			continue
+		}
+		if len(payload) != (cfg.M+1)*f.ByteLen() {
+			continue
+		}
+		row, rest, err := f.ReadElements(payload, cfg.M)
+		if err != nil {
+			continue
+		}
+		mask, _, err := f.ReadElement(rest)
+		if err != nil {
+			continue
+		}
+		sh.Alpha[j] = row
+		sh.Mask[j] = mask
+		sh.Received[j] = true
+	}
+	return sh, nil
+}
+
+// Gamma computes this player's announcement for dealer j under challenge r:
+// γ = g(i) + Σ_{h=1..M} r^h·α_h in Horner form (Fig. 4 step 3). The second
+// return is false when dealer j's dealing never arrived.
+func (sh *Shares) Gamma(f gf2k.Field, j int, r gf2k.Element) (gf2k.Element, bool) {
+	if !sh.Received[j] {
+		return 0, false
+	}
+	var acc gf2k.Element
+	row := sh.Alpha[j]
+	for h := len(row) - 1; h >= 0; h-- {
+		acc = f.Mul(f.Add(acc, row[h]), r)
+	}
+	return f.Add(acc, sh.Mask[j]), true
+}
+
+// Output is the local verdict for one dealer's Bit-Gen instance
+// (Fig. 4 step 5).
+type Output struct {
+	// OK reports whether a polynomial F with deg ≤ t matched ≥ n−t γ's.
+	OK bool
+	// F is the matched polynomial (the masked batch combination), valid
+	// only when OK.
+	F poly.Poly
+}
+
+// View is one player's complete local view after the γ exchange.
+type View struct {
+	// Challenge is the shared coin r used for the batch checks.
+	Challenge gf2k.Element
+	// Outputs[j] is the local verdict for dealer j.
+	Outputs []Output
+	// GammaOf[k][j] is player k's announced γ for dealer j as received
+	// here; Has[k][j] reports presence.
+	GammaOf [][]gf2k.Element
+	Has     [][]bool
+}
+
+// ExchangeGammas performs Fig. 4 steps 3–5 for all n instances at once:
+// sends this player's γ vector to everyone (one message of n entries),
+// collects everyone else's, and Berlekamp–Welch-decodes each dealer's
+// instance. Consumes one round.
+func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*View, error) {
+	f := cfg.Field
+	n := cfg.N
+
+	myGamma := make([]gf2k.Element, n)
+	myHas := make([]bool, n)
+	buf := make([]byte, 0, n*(1+f.ByteLen()))
+	for j := 0; j < n; j++ {
+		g, ok := sh.Gamma(f, j, r)
+		myGamma[j], myHas[j] = g, ok
+		if ok {
+			buf = append(buf, 0)
+			buf = f.AppendElement(buf, g)
+		} else {
+			buf = append(buf, 1)
+			buf = append(buf, make([]byte, f.ByteLen())...)
+		}
+	}
+	nd.SendAll(buf)
+	msgs, err := nd.EndRound()
+	if err != nil {
+		return nil, fmt.Errorf("bitgen: gamma round: %w", err)
+	}
+
+	v := &View{
+		Challenge: r,
+		Outputs:   make([]Output, n),
+		GammaOf:   make([][]gf2k.Element, n),
+		Has:       make([][]bool, n),
+	}
+	for k := 0; k < n; k++ {
+		v.GammaOf[k] = make([]gf2k.Element, n)
+		v.Has[k] = make([]bool, n)
+	}
+	v.GammaOf[nd.Index()] = myGamma
+	v.Has[nd.Index()] = myHas
+
+	entry := 1 + f.ByteLen()
+	for k, payload := range simnet.FirstFromEach(msgs) {
+		if k == nd.Index() || len(payload) != n*entry {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			rec := payload[j*entry : (j+1)*entry]
+			if rec[0] != 0 {
+				continue
+			}
+			g, _, err := f.ReadElement(rec[1:])
+			if err != nil {
+				continue
+			}
+			v.GammaOf[k][j] = g
+			v.Has[k][j] = true
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		v.Outputs[j] = decodeInstance(cfg, v, j)
+	}
+	return v, nil
+}
+
+// decodeInstance applies Fig. 4 step 5 to dealer j: find F with deg ≤ t
+// agreeing with at least n−t of the announced γ's.
+func decodeInstance(cfg Config, v *View, j int) Output {
+	f := cfg.Field
+	var xs, ys []gf2k.Element
+	for k := 0; k < cfg.N; k++ {
+		if !v.Has[k][j] {
+			continue
+		}
+		id, err := f.ElementFromID(k + 1)
+		if err != nil {
+			continue
+		}
+		xs = append(xs, id)
+		ys = append(ys, v.GammaOf[k][j])
+	}
+	// Agreement with ≥ n−t points means at most len−(n−t) disagreements.
+	budget := len(xs) - (cfg.N - cfg.T)
+	if budget < 0 {
+		return Output{}
+	}
+	res, err := bw.Decode(f, xs, ys, cfg.T, budget, cfg.Counters)
+	if err != nil {
+		return Output{}
+	}
+	return Output{OK: true, F: res.Poly}
+}
+
+// Edge reports the directed graph edge j→k of Fig. 5 step 4 in this view:
+// dealer j's instance decoded and player k's announced γ for j lies on F_j.
+func (v *View) Edge(f gf2k.Field, j, k int) bool {
+	if !v.Outputs[j].OK || !v.Has[k][j] {
+		return false
+	}
+	id, err := f.ElementFromID(k + 1)
+	if err != nil {
+		return false
+	}
+	return poly.Eval(f, v.Outputs[j].F, id) == v.GammaOf[k][j]
+}

@@ -1,0 +1,234 @@
+// Package bw implements the Berlekamp–Welch decoder referenced throughout
+// the paper (§2: "Methods such as the Berlekamp-Welch decoder [5] can be used
+// to implement this operation"; Figs. 4 and 6 use it to interpolate through
+// share sets containing up to t values contributed by faulty players).
+//
+// Given n points of which at most e are in error, with n ≥ t + 2e + 1, Decode
+// recovers the unique polynomial of degree ≤ t agreeing with at least n−e of
+// the points, or reports that no such polynomial exists.
+package bw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/poly"
+)
+
+// ErrNoCodeword is returned when the points are not within maxErrors of any
+// polynomial of the stated degree.
+var ErrNoCodeword = errors.New("bw: no polynomial within error bound")
+
+// Result is the output of a successful decode.
+type Result struct {
+	// Poly is the recovered polynomial of degree ≤ t.
+	Poly poly.Poly
+	// ErrorIndexes lists the positions i where ys[i] ≠ Poly(xs[i]),
+	// in increasing order.
+	ErrorIndexes []int
+}
+
+// Decode recovers the unique polynomial of degree ≤ degree that agrees with
+// at least len(xs)−maxErrors of the points (xs[i], ys[i]). It requires
+// len(xs) ≥ degree + 2·maxErrors + 1 and pairwise-distinct xs.
+//
+// The happy path (zero errors) is detected first with a single plain
+// interpolation, which keeps the cost at "one polynomial interpolation" in
+// the fault-free runs the paper's amortized analysis assumes.
+func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *metrics.Counters) (Result, error) {
+	n := len(xs)
+	if len(ys) != n {
+		return Result{}, fmt.Errorf("bw: %d xs vs %d ys", n, len(ys))
+	}
+	if degree < 0 || maxErrors < 0 {
+		return Result{}, fmt.Errorf("bw: negative degree (%d) or error bound (%d)", degree, maxErrors)
+	}
+	if n < degree+2*maxErrors+1 {
+		return Result{}, fmt.Errorf("bw: need ≥ %d points for degree %d with %d errors, have %d",
+			degree+2*maxErrors+1, degree, maxErrors, n)
+	}
+
+	// Fast path: interpolate through the first degree+1 points and test the
+	// rest. Succeeds whenever there are no errors at all.
+	if p, err := poly.Interpolate(f, xs[:degree+1], ys[:degree+1], ctr); err == nil {
+		if idx := disagreements(f, p, xs, ys); len(idx) == 0 {
+			return Result{Poly: p}, nil
+		}
+	} else {
+		return Result{}, err
+	}
+
+	if maxErrors == 0 {
+		return Result{}, ErrNoCodeword
+	}
+
+	p, err := solve(f, xs, ys, degree, maxErrors, ctr)
+	if err != nil {
+		return Result{}, err
+	}
+	idx := disagreements(f, p, xs, ys)
+	if len(idx) > maxErrors {
+		return Result{}, ErrNoCodeword
+	}
+	return Result{Poly: p, ErrorIndexes: idx}, nil
+}
+
+// solve runs the Berlekamp–Welch linear system at the full error bound e:
+// find E(x) = x^e + Σ_{j<e} E_j x^j and Q(x) of degree ≤ degree+e with
+// Q(x_i) = y_i·E(x_i) for all i, then return Q/E.
+func solve(f gf2k.Field, xs, ys []gf2k.Element, degree, e int, ctr *metrics.Counters) (poly.Poly, error) {
+	n := len(xs)
+	qLen := degree + e + 1 // unknown coefficients of Q
+	unknowns := qLen + e   // plus the e non-leading coefficients of E
+
+	// Build the augmented matrix: one row per point.
+	// Σ_j Q_j x^j  +  y·Σ_{j<e} E_j x^j  =  y·x^e.
+	m := newMatrix(n, unknowns)
+	for i := 0; i < n; i++ {
+		xp := gf2k.Element(1)
+		for j := 0; j < qLen; j++ {
+			m.set(i, j, xp)
+			if j < qLen-1 {
+				xp = f.Mul(xp, xs[i])
+			}
+		}
+		xp = gf2k.Element(1)
+		for j := 0; j < e; j++ {
+			m.set(i, qLen+j, f.Mul(ys[i], xp))
+			xp = f.Mul(xp, xs[i])
+		}
+		// xp is now x^e.
+		m.setRHS(i, f.Mul(ys[i], xp))
+	}
+
+	sol, ok := m.solve(f)
+	if !ok {
+		return nil, ErrNoCodeword
+	}
+	if ctr != nil {
+		// The linear solve replaces the plain interpolation; count it as one
+		// interpolation-equivalent for the paper's cost accounting.
+		ctr.AddInterpolations(1)
+	}
+
+	q := poly.Poly(sol[:qLen])
+	ePoly := make(poly.Poly, e+1)
+	copy(ePoly, sol[qLen:])
+	ePoly[e] = 1 // monic
+
+	quot, rem, err := polyDiv(f, q, ePoly)
+	if err != nil {
+		return nil, err
+	}
+	if rem.Degree() >= 0 {
+		return nil, ErrNoCodeword
+	}
+	if quot.Degree() > degree {
+		return nil, ErrNoCodeword
+	}
+	return quot, nil
+}
+
+// disagreements returns indices where p(xs[i]) != ys[i].
+func disagreements(f gf2k.Field, p poly.Poly, xs, ys []gf2k.Element) []int {
+	var idx []int
+	for i := range xs {
+		if poly.Eval(f, p, xs[i]) != ys[i] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// polyDiv returns quotient and remainder of a ÷ b (b ≠ 0).
+func polyDiv(f gf2k.Field, a, b poly.Poly) (quot, rem poly.Poly, err error) {
+	db := b.Degree()
+	if db < 0 {
+		return nil, nil, errors.New("bw: division by zero polynomial")
+	}
+	rem = a.Clone()
+	da := rem.Degree()
+	if da < db {
+		return poly.Poly{}, rem, nil
+	}
+	quot = make(poly.Poly, da-db+1)
+	invLead := f.Inv(b[db])
+	for d := da; d >= db; d-- {
+		if rem[d] == 0 {
+			continue
+		}
+		c := f.Mul(rem[d], invLead)
+		quot[d-db] = c
+		for j := 0; j <= db; j++ {
+			rem[d-db+j] = f.Add(rem[d-db+j], f.Mul(c, b[j]))
+		}
+	}
+	return quot, rem, nil
+}
+
+// matrix is a dense augmented matrix over GF(2^k).
+type matrix struct {
+	rows, cols int // cols excludes the RHS column
+	a          [][]gf2k.Element
+}
+
+func newMatrix(rows, cols int) *matrix {
+	a := make([][]gf2k.Element, rows)
+	backing := make([]gf2k.Element, rows*(cols+1))
+	for i := range a {
+		a[i], backing = backing[:cols+1], backing[cols+1:]
+	}
+	return &matrix{rows: rows, cols: cols, a: a}
+}
+
+func (m *matrix) set(r, c int, v gf2k.Element) { m.a[r][c] = v }
+func (m *matrix) setRHS(r int, v gf2k.Element) { m.a[r][m.cols] = v }
+
+// solve performs Gaussian elimination and back-substitution, assigning zero
+// to free variables. It returns false if the system is inconsistent.
+func (m *matrix) solve(f gf2k.Field) ([]gf2k.Element, bool) {
+	pivotCol := make([]int, 0, m.rows) // column of each pivot row
+	row := 0
+	for col := 0; col < m.cols && row < m.rows; col++ {
+		// Find a pivot.
+		pr := -1
+		for r := row; r < m.rows; r++ {
+			if m.a[r][col] != 0 {
+				pr = r
+				break
+			}
+		}
+		if pr == -1 {
+			continue
+		}
+		m.a[row], m.a[pr] = m.a[pr], m.a[row]
+		inv := f.Inv(m.a[row][col])
+		for c := col; c <= m.cols; c++ {
+			m.a[row][c] = f.Mul(m.a[row][c], inv)
+		}
+		for r := 0; r < m.rows; r++ {
+			if r == row || m.a[r][col] == 0 {
+				continue
+			}
+			factor := m.a[r][col]
+			for c := col; c <= m.cols; c++ {
+				m.a[r][c] = f.Add(m.a[r][c], f.Mul(factor, m.a[row][c]))
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		row++
+	}
+	// Inconsistency: a zero row with nonzero RHS.
+	for r := row; r < m.rows; r++ {
+		if m.a[r][m.cols] != 0 {
+			return nil, false
+		}
+	}
+	sol := make([]gf2k.Element, m.cols)
+	for r, c := range pivotCol {
+		sol[c] = m.a[r][m.cols]
+	}
+	return sol, true
+}

@@ -1,0 +1,120 @@
+package bw
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2k"
+	"repro/internal/poly"
+)
+
+// decodeCase is a random codeword with ≤ maxErrors corruptions.
+type decodeCase struct {
+	Degree, MaxErr int
+	Xs, Ys         []gf2k.Element
+	Original       poly.Poly
+	Injected       int
+}
+
+// Property (testing/quick): for any degree, any error budget, any point
+// count ≥ degree+2e+1 and any ≤ e corruptions, Decode recovers exactly the
+// original polynomial and reports exactly the corrupted positions.
+func TestQuickDecodeRecovers(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(7))
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			degree := rng.Intn(5)
+			maxErr := rng.Intn(4)
+			n := degree + 2*maxErr + 1 + rng.Intn(5)
+			p, err := poly.Random(f, degree, gf2k.Element(rng.Uint32()), rng)
+			if err != nil {
+				panic(err)
+			}
+			xs := make([]gf2k.Element, n)
+			for i := range xs {
+				xs[i] = gf2k.Element(i + 1)
+			}
+			ys := poly.EvalMany(f, p, xs)
+			e := 0
+			if maxErr > 0 {
+				e = rng.Intn(maxErr + 1)
+			}
+			for _, i := range rng.Perm(n)[:e] {
+				for {
+					d := gf2k.Element(rng.Uint32())
+					if d != 0 {
+						ys[i] ^= d
+						break
+					}
+				}
+			}
+			vals[0] = reflect.ValueOf(decodeCase{
+				Degree: degree, MaxErr: maxErr, Xs: xs, Ys: ys,
+				Original: p, Injected: e,
+			})
+		},
+	}
+	err := quick.Check(func(c decodeCase) bool {
+		res, err := Decode(f, c.Xs, c.Ys, c.Degree, c.MaxErr, nil)
+		if err != nil {
+			return false
+		}
+		if len(res.ErrorIndexes) != c.Injected {
+			return false
+		}
+		for _, x := range []gf2k.Element{0, 0x9999, 0x12345} {
+			if poly.Eval(f, res.Poly, x) != poly.Eval(f, c.Original, x) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never invents a polynomial — if the corrupted word is
+// beyond the unique-decoding radius of EVERY degree-d polynomial (checked
+// by re-encoding), either decoding fails or the output genuinely agrees
+// with ≥ n−e points.
+func TestQuickDecodeSoundness(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(11))
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			degree := rng.Intn(4)
+			maxErr := 1 + rng.Intn(3)
+			n := degree + 2*maxErr + 1
+			xs := make([]gf2k.Element, n)
+			ys := make([]gf2k.Element, n)
+			for i := range xs {
+				xs[i] = gf2k.Element(i + 1)
+				ys[i] = gf2k.Element(rng.Uint32()) // random word, likely no codeword
+			}
+			vals[0] = reflect.ValueOf(decodeCase{Degree: degree, MaxErr: maxErr, Xs: xs, Ys: ys})
+		},
+	}
+	err := quick.Check(func(c decodeCase) bool {
+		res, err := Decode(f, c.Xs, c.Ys, c.Degree, c.MaxErr, nil)
+		if err != nil {
+			return true // correct: no codeword nearby
+		}
+		// If it decoded, the agreement must really be ≥ n − maxErr.
+		agree := 0
+		for i := range c.Xs {
+			if poly.Eval(f, res.Poly, c.Xs[i]) == c.Ys[i] {
+				agree++
+			}
+		}
+		return agree >= len(c.Xs)-c.MaxErr && res.Poly.Degree() <= c.Degree
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

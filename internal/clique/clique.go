@@ -1,0 +1,89 @@
+// Package clique provides the clique-approximation step of Coin-Gen
+// (Fig. 5 step 6). The consistency graph G always contains a clique of the
+// ≥ n−t honest players; the paper invokes "the protocol of Gabril
+// ([15], p. 134)" to find a clique of size at least n−2t. The standard
+// Gavril argument: take a maximal matching in the complement graph; each
+// matching edge covers at least one vertex outside the hidden clique, so
+// the uncovered vertices are pairwise adjacent in G and at least n−2t of
+// them remain.
+//
+// The algorithm is deterministic (edges scanned in index order), so every
+// honest player computes the same clique from the same graph.
+package clique
+
+import "fmt"
+
+// Graph is a simple undirected graph on vertices 0..n−1.
+type Graph struct {
+	n   int
+	adj [][]bool
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("clique: negative vertex count %d", n))
+	}
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops are ignored.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether {a, b} is an edge.
+func (g *Graph) HasEdge(a, b int) bool { return a != b && g.adj[a][b] }
+
+// IsClique reports whether the given vertices are pairwise adjacent.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApproxClique returns a clique via Gavril's maximal-matching argument: if G
+// contains a clique of size n−t, the result has size at least n−2t. The
+// returned vertices are sorted. The computation is deterministic.
+func ApproxClique(g *Graph) []int {
+	covered := make([]bool, g.n)
+	// Greedy maximal matching in the complement graph, scanning pairs in
+	// lexicographic order.
+	for a := 0; a < g.n; a++ {
+		if covered[a] {
+			continue
+		}
+		for b := a + 1; b < g.n; b++ {
+			if covered[b] || g.HasEdge(a, b) {
+				continue
+			}
+			// {a, b} is a complement edge; add it to the matching.
+			covered[a] = true
+			covered[b] = true
+			break
+		}
+	}
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if !covered[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

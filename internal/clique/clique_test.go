@@ -1,0 +1,115 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApproxCliqueCompleteGraph(t *testing.T) {
+	g := NewGraph(7)
+	for a := 0; a < 7; a++ {
+		for b := a + 1; b < 7; b++ {
+			g.AddEdge(a, b)
+		}
+	}
+	c := ApproxClique(g)
+	if len(c) != 7 {
+		t.Fatalf("complete graph: clique size %d, want 7", len(c))
+	}
+	if !g.IsClique(c) {
+		t.Fatal("result is not a clique")
+	}
+}
+
+func TestApproxCliqueEmptyGraph(t *testing.T) {
+	g := NewGraph(6)
+	c := ApproxClique(g)
+	// Complement is complete: perfect matching covers everyone.
+	if len(c) > 1 {
+		t.Fatalf("empty graph: got clique of %d", len(c))
+	}
+	if !g.IsClique(c) {
+		t.Fatal("result is not a clique")
+	}
+}
+
+func TestApproxCliqueGuarantee(t *testing.T) {
+	// Plant a clique of n−t honest vertices; faulty vertices connect
+	// adversarially. The result must be a clique of size ≥ n−2t.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		tf := 1 + rng.Intn(4)
+		n := 6*tf + 1
+		honest := rng.Perm(n)[:n-tf]
+		isHonest := make([]bool, n)
+		for _, v := range honest {
+			isHonest[v] = true
+		}
+		g := NewGraph(n)
+		for i := 0; i < len(honest); i++ {
+			for j := i + 1; j < len(honest); j++ {
+				g.AddEdge(honest[i], honest[j])
+			}
+		}
+		// Faulty vertices gain random edges (to anyone).
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if (!isHonest[a] || !isHonest[b]) && rng.Intn(2) == 0 {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+		c := ApproxClique(g)
+		if len(c) < n-2*tf {
+			t.Fatalf("trial %d (n=%d t=%d): clique size %d < %d", trial, n, tf, len(c), n-2*tf)
+		}
+		if !g.IsClique(c) {
+			t.Fatalf("trial %d: result is not a clique", trial)
+		}
+	}
+}
+
+func TestApproxCliqueDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph(9)
+		edges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}, {2, 5}, {5, 6}, {7, 8}, {0, 5}, {1, 5}, {2, 0}}
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+		return g
+	}
+	a := ApproxClique(build())
+	b := ApproxClique(build())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic members")
+		}
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(1, 1)
+	if g.HasEdge(1, 1) {
+		t.Fatal("self-loop recorded")
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	if !g.IsClique([]int{0, 1, 2}) {
+		t.Error("triangle not recognized")
+	}
+	if g.IsClique([]int{0, 1, 3}) {
+		t.Error("non-clique accepted")
+	}
+	if !g.IsClique(nil) || !g.IsClique([]int{2}) {
+		t.Error("trivial cliques rejected")
+	}
+}

@@ -1,0 +1,269 @@
+// Package coin implements sealed shared coins and protocol Coin-Expose
+// (Fig. 6). A sealed k-ary coin is a value in GF(2^k) jointly held by the
+// players: a designated reconstruction set S (|S| ≥ 3t+1) holds Shamir-style
+// shares of a degree-≤t polynomial F, and the coin is F(0). Nobody learns
+// the coin before Expose, and no t players can bias it.
+//
+// Coins come from two places: the trusted-dealer initial seed
+// (DealTrusted, the paper's Rabin-style setup used "only once, and for a
+// small number of coins", §1.2) and batches produced by Coin-Gen
+// (internal/coingen), which share this Batch representation.
+package coin
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bw"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/poly"
+	"repro/internal/simnet"
+)
+
+// ErrExhausted is returned when a batch has no unexposed coins left.
+var ErrExhausted = errors.New("coin: batch exhausted")
+
+// Source yields sealed shared coins, exposed in lockstep: every honest
+// player calls Expose in the same network round and obtains the same
+// element. Implementations may consume network rounds.
+type Source interface {
+	// Expose reveals the next sealed coin.
+	Expose(nd *simnet.Node) (gf2k.Element, error)
+	// ExposeBit reveals the next coin reduced to one bit (F(0) mod 2).
+	ExposeBit(nd *simnet.Node) (byte, error)
+	// ExposeMod reveals the next coin reduced mod m into [1, m].
+	ExposeMod(nd *simnet.Node, m int) (int, error)
+	// Remaining reports how many sealed coins are left.
+	Remaining() int
+}
+
+// Batch is one player's local state for a batch of sealed coins. All honest
+// players hold structurally identical batches (same S, same length, same
+// cursor); shares differ per player.
+type Batch struct {
+	// Field is the coin field GF(2^k).
+	Field gf2k.Field
+	// T is the fault bound the batch tolerates.
+	T int
+	// S lists the 0-based indices of the reconstruction set, sorted.
+	// Only shares sent by members of S count during exposure.
+	S []int
+	// Shares[h] is this player's combined share of coin h: the value at
+	// x = own-id of the degree-≤T polynomial whose value at 0 is coin h.
+	// Players outside S may hold shares too (they simply do not transmit).
+	Shares []gf2k.Element
+	// Silent marks a player that holds no valid combined shares (e.g. a
+	// Coin-Gen participant that failed its self-check because a faulty
+	// dealer in the agreed clique gave it bad shares). A silent player
+	// still participates in exposure rounds and decodes coins, but never
+	// transmits a share — transmitting a known-bad share would consume the
+	// Berlekamp–Welch error budget reserved for Byzantine players.
+	Silent bool
+	// Counters optionally records exposure costs.
+	Counters *metrics.Counters
+
+	next int
+}
+
+var _ Source = (*Batch)(nil)
+
+// Remaining returns the number of unexposed coins left in the batch.
+func (b *Batch) Remaining() int { return len(b.Shares) - b.next }
+
+// Cursor returns the index of the next coin to be exposed.
+func (b *Batch) Cursor() int { return b.next }
+
+// maxErrors is the decoding budget: ⌊(|S|−T−1)/2⌋ capped at T faulty members.
+func (b *Batch) maxErrors() int {
+	e := (len(b.S) - b.T - 1) / 2
+	if e > b.T {
+		e = b.T
+	}
+	return e
+}
+
+// Validate checks the structural invariants needed for exposure to succeed
+// against t faulty players.
+func (b *Batch) Validate() error {
+	if len(b.S) < b.T+2*b.maxErrors()+1 || b.maxErrors() < b.T {
+		return fmt.Errorf("coin: reconstruction set of %d cannot tolerate %d faults", len(b.S), b.T)
+	}
+	for _, idx := range b.S {
+		if idx < 0 {
+			return fmt.Errorf("coin: negative player index %d in S", idx)
+		}
+	}
+	return nil
+}
+
+// Expose reveals the next sealed coin (Fig. 6): members of S send their
+// combined share β_i to everyone, and every player interpolates a polynomial
+// through the received shares with the Berlekamp–Welch decoder, outputting
+// F(0). Consumes exactly one network round.
+func (b *Batch) Expose(nd *simnet.Node) (gf2k.Element, error) {
+	if b.Remaining() == 0 {
+		return 0, ErrExhausted
+	}
+	h := b.next
+	b.next++
+	return b.exposeIndex(nd, h)
+}
+
+// ExposeAt reveals the coin with index h without touching the sequential
+// cursor — the "random access" to the generated bits the paper highlights
+// in §1.4 ("As in [2], our scheme also provides 'random access' to the
+// bits"). Every honest player must call ExposeAt with the same h in the
+// same round. Re-exposing an index yields the same coin; callers are
+// responsible for not treating a revealed coin as fresh randomness twice.
+func (b *Batch) ExposeAt(nd *simnet.Node, h int) (gf2k.Element, error) {
+	if h < 0 || h >= len(b.Shares) {
+		return 0, fmt.Errorf("coin: index %d out of range [0,%d)", h, len(b.Shares))
+	}
+	return b.exposeIndex(nd, h)
+}
+
+// exposeIndex runs the Fig. 6 exposure for one share index.
+func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
+
+	inS := false
+	for _, idx := range b.S {
+		if idx == nd.Index() {
+			inS = true
+			break
+		}
+	}
+	if inS && b.Silent {
+		inS = false
+	}
+	if inS {
+		nd.SendAll(b.Field.AppendElement(nil, b.Shares[h]))
+	}
+	msgs, err := nd.EndRound()
+	if err != nil {
+		return 0, fmt.Errorf("coin: expose round: %w", err)
+	}
+
+	first := simnet.FirstFromEach(msgs)
+	var xs, ys []gf2k.Element
+	for _, idx := range b.S {
+		var share gf2k.Element
+		if idx == nd.Index() {
+			if !inS {
+				continue
+			}
+			share = b.Shares[h]
+		} else {
+			payload, ok := first[idx]
+			if !ok {
+				continue
+			}
+			s, rest, err := b.Field.ReadElement(payload)
+			if err != nil || len(rest) != 0 {
+				continue // malformed share from a faulty player
+			}
+			share = s
+		}
+		id, err := b.Field.ElementFromID(idx + 1)
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, id)
+		ys = append(ys, share)
+	}
+
+	// The error budget adapts to the shares actually received: s silent
+	// faulty members shrink the point list to |S|−s but also shrink the
+	// number of possible lies to t−s, so ⌊(points−t−1)/2⌋ (capped at t)
+	// always covers the remaining errors.
+	maxErr := (len(xs) - b.T - 1) / 2
+	if maxErr > b.T {
+		maxErr = b.T
+	}
+	if maxErr < 0 {
+		maxErr = 0
+	}
+	res, err := bw.Decode(b.Field, xs, ys, b.T, maxErr, b.Counters)
+	if err != nil {
+		return 0, fmt.Errorf("coin: expose coin %d: %w", h, err)
+	}
+	return poly.Eval(b.Field, res.Poly, 0), nil
+}
+
+// ExposeBit reveals the next coin and reduces it to a single bit, the
+// paper's binary coin (Fig. 6 step 3: "Set coin_h = F(0) mod 2").
+func (b *Batch) ExposeBit(nd *simnet.Node) (byte, error) {
+	e, err := b.Expose(nd)
+	if err != nil {
+		return 0, err
+	}
+	return byte(e & 1), nil
+}
+
+// ExposeMod reveals the next coin reduced mod m (1-based: result in [1, m]),
+// as Coin-Gen's leader election uses it (Fig. 5 step 9: "l ← Coin-Expose
+// mod n; if l = 0 then set l = n").
+func (b *Batch) ExposeMod(nd *simnet.Node, m int) (int, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("coin: invalid modulus %d", m)
+	}
+	e, err := b.Expose(nd)
+	if err != nil {
+		return 0, err
+	}
+	l := int(uint64(e) % uint64(m))
+	if l == 0 {
+		l = m
+	}
+	return l, nil
+}
+
+// DealTrusted is the trusted-dealer seed setup ([17]-style): a dealer draws
+// `count` random coins, shares each with a fresh random degree-t polynomial,
+// and hands every player its shares. It returns one Batch per player plus
+// (for tests and experiments only) the dealt coin values.
+//
+// The reconstruction set is the first 3t+1 players, matching Coin-Expose's
+// "set S = {P_1, ..., P_{3t+1}} (wlog)".
+func DealTrusted(f gf2k.Field, n, t, count int, rnd io.Reader) ([]*Batch, []gf2k.Element, error) {
+	if n < 3*t+1 {
+		return nil, nil, fmt.Errorf("coin: need n ≥ 3t+1, got n=%d t=%d", n, t)
+	}
+	if count < 0 {
+		return nil, nil, fmt.Errorf("coin: negative coin count %d", count)
+	}
+	s := make([]int, 3*t+1)
+	for i := range s {
+		s[i] = i
+	}
+	batches := make([]*Batch, n)
+	for i := range batches {
+		batches[i] = &Batch{
+			Field:  f,
+			T:      t,
+			S:      s,
+			Shares: make([]gf2k.Element, count),
+		}
+	}
+	values := make([]gf2k.Element, count)
+	for h := 0; h < count; h++ {
+		secret, err := f.Rand(rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		values[h] = secret
+		p, err := poly.Random(f, t, secret, rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i < n; i++ {
+			id, err := f.ElementFromID(i + 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			batches[i].Shares[h] = poly.Eval(f, p, id)
+		}
+	}
+	return batches, values, nil
+}

@@ -1,0 +1,46 @@
+package coin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2k"
+)
+
+// FuzzUnmarshalBatch: the batch decoder must never panic, and everything it
+// accepts must survive a marshal/unmarshal round trip unchanged.
+func FuzzUnmarshalBatch(f *testing.F) {
+	field := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(1))
+	batches, _, err := DealTrusted(field, 4, 1, 3, rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := batches[0].MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte(batchMagic))
+	f.Add(append([]byte{}, good[:len(good)-1]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBatch(data)
+		if err != nil {
+			return
+		}
+		re, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted batch fails to re-marshal: %v", err)
+		}
+		b2, err := UnmarshalBatch(re)
+		if err != nil {
+			t.Fatalf("re-marshalled batch rejected: %v", err)
+		}
+		if b2.T != b.T || b2.Silent != b.Silent || len(b2.S) != len(b.S) ||
+			len(b2.Shares) != len(b.Shares) || b2.Cursor() != b.Cursor() {
+			t.Fatal("round trip not idempotent")
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package coin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/gf2k"
+)
+
+// Batch serialization, for the paper's §1.2 usage pattern: "the generator
+// is run to produce as many coins as the current execution of the
+// application needs, plus another (distributed) seed. The new seed is
+// stored until the next execution of the application." Each player persists
+// its own batch (the shares are that player's secrets — treat the bytes as
+// sensitive) and restores it in the next session.
+
+const batchMagic = "DPRBGv1\x00"
+
+var errBadBatchEncoding = errors.New("coin: malformed batch encoding")
+
+// MarshalBinary serializes the batch, including the exposure cursor, so a
+// restored batch resumes exactly where it left off.
+func (b *Batch) MarshalBinary() ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(batchMagic)+16+4*len(b.S)+len(b.Shares)*b.Field.ByteLen())
+	buf = append(buf, batchMagic...)
+	buf = append(buf, byte(b.Field.K()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.T))
+	if b.Silent {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.S)))
+	for _, idx := range b.S {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Shares)))
+	buf = b.Field.AppendElements(buf, b.Shares)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(b.next))
+	return buf, nil
+}
+
+// UnmarshalBatch restores a batch serialized with MarshalBinary,
+// reconstructing the field from the stored extension degree.
+func UnmarshalBatch(data []byte) (*Batch, error) {
+	if len(data) < len(batchMagic)+10 || string(data[:len(batchMagic)]) != batchMagic {
+		return nil, errBadBatchEncoding
+	}
+	data = data[len(batchMagic):]
+	k := int(data[0])
+	field, err := gf2k.New(k)
+	if err != nil {
+		return nil, fmt.Errorf("coin: restore field: %w", err)
+	}
+	t := int(binary.LittleEndian.Uint32(data[1:]))
+	silent := data[5] != 0
+	sLen := int(binary.LittleEndian.Uint32(data[6:]))
+	data = data[10:]
+	if t < 0 || sLen < 0 || sLen > 1<<16 || len(data) < 4*sLen+4 {
+		return nil, errBadBatchEncoding
+	}
+	s := make([]int, sLen)
+	for i := range s {
+		s[i] = int(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	data = data[4*sLen:]
+	shareCount := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if shareCount < 0 || shareCount > 1<<24 {
+		return nil, errBadBatchEncoding
+	}
+	shares, rest, err := field.ReadElements(data, shareCount)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadBatchEncoding, err)
+	}
+	if len(rest) != 4 {
+		return nil, errBadBatchEncoding
+	}
+	next := int(binary.LittleEndian.Uint32(rest))
+	if next < 0 || next > shareCount {
+		return nil, errBadBatchEncoding
+	}
+	b := &Batch{
+		Field:  field,
+		T:      t,
+		S:      s,
+		Shares: shares,
+		Silent: silent,
+		next:   next,
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,132 @@
+package coin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2k"
+	"repro/internal/simnet"
+)
+
+func TestBatchMarshalRoundTrip(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(1))
+	batches, values, err := DealTrusted(f, 7, 2, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize each player's batch, restore, expose: the restored batches
+	// must produce the original coins.
+	restored := make([]*Batch, 7)
+	for i, b := range batches {
+		b.Silent = i == 6 // exercise the flag
+		data, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := UnmarshalBatch(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.T != b.T || r.Silent != b.Silent || len(r.S) != len(b.S) || r.Remaining() != b.Remaining() {
+			t.Fatalf("player %d: metadata mismatch: %+v vs %+v", i, r, b)
+		}
+		restored[i] = r
+	}
+	nw := simnet.New(7)
+	fns := make([]simnet.PlayerFunc, 7)
+	for i := range fns {
+		b := restored[i]
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			var out []gf2k.Element
+			for b.Remaining() > 0 {
+				c, err := b.Expose(nd)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+			return out, nil
+		}
+	}
+	for i, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		got := r.Value.([]gf2k.Element)
+		for h, want := range values {
+			if got[h] != want {
+				t.Fatalf("player %d coin %d: %#x, want %#x", i, h, got[h], want)
+			}
+		}
+	}
+}
+
+func TestBatchMarshalPreservesCursor(t *testing.T) {
+	f := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(2))
+	batches, values, err := DealTrusted(f, 4, 1, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expose one coin, serialize mid-stream, restore, continue.
+	nw := simnet.New(4)
+	fns := make([]simnet.PlayerFunc, 4)
+	for i := range fns {
+		b := batches[i]
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			if _, err := b.Expose(nd); err != nil {
+				return nil, err
+			}
+			data, err := b.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			r, err := UnmarshalBatch(data)
+			if err != nil {
+				return nil, err
+			}
+			if r.Cursor() != 1 || r.Remaining() != 2 {
+				t.Errorf("cursor/remaining = %d/%d, want 1/2", r.Cursor(), r.Remaining())
+			}
+			return r.Expose(nd)
+		}
+	}
+	for i, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		if r.Value.(gf2k.Element) != values[1] {
+			t.Fatalf("player %d: resumed at wrong coin", i)
+		}
+	}
+}
+
+func TestUnmarshalBatchRejectsMalformed(t *testing.T) {
+	f := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(3))
+	batches, _, err := DealTrusted(f, 4, 1, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := batches[0].MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("NOTMAGIC"), good[8:]...),
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte{}, good...), 0xff),
+		"cursor range": func() []byte { b := append([]byte{}, good...); b[len(b)-4] = 0xff; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBatch(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Valid round trip sanity.
+	if _, err := UnmarshalBatch(good); err != nil {
+		t.Fatalf("good encoding rejected: %v", err)
+	}
+}

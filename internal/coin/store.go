@@ -1,0 +1,64 @@
+package coin
+
+import (
+	"repro/internal/gf2k"
+	"repro/internal/simnet"
+)
+
+// Store is a per-player FIFO of coin batches. It is itself a Source,
+// draining batches in order; every honest player must Add structurally
+// identical batches in the same order for exposures to stay in lockstep.
+// The bootstrap generator (internal/core) keeps one Store per player and
+// refills it by running Coin-Gen whenever Remaining drops below its
+// threshold (§1.2: "Once the number of remaining coins drops beneath a
+// certain level, a new batch is generated").
+type Store struct {
+	batches []*Batch
+}
+
+var _ Source = (*Store)(nil)
+
+// Add appends a batch to the store.
+func (s *Store) Add(b *Batch) {
+	s.batches = append(s.batches, b)
+}
+
+// Remaining returns the total number of unexposed coins across all batches.
+func (s *Store) Remaining() int {
+	total := 0
+	for _, b := range s.batches {
+		total += b.Remaining()
+	}
+	return total
+}
+
+// Expose reveals the next sealed coin from the oldest non-empty batch.
+func (s *Store) Expose(nd *simnet.Node) (gf2k.Element, error) {
+	for len(s.batches) > 0 && s.batches[0].Remaining() == 0 {
+		s.batches = s.batches[1:]
+	}
+	if len(s.batches) == 0 {
+		return 0, ErrExhausted
+	}
+	return s.batches[0].Expose(nd)
+}
+
+// ExposeBit reveals the next coin reduced to one bit.
+func (s *Store) ExposeBit(nd *simnet.Node) (byte, error) {
+	e, err := s.Expose(nd)
+	if err != nil {
+		return 0, err
+	}
+	return byte(e & 1), nil
+}
+
+// ExposeMod reveals the next coin reduced mod m into [1, m].
+func (s *Store) ExposeMod(nd *simnet.Node, m int) (int, error) {
+	for len(s.batches) > 0 && s.batches[0].Remaining() == 0 {
+		s.batches = s.batches[1:]
+	}
+	if len(s.batches) == 0 {
+		return 0, ErrExhausted
+	}
+	return s.batches[0].ExposeMod(nd, m)
+}

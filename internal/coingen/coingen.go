@@ -1,0 +1,285 @@
+// Package coingen implements protocol Coin-Gen (Fig. 5): the generation of
+// a batch of M sealed shared coins over point-to-point channels, tolerating
+// t Byzantine players with n ≥ 6t+1.
+//
+// The flow follows the paper step by step:
+//
+//  1. Every player, as dealer, initiates Bit-Gen (Fig. 4 step 1): one round.
+//  2. One sealed coin r is exposed from the seed; the same r is reused as
+//     the batch-check challenge for all n Bit-Gen invocations (saving n
+//     polynomial interpolations, as Theorem 2 remarks).
+//  3. All players exchange their γ vectors and locally decode every
+//     invocation (Fig. 4 steps 3–5): one round.
+//  4. Each player builds the directed consistency graph G′ (edge j→k iff
+//     F_j decoded and player k's γ lies on F_j) and its undirected core G.
+//  5. Each player finds a clique of size ≥ n−2t (Gavril approximation).
+//  6. Each player grade-casts its clique together with the decoded F
+//     polynomials of the clique members: three rounds.
+//  7. A sealed coin selects a leader l; every player checks the paper's
+//     three conditions on l's grade-cast (confidence 2; |C_l| ≥ n−2t;
+//     at least 3t+1 members of C_l whose announced γ's satisfy every F_k,
+//     k ∈ C_l) and feeds the verdict into Byzantine agreement.
+//  8. If BA decides 1, the batch is assembled from C_l; otherwise a new
+//     leader is drawn and BA re-run (constant expected iterations, Lemma 8).
+//
+// # Batch assembly
+//
+// Coin h of the batch is Σ_{j∈C_l} f_{j,h}(0) — the sum of the sealed
+// contributions of every clique member. (Fig. 6 sums over a fixed 3t+1
+// subset S of the clique; summing over the entire agreed clique needs no
+// extra agreement on which subset to use and only adds contributors, which
+// strengthens unpredictability. At least 3t+1 members are honest, so the
+// guarantee of Lemma 7(3) is preserved.) A player transmits during later
+// exposures only if it passes the objective self-check — its own announced
+// γ for every k ∈ C_l equals F_k(own id) under the agreed F's — which by
+// batch soundness (Lemma 5) implies whp that its shares lie on the common
+// polynomials f_{k,h}; honest self-checked transmitters therefore agree on
+// every coin polynomial, and there are at least 2t+1 of them.
+package coingen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ba"
+	"repro/internal/bitgen"
+	"repro/internal/clique"
+	"repro/internal/coin"
+	"repro/internal/gf2k"
+	"repro/internal/gradecast"
+	"repro/internal/metrics"
+	"repro/internal/poly"
+	"repro/internal/simnet"
+)
+
+// ErrTooManyAttempts is returned when leader selection failed MaxAttempts
+// times; with honest-majority leaders the probability decays exponentially.
+var ErrTooManyAttempts = errors.New("coingen: leader selection exceeded attempt budget")
+
+// Config parameterizes one Coin-Gen execution.
+type Config struct {
+	// Field is GF(2^k).
+	Field gf2k.Field
+	// N is the player count; T the fault bound. The paper's §4 regime
+	// requires N ≥ 6T+1.
+	N, T int
+	// M is the number of sealed coins the batch produces.
+	M int
+	// Seed supplies the sealed coins Coin-Gen itself consumes (the batch
+	// challenge plus one coin per leader attempt).
+	Seed coin.Source
+	// Agreement is the BA protocol for Fig. 5 step 10. Defaults to
+	// ba.PhaseKing{T}.
+	Agreement ba.Protocol
+	// MaxAttempts bounds leader-selection iterations (default 8·N).
+	MaxAttempts int
+	// Counters, when non-nil, records costs.
+	Counters *metrics.Counters
+}
+
+// Validate checks the paper's resilience requirement.
+func (c Config) Validate() error {
+	if c.N < 6*c.T+1 {
+		return fmt.Errorf("coingen: need n ≥ 6t+1, got n=%d t=%d", c.N, c.T)
+	}
+	if c.M < 1 {
+		return fmt.Errorf("coingen: batch size M must be ≥ 1, got %d", c.M)
+	}
+	if c.Seed == nil {
+		return errors.New("coingen: nil seed coin source")
+	}
+	return nil
+}
+
+// Result is one player's outcome of a successful Coin-Gen run.
+type Result struct {
+	// Batch holds the M new sealed coins (identical structure at every
+	// honest player).
+	Batch *coin.Batch
+	// Clique is the agreed set C_l of contributing dealers, sorted.
+	Clique []int
+	// Attempts is the number of leader-selection iterations used.
+	Attempts int
+	// SeedConsumed counts the sealed coins Coin-Gen spent (1 challenge +
+	// 1 per attempt).
+	SeedConsumed int
+}
+
+// Run executes Coin-Gen. Every honest player must call Run in the same
+// round with identical Config (up to the per-player Seed handle) and a
+// private randomness source.
+func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nd.N() != cfg.N {
+		return nil, fmt.Errorf("coingen: network size %d != configured %d", nd.N(), cfg.N)
+	}
+	agreement := cfg.Agreement
+	if agreement == nil {
+		agreement = ba.PhaseKing{T: cfg.T}
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8 * cfg.N
+	}
+
+	bcfg := bitgen.Config{Field: cfg.Field, N: cfg.N, T: cfg.T, M: cfg.M, Counters: cfg.Counters}
+
+	// Steps 1–3: deal, expose the shared challenge, exchange γ's.
+	sh, err := bitgen.DealAll(nd, bcfg, rnd)
+	if err != nil {
+		return nil, err
+	}
+	seedUsed := 0
+	r, err := cfg.Seed.Expose(nd)
+	if err != nil {
+		return nil, fmt.Errorf("coingen: expose challenge: %w", err)
+	}
+	seedUsed++
+	view, err := bitgen.ExchangeGammas(nd, bcfg, sh, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 4–5: consistency graph and clique.
+	g := clique.NewGraph(cfg.N)
+	for j := 0; j < cfg.N; j++ {
+		for k := j + 1; k < cfg.N; k++ {
+			if view.Edge(cfg.Field, j, k) && view.Edge(cfg.Field, k, j) {
+				g.AddEdge(j, k)
+			}
+		}
+	}
+	myClique := clique.ApproxClique(g)
+
+	// Step 7: grade-cast (clique, F's).
+	payload, err := encodeCliqueMsg(cfg, myClique, view)
+	if err != nil {
+		return nil, err
+	}
+	casts, err := gradecast.RunAll(nd, cfg.T, payload)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 9–11: leader selection and agreement, repeated until accepted.
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		leader1, err := cfg.Seed.ExposeMod(nd, cfg.N)
+		if err != nil {
+			return nil, fmt.Errorf("coingen: expose leader coin: %w", err)
+		}
+		seedUsed++
+		leader := leader1 - 1 // 0-based index
+
+		input := byte(0)
+		var cand *cliqueMsg
+		if casts[leader].Confidence >= 1 {
+			cand, _ = decodeCliqueMsg(cfg, casts[leader].Value)
+		}
+		if casts[leader].Confidence == 2 && cand != nil && conditionIII(cfg, view, cand) >= 3*cfg.T+1 {
+			input = 1
+		}
+
+		decision, err := agreement.Run(nd, input)
+		if err != nil {
+			return nil, err
+		}
+		if decision != 1 {
+			continue
+		}
+		// Agreement on 1 implies ≥1 honest player verified all conditions,
+		// so every honest player holds the value with confidence ≥ 1.
+		if cand == nil {
+			return nil, errors.New("coingen: BA accepted a leader whose grade-cast this player cannot decode (resilience assumption violated)")
+		}
+		batch := assembleBatch(cfg, sh, cand, nd.Index(), r)
+		return &Result{
+			Batch:        batch,
+			Clique:       cand.members,
+			Attempts:     attempt,
+			SeedConsumed: seedUsed,
+		}, nil
+	}
+	return nil, ErrTooManyAttempts
+}
+
+// conditionIII counts the members j of the candidate clique whose announced
+// γ's (in this player's view) satisfy every F_k of the candidate, k ∈ C_l —
+// Fig. 5 step 10 condition iii.
+func conditionIII(cfg Config, view *bitgen.View, cand *cliqueMsg) int {
+	f := cfg.Field
+	count := 0
+	for _, j := range cand.members {
+		ok := true
+		for idx, k := range cand.members {
+			if !view.Has[j][k] {
+				ok = false
+				break
+			}
+			id, err := f.ElementFromID(j + 1)
+			if err != nil {
+				ok = false
+				break
+			}
+			if poly.Eval(f, cand.polys[idx], id) != view.GammaOf[j][k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// assembleBatch builds this player's handle on the new sealed coins: the
+// combined share of coin h is Σ_{j∈C_l} α_i[j][h], and the player marks
+// itself silent unless it passes the objective self-check against the
+// agreed F's.
+func assembleBatch(cfg Config, sh *bitgen.Shares, cand *cliqueMsg, self int, r gf2k.Element) *coin.Batch {
+	f := cfg.Field
+	shares := make([]gf2k.Element, cfg.M)
+	complete := true
+	for _, j := range cand.members {
+		if !sh.Received[j] {
+			complete = false
+			continue
+		}
+		for h := 0; h < cfg.M; h++ {
+			shares[h] = f.Add(shares[h], sh.Alpha[j][h])
+		}
+	}
+	return &coin.Batch{
+		Field:    cfg.Field,
+		T:        cfg.T,
+		S:        append([]int(nil), cand.members...),
+		Shares:   shares,
+		Silent:   !complete || !selfCheck(cfg, sh, cand, self, r),
+		Counters: cfg.Counters,
+	}
+}
+
+// selfCheck verifies that this player's own announced γ for every clique
+// member k equals F_k(own id) under the agreed polynomials. Passing implies
+// (whp, Lemma 5) that the player's shares lie on the common coin
+// polynomials, making it a safe transmitter for Coin-Expose.
+func selfCheck(cfg Config, sh *bitgen.Shares, cand *cliqueMsg, self int, r gf2k.Element) bool {
+	f := cfg.Field
+	id, err := f.ElementFromID(self + 1)
+	if err != nil {
+		return false
+	}
+	for idx, k := range cand.members {
+		gamma, ok := sh.Gamma(f, k, r)
+		if !ok {
+			return false
+		}
+		if poly.Eval(f, cand.polys[idx], id) != gamma {
+			return false
+		}
+	}
+	return true
+}

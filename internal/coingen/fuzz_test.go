@@ -1,0 +1,51 @@
+package coingen
+
+import (
+	"testing"
+
+	"repro/internal/bitgen"
+	"repro/internal/gf2k"
+	"repro/internal/poly"
+)
+
+// FuzzDecodeCliqueMsg hammers the grade-cast clique decoder with arbitrary
+// bytes: it must never panic and every accepted message must satisfy the
+// structural invariants Run depends on.
+func FuzzDecodeCliqueMsg(f *testing.F) {
+	cfg := Config{Field: gf2k.MustNew(32), N: 7, T: 1, M: 1}
+	view := &bitgen.View{Outputs: make([]bitgen.Output, 7)}
+	for j := 0; j < 7; j++ {
+		view.Outputs[j] = bitgen.Output{OK: true, F: poly.Poly{gf2k.Element(j), 1}}
+	}
+	good, err := encodeCliqueMsg(cfg, []int{0, 1, 2, 3, 4}, view)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x00})
+	f.Add(append(good, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := decodeCliqueMsg(cfg, data)
+		if err != nil {
+			return
+		}
+		if len(msg.members) != len(msg.polys) {
+			t.Fatal("members/polys length mismatch")
+		}
+		if len(msg.members) < cfg.N-2*cfg.T || len(msg.members) > cfg.N {
+			t.Fatalf("accepted clique of size %d", len(msg.members))
+		}
+		prev := -1
+		for i, m := range msg.members {
+			if m <= prev || m >= cfg.N {
+				t.Fatalf("member %d out of order/range", m)
+			}
+			prev = m
+			if len(msg.polys[i]) != cfg.T+1 {
+				t.Fatalf("polynomial %d has %d coefficients", i, len(msg.polys[i]))
+			}
+		}
+	})
+}

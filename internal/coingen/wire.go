@@ -1,0 +1,89 @@
+package coingen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitgen"
+	"repro/internal/poly"
+)
+
+// cliqueMsg is the decoded content of a grade-cast from Fig. 5 step 7:
+// the sender's clique and, for each member k, the sender's decoded batch
+// polynomial F_k.
+type cliqueMsg struct {
+	// members is the clique C, sorted ascending, |C| ≥ n−2t.
+	members []int
+	// polys[i] is F of dealer members[i], with exactly t+1 coefficients.
+	polys []poly.Poly
+}
+
+// encodeCliqueMsg serializes this player's clique and the corresponding
+// decoded F polynomials. Format: [count u16] then per member
+// [index u16][t+1 field elements].
+func encodeCliqueMsg(cfg Config, members []int, view *bitgen.View) ([]byte, error) {
+	f := cfg.Field
+	buf := make([]byte, 0, 2+len(members)*(2+(cfg.T+1)*f.ByteLen()))
+	buf = append(buf, byte(len(members)), byte(len(members)>>8))
+	for _, j := range members {
+		out := view.Outputs[j]
+		if !out.OK {
+			return nil, fmt.Errorf("coingen: clique member %d has no decoded polynomial", j)
+		}
+		buf = append(buf, byte(j), byte(j>>8))
+		for c := 0; c <= cfg.T; c++ {
+			var coeff = out.F
+			if c < len(coeff) {
+				buf = f.AppendElement(buf, coeff[c])
+			} else {
+				buf = f.AppendElement(buf, 0)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// decodeCliqueMsg parses and validates a grade-cast clique message. It
+// enforces Fig. 5 step 10 condition ii (|C_l| ≥ n−2t) along with structural
+// sanity: indices in range, strictly sorted (hence unique), exact length.
+func decodeCliqueMsg(cfg Config, b []byte) (*cliqueMsg, error) {
+	f := cfg.Field
+	if len(b) < 2 {
+		return nil, fmt.Errorf("coingen: clique message too short")
+	}
+	count := int(b[0]) | int(b[1])<<8
+	b = b[2:]
+	if count < cfg.N-2*cfg.T {
+		return nil, fmt.Errorf("coingen: clique of %d smaller than n−2t = %d", count, cfg.N-2*cfg.T)
+	}
+	if count > cfg.N {
+		return nil, fmt.Errorf("coingen: clique of %d larger than n", count)
+	}
+	entry := 2 + (cfg.T+1)*f.ByteLen()
+	if len(b) != count*entry {
+		return nil, fmt.Errorf("coingen: clique message length %d, want %d", len(b), count*entry)
+	}
+	msg := &cliqueMsg{
+		members: make([]int, 0, count),
+		polys:   make([]poly.Poly, 0, count),
+	}
+	prev := -1
+	for i := 0; i < count; i++ {
+		rec := b[i*entry : (i+1)*entry]
+		idx := int(rec[0]) | int(rec[1])<<8
+		if idx <= prev || idx >= cfg.N {
+			return nil, fmt.Errorf("coingen: clique member %d out of order or range", idx)
+		}
+		prev = idx
+		coeffs, rest, err := f.ReadElements(rec[2:], cfg.T+1)
+		if err != nil || len(rest) != 0 {
+			return nil, fmt.Errorf("coingen: bad polynomial for member %d", idx)
+		}
+		msg.members = append(msg.members, idx)
+		msg.polys = append(msg.polys, poly.Poly(coeffs))
+	}
+	if !sort.IntsAreSorted(msg.members) {
+		return nil, fmt.Errorf("coingen: clique members not sorted")
+	}
+	return msg, nil
+}

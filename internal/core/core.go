@@ -1,0 +1,233 @@
+// Package core implements the paper's headline object: the bootstrapped
+// distributed pseudo-random bit generator (D-PRBG, §1.1–1.2 and Fig. 1).
+//
+// A Generator is one player's handle on a self-sustaining stream of sealed
+// shared coins. It starts from a small trusted-dealer seed (O(1) sealed
+// coins, obtained once — "the services of a trusted dealer would be used
+// only once, and for a small number of coins"). Whenever the number of
+// remaining sealed coins drops below a threshold, the generator runs
+// Coin-Gen to mint a fresh batch of M coins, spending an expected constant
+// number of remaining coins to do so — the bootstrap loop of Fig. 1: each
+// batch produces "not only the coins for the current execution but also the
+// seed for the next execution".
+//
+// All honest players drive their Generators in lockstep; the refill
+// decision depends only on shared state (the count of exposed coins), so it
+// fires at the same instant everywhere.
+//
+// Because every batch is generated from fresh polynomials dealt by the
+// current clique, the faulty set may change arbitrarily between batches
+// (the paper's pro-active setting, §1.2): no long-lived secret outlives a
+// batch.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ba"
+	"repro/internal/coin"
+	"repro/internal/coingen"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// DefaultThreshold is the refill trigger: a new batch is generated when
+// fewer than this many sealed coins remain. It must cover Coin-Gen's own
+// consumption (one challenge coin plus one coin per leader attempt); with
+// t/n ≤ 1/6 the probability that a refill needs more than three leader
+// draws is below 1/200.
+const DefaultThreshold = 6
+
+// Config parameterizes a D-PRBG.
+type Config struct {
+	// Field is GF(2^k): each coin is one element (a k-ary coin).
+	Field gf2k.Field
+	// N is the player count; T the fault bound; N ≥ 6T+1.
+	N, T int
+	// BatchSize is M, the number of sealed coins minted per Coin-Gen run.
+	BatchSize int
+	// Threshold triggers a refill when Remaining() < Threshold.
+	// Defaults to DefaultThreshold. Must be ≤ BatchSize so refills make
+	// net progress.
+	Threshold int
+	// Agreement overrides the BA protocol used by Coin-Gen (optional).
+	Agreement ba.Protocol
+	// MaxAttempts bounds Coin-Gen leader retries (optional).
+	MaxAttempts int
+	// Counters, when non-nil, records all protocol costs.
+	Counters *metrics.Counters
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.N < 6*c.T+1 {
+		return fmt.Errorf("core: need n ≥ 6t+1, got n=%d t=%d", c.N, c.T)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("core: batch size must be ≥ 1, got %d", c.BatchSize)
+	}
+	if c.Threshold < 2 {
+		return fmt.Errorf("core: threshold must be ≥ 2 (a refill itself consumes coins), got %d", c.Threshold)
+	}
+	if c.BatchSize <= c.Threshold {
+		return fmt.Errorf("core: batch size %d must exceed threshold %d or refills cannot make progress",
+			c.BatchSize, c.Threshold)
+	}
+	return nil
+}
+
+// Stats summarizes a generator's lifetime activity.
+type Stats struct {
+	// CoinsDelivered counts coins handed to the application.
+	CoinsDelivered int
+	// Batches counts Coin-Gen refills.
+	Batches int
+	// SeedSpent counts coins consumed internally by refills.
+	SeedSpent int
+	// Attempts accumulates Coin-Gen leader-selection iterations.
+	Attempts int
+}
+
+// Generator is one player's D-PRBG endpoint. Not safe for concurrent use;
+// drive it from the player's protocol goroutine.
+type Generator struct {
+	cfg   Config
+	store *coin.Store
+	stats Stats
+}
+
+// SetupTrusted bootstraps n generators from a one-time trusted dealer that
+// seals `seedCoins` initial coins (must be ≥ cfg.Threshold... at minimum
+// enough to fund the first refill). This mirrors the paper's Rabin-style
+// initialization; afterwards the system is self-sufficient.
+func SetupTrusted(cfg Config, seedCoins int, rnd io.Reader) ([]*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if seedCoins < cfg.Threshold {
+		return nil, fmt.Errorf("core: initial seed of %d coins is below threshold %d", seedCoins, cfg.Threshold)
+	}
+	batches, _, err := coin.DealTrusted(cfg.Field, cfg.N, cfg.T, seedCoins, rnd)
+	if err != nil {
+		return nil, err
+	}
+	gens := make([]*Generator, cfg.N)
+	for i := range gens {
+		st := &coin.Store{}
+		batches[i].Counters = cfg.Counters
+		st.Add(batches[i])
+		gens[i] = &Generator{cfg: cfg, store: st}
+	}
+	return gens, nil
+}
+
+// NewFromBatch wraps an externally produced coin batch (e.g. from a prior
+// session) as a generator. Every player must construct its generator from
+// the matching per-player batch.
+func NewFromBatch(cfg Config, b *coin.Batch) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	st := &coin.Store{}
+	st.Add(b)
+	return &Generator{cfg: cfg, store: st}, nil
+}
+
+// Remaining reports the number of sealed coins currently in the store.
+func (g *Generator) Remaining() int { return g.store.Remaining() }
+
+// Stats returns a copy of the lifetime statistics.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Next returns the next shared coin, refilling first when the store has
+// dropped below the threshold. Every honest player obtains the same value.
+func (g *Generator) Next(nd *simnet.Node, rnd io.Reader) (gf2k.Element, error) {
+	if err := g.maybeRefill(nd, rnd); err != nil {
+		return 0, err
+	}
+	e, err := g.store.Expose(nd)
+	if err != nil {
+		return 0, err
+	}
+	g.stats.CoinsDelivered++
+	return e, nil
+}
+
+// NextBit returns the next shared coin reduced to a single bit.
+func (g *Generator) NextBit(nd *simnet.Node, rnd io.Reader) (byte, error) {
+	e, err := g.Next(nd, rnd)
+	if err != nil {
+		return 0, err
+	}
+	return byte(e & 1), nil
+}
+
+// NextMod returns the next shared coin reduced mod m into [1, m].
+func (g *Generator) NextMod(nd *simnet.Node, rnd io.Reader, m int) (int, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("core: invalid modulus %d", m)
+	}
+	e, err := g.Next(nd, rnd)
+	if err != nil {
+		return 0, err
+	}
+	l := int(uint64(e) % uint64(m))
+	if l == 0 {
+		l = m
+	}
+	return l, nil
+}
+
+// maybeRefill runs Coin-Gen when the store is low. The trigger depends only
+// on state that is identical at every honest player, so all generators
+// refill in the same round.
+func (g *Generator) maybeRefill(nd *simnet.Node, rnd io.Reader) error {
+	if g.store.Remaining() >= g.cfg.Threshold {
+		return nil
+	}
+	return g.Refill(nd, rnd)
+}
+
+// Refill unconditionally runs one Coin-Gen, adding a batch of BatchSize
+// sealed coins to the store. Exposed for applications that want to pre-mint
+// coins during idle periods instead of on demand.
+func (g *Generator) Refill(nd *simnet.Node, rnd io.Reader) error {
+	before := g.store.Remaining()
+	res, err := coingen.Run(nd, coingen.Config{
+		Field:       g.cfg.Field,
+		N:           g.cfg.N,
+		T:           g.cfg.T,
+		M:           g.cfg.BatchSize,
+		Seed:        g.store,
+		Agreement:   g.cfg.Agreement,
+		MaxAttempts: g.cfg.MaxAttempts,
+		Counters:    g.cfg.Counters,
+	}, rnd)
+	if err != nil {
+		if errors.Is(err, coin.ErrExhausted) {
+			return fmt.Errorf("core: seed ran dry mid-refill (threshold too low for the adversary's luck): %w", err)
+		}
+		return err
+	}
+	g.store.Add(res.Batch)
+	g.stats.Batches++
+	g.stats.Attempts += res.Attempts
+	g.stats.SeedSpent += before - (g.store.Remaining() - g.cfg.BatchSize)
+	return nil
+}

@@ -1,0 +1,401 @@
+// Package fastfield implements the paper's §2 "specially constructed finite
+// field in which we can multiply faster": GF(q^l) for a prime q = O(l) with
+// q^l ≥ 2^k, elements viewed as degree-<l polynomials over Z_q, multiplied
+// with discrete Fourier transforms (NTTs) modulo an irreducible polynomial
+// in O(l log l) Z_q operations. With q = O(l) and l = O(k/log k) this gives
+// the paper's O(k log k) multiplication bound.
+//
+// The package exists to reproduce the paper's own caveat: "in practice,
+// when k is small, working over GF(2^k) with the naive O(k²) multiplication
+// is faster than working over our special field with the O(k log k)
+// multiplication, because of the sizes of the constants involved. So an
+// implementation should be careful about which method it uses." Experiment
+// E9 benchmarks this field against the naive GF(2^k) implementations
+// (internal/gf2k for k ≤ 64, internal/gf2big beyond) and locates the
+// crossover.
+//
+// Reduction modulo the irreducible polynomial uses Barrett/Newton division
+// (a precomputed power-series inverse of the reversed modulus), so a full
+// field multiplication costs three NTT multiplications — still O(l log l).
+// Inversions use the extended Euclidean algorithm (they are off the
+// critical path). MulNaive provides the schoolbook O(l²) path for ablation.
+package fastfield
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Element is an element of GF(q^l): a coefficient vector of length l over
+// Z_q. Treat as immutable.
+type Element []uint32
+
+// Field is GF(q^l) with NTT-based multiplication.
+type Field struct {
+	z    *zq
+	l    int
+	ntt  *ntt
+	h    []uint32 // irreducible modulus, monic, degree l (len l+1)
+	vinv []uint32 // Newton inverse of reverse(h) mod x^(l−1)
+	bits float64  // log2(q^l): effective security parameter
+}
+
+// New chooses parameters for security parameter k (so that q^l ≥ 2^k),
+// following the paper's recipe: l = O(k/log k), q = O(l) prime admitting
+// size-2^m NTTs with 2^m ≥ 2l.
+func New(k int) (*Field, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("fastfield: k must be ≥ 2, got %d", k)
+	}
+	for l := 2; l <= 1<<20; l *= 2 {
+		size := nextPow2(2*l - 1)
+		q, ok := findNTTPrime(size, uint32(2*l+1))
+		if !ok {
+			continue
+		}
+		if float64(l)*math.Log2(float64(q)) >= float64(k) {
+			return NewWithParams(q, l)
+		}
+	}
+	return nil, fmt.Errorf("fastfield: no parameters found for k=%d", k)
+}
+
+// NewWithParams builds GF(q^l) explicitly. q must be prime with
+// q ≡ 1 (mod 2^⌈log₂(2l−1)⌉) and q ≥ 2l+1; l must be ≥ 2.
+func NewWithParams(q uint32, l int) (*Field, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("fastfield: l must be ≥ 2, got %d", l)
+	}
+	if !isPrime(q) {
+		return nil, fmt.Errorf("fastfield: q=%d is not prime", q)
+	}
+	if uint64(q) < uint64(2*l+1) {
+		return nil, fmt.Errorf("fastfield: need q ≥ 2l+1 (q=%d, l=%d)", q, l)
+	}
+	z := newZq(q)
+	size := nextPow2(2*l - 1)
+	tr, err := newNTT(z, size)
+	if err != nil {
+		return nil, err
+	}
+	f := &Field{z: z, l: l, ntt: tr, bits: float64(l) * math.Log2(float64(q))}
+	h, err := f.findIrreducible()
+	if err != nil {
+		return nil, err
+	}
+	f.h = h
+	f.vinv = f.newtonInverse(reversed(h), l-1)
+	return f, nil
+}
+
+// Q returns the characteristic prime.
+func (f *Field) Q() uint32 { return f.z.q }
+
+// L returns the extension degree.
+func (f *Field) L() int { return f.l }
+
+// Bits returns log₂ of the field size (the effective security parameter).
+func (f *Field) Bits() float64 { return f.bits }
+
+// Modulus returns a copy of the irreducible modulus (monic, degree l).
+func (f *Field) Modulus() []uint32 { return append([]uint32(nil), f.h...) }
+
+// Zero returns the additive identity.
+func (f *Field) Zero() Element { return make(Element, f.l) }
+
+// One returns the multiplicative identity.
+func (f *Field) One() Element {
+	e := make(Element, f.l)
+	e[0] = 1
+	return e
+}
+
+// Valid reports whether e is a canonical element.
+func (f *Field) Valid(e Element) bool {
+	if len(e) != f.l {
+		return false
+	}
+	for _, c := range e {
+		if c >= f.z.q {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports a == b.
+func (f *Field) Equal(a, b Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether e is zero.
+func (f *Field) IsZero(e Element) bool {
+	for _, c := range e {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a+b.
+func (f *Field) Add(a, b Element) Element {
+	out := make(Element, f.l)
+	for i := range out {
+		out[i] = f.z.add(a[i], b[i])
+	}
+	return out
+}
+
+// Sub returns a−b.
+func (f *Field) Sub(a, b Element) Element {
+	out := make(Element, f.l)
+	for i := range out {
+		out[i] = f.z.sub(a[i], b[i])
+	}
+	return out
+}
+
+// Mul returns a·b via NTT multiplication and Barrett reduction:
+// O(l log l) Z_q operations.
+func (f *Field) Mul(a, b Element) Element {
+	prod := f.ntt.mulPoly(trim(a), trim(b))
+	return f.reduce(prod)
+}
+
+// MulNaive returns a·b via schoolbook multiplication and long division —
+// the O(l²) comparison path for experiment E9's ablation.
+func (f *Field) MulNaive(a, b Element) Element {
+	ta, tb := trim(a), trim(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return f.Zero()
+	}
+	prod := make([]uint32, len(ta)+len(tb)-1)
+	for i, x := range ta {
+		if x == 0 {
+			continue
+		}
+		for j, y := range tb {
+			prod[i+j] = f.z.add(prod[i+j], f.z.mul(x, y))
+		}
+	}
+	rem := f.polyMod(prod, f.h)
+	out := make(Element, f.l)
+	copy(out, rem)
+	return out
+}
+
+// Inv returns the multiplicative inverse via the extended Euclidean
+// algorithm over Z_q[x]. Panics on zero.
+func (f *Field) Inv(a Element) Element {
+	if f.IsZero(a) {
+		panic("fastfield: inverse of zero")
+	}
+	// Extended Euclid: maintain r0, r1 and s0, s1 with si·a ≡ ri (mod h).
+	r0 := append([]uint32(nil), f.h...)
+	r1 := trim(a)
+	s0 := []uint32{}
+	s1 := []uint32{1}
+	for polyDeg(r1) > 0 {
+		q, rem := f.polyDivMod(r0, r1)
+		r0, r1 = r1, rem
+		s0, s1 = s1, f.polySub(s0, f.polyMulSchool(q, s1))
+	}
+	// r1 is a nonzero constant c; inverse is s1/c.
+	c := r1[polyDeg(r1)]
+	ci := f.z.inv(c)
+	out := make(Element, f.l)
+	for i := 0; i < len(s1) && i < f.l; i++ {
+		out[i] = f.z.mul(s1[i], ci)
+	}
+	return out
+}
+
+// Exp returns a^e.
+func (f *Field) Exp(a Element, e uint64) Element {
+	result := f.One()
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Rand returns a uniform random element read from r (rejection sampling
+// per coefficient).
+func (f *Field) Rand(r io.Reader) (Element, error) {
+	out := make(Element, f.l)
+	var buf [4]byte
+	// Rejection bound: largest multiple of q below 2^32.
+	limit := (uint64(1) << 32) / uint64(f.z.q) * uint64(f.z.q)
+	for i := range out {
+		for {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, fmt.Errorf("fastfield: read randomness: %w", err)
+			}
+			v := uint64(binary.LittleEndian.Uint32(buf[:]))
+			if v < limit {
+				out[i] = uint32(v % uint64(f.z.q))
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// reduce brings a product (deg ≤ 2l−2) into canonical form using the
+// precomputed Newton inverse: quotient via two truncated NTT products.
+func (f *Field) reduce(c []uint32) Element {
+	out := make(Element, f.l)
+	dc := polyDeg(c)
+	if dc < f.l {
+		copy(out, c[:dc+1])
+		return out
+	}
+	dq := dc - f.l // quotient degree, ≤ l−2
+	// rev(c) truncated to the precision we need.
+	revc := make([]uint32, dq+1)
+	for i := 0; i <= dq; i++ {
+		revc[i] = c[dc-i]
+	}
+	vtrunc := f.vinv
+	if len(vtrunc) > dq+1 {
+		vtrunc = vtrunc[:dq+1]
+	}
+	t := f.ntt.mulPoly(revc, vtrunc)
+	if len(t) > dq+1 {
+		t = t[:dq+1]
+	}
+	// Q = reverse of t at degree dq.
+	q := make([]uint32, dq+1)
+	for i := 0; i <= dq; i++ {
+		if i < len(t) {
+			q[dq-i] = t[i]
+		}
+	}
+	qh := f.ntt.mulPoly(q, f.h)
+	for i := 0; i < f.l; i++ {
+		var ci, qi uint32
+		if i < len(c) {
+			ci = c[i]
+		}
+		if i < len(qh) {
+			qi = qh[i]
+		}
+		out[i] = f.z.sub(ci, qi)
+	}
+	return out
+}
+
+// newtonInverse computes g^{-1} mod x^prec for g with g[0] ≠ 0 by Newton
+// iteration (setup-time only; schoolbook truncated products).
+func (f *Field) newtonInverse(g []uint32, prec int) []uint32 {
+	if prec < 1 {
+		prec = 1
+	}
+	v := []uint32{f.z.inv(g[0])}
+	for m := 1; m < prec; {
+		m2 := 2 * m
+		if m2 > prec {
+			m2 = prec
+		}
+		gv := f.polyMulSchoolTrunc(g, v, m2)
+		// 2 − g·v
+		two := make([]uint32, m2)
+		two[0] = f.z.add(1, 1)
+		for i := range gv {
+			if i < m2 {
+				two[i] = f.z.sub(two[i], gv[i])
+			}
+		}
+		v = f.polyMulSchoolTrunc(v, two, m2)
+		m = m2
+	}
+	return v
+}
+
+// findIrreducible deterministically enumerates monic degree-l polynomials
+// and returns the first that passes the Ben-Or irreducibility test.
+func (f *Field) findIrreducible() ([]uint32, error) {
+	h := make([]uint32, f.l+1)
+	h[f.l] = 1
+	// Enumerate over (c1, c0): x^l + c1·x + c0, then widen if needed.
+	for c1 := uint32(0); c1 < f.z.q; c1++ {
+		for c0 := uint32(1); c0 < f.z.q; c0++ {
+			h[1], h[0] = c1, c0
+			if f.isIrreducible(h) {
+				return append([]uint32(nil), h...), nil
+			}
+		}
+	}
+	// Extremely unlikely fallback: add a quadratic term.
+	for c2 := uint32(1); c2 < f.z.q; c2++ {
+		for c0 := uint32(1); c0 < f.z.q; c0++ {
+			h[2], h[1], h[0] = c2, 0, c0
+			if f.isIrreducible(h) {
+				return append([]uint32(nil), h...), nil
+			}
+		}
+	}
+	return nil, errors.New("fastfield: no irreducible polynomial found")
+}
+
+// isIrreducible applies the Ben-Or test: h (monic, degree l) is irreducible
+// iff gcd(x^(q^i) − x mod h, h) = 1 for i = 1..⌊l/2⌋.
+func (f *Field) isIrreducible(h []uint32) bool {
+	x := []uint32{0, 1}
+	u := append([]uint32(nil), x...) // x^(q^i) mod h, starting i=0
+	for i := 1; i <= f.l/2; i++ {
+		u = f.polyPowMod(u, uint64(f.z.q), h)
+		d := f.polyGCD(f.polySub(u, x), h)
+		if polyDeg(d) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func trim(a []uint32) []uint32 {
+	d := polyDeg(a)
+	return a[:d+1]
+}
+
+func reversed(h []uint32) []uint32 {
+	out := make([]uint32, len(h))
+	for i := range h {
+		out[len(h)-1-i] = h[i]
+	}
+	return out
+}
+
+func polyDeg(a []uint32) int {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,114 @@
+package fastfield
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ntt performs number-theoretic transforms over Z_q — the paper's "discrete
+// Fourier transforms" used "to do the multiplication, modulo some
+// irreducible polynomial, in O(l log l) operations over Z_q" (§2).
+type ntt struct {
+	z       *zq
+	size    int      // power of two dividing q−1
+	root    uint32   // primitive size-th root of unity
+	rootInv uint32   // root^{-1}
+	sizeInv uint32   // size^{-1} mod q
+	rev     []int    // bit-reversal permutation
+	pows    []uint32 // root^i for i < size (forward twiddles)
+	powsInv []uint32 // rootInv^i
+}
+
+func newNTT(z *zq, size int) (*ntt, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("fastfield: NTT size %d is not a power of two", size)
+	}
+	if uint64(z.q-1)%uint64(size) != 0 {
+		return nil, fmt.Errorf("fastfield: %d does not divide q−1 = %d", size, z.q-1)
+	}
+	g, err := z.generator()
+	if err != nil {
+		return nil, err
+	}
+	root := z.expDirect(g, uint64(z.q-1)/uint64(size))
+	n := &ntt{
+		z:       z,
+		size:    size,
+		root:    root,
+		rootInv: z.inv(root),
+		sizeInv: z.inv(uint32(size % int(z.q))),
+		rev:     make([]int, size),
+		pows:    make([]uint32, size),
+		powsInv: make([]uint32, size),
+	}
+	shift := 64 - bits.Len64(uint64(size-1))
+	if size == 1 {
+		shift = 64
+	}
+	for i := 0; i < size; i++ {
+		n.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	p, pi := uint32(1), uint32(1)
+	for i := 0; i < size; i++ {
+		n.pows[i] = p
+		n.powsInv[i] = pi
+		p = z.mul(p, root)
+		pi = z.mul(pi, n.rootInv)
+	}
+	return n, nil
+}
+
+// transform runs an in-place iterative Cooley–Tukey NTT on a (len = size).
+func (n *ntt) transform(a []uint32, inverse bool) {
+	z := n.z
+	size := n.size
+	for i := 0; i < size; i++ {
+		if j := n.rev[i]; j > i {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	pows := n.pows
+	if inverse {
+		pows = n.powsInv
+	}
+	for length := 2; length <= size; length <<= 1 {
+		step := size / length
+		half := length / 2
+		for start := 0; start < size; start += length {
+			for i := 0; i < half; i++ {
+				w := pows[i*step]
+				u := a[start+i]
+				v := z.mul(a[start+i+half], w)
+				a[start+i] = z.add(u, v)
+				a[start+i+half] = z.sub(u, v)
+			}
+		}
+	}
+	if inverse {
+		for i := range a {
+			a[i] = z.mul(a[i], n.sizeInv)
+		}
+	}
+}
+
+// mulPoly multiplies polynomials a and b (coefficient slices over Z_q) via
+// the NTT; deg a + deg b must be < size.
+func (n *ntt) mulPoly(a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	if len(a)+len(b)-1 > n.size {
+		panic(fmt.Sprintf("fastfield: product degree %d exceeds NTT size %d", len(a)+len(b)-2, n.size))
+	}
+	fa := make([]uint32, n.size)
+	fb := make([]uint32, n.size)
+	copy(fa, a)
+	copy(fb, b)
+	n.transform(fa, false)
+	n.transform(fb, false)
+	for i := range fa {
+		fa[i] = n.z.mul(fa[i], fb[i])
+	}
+	n.transform(fa, true)
+	return fa[:len(a)+len(b)-1]
+}

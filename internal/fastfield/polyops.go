@@ -1,0 +1,133 @@
+package fastfield
+
+// Setup-time polynomial helpers over Z_q (schoolbook; not on the hot path).
+
+// findNTTPrime returns the smallest prime q ≡ 1 (mod size) with q ≥ minQ.
+func findNTTPrime(size int, minQ uint32) (uint32, bool) {
+	q := uint64(size) + 1
+	for q < uint64(minQ) {
+		q += uint64(size)
+	}
+	for ; q < 1<<31; q += uint64(size) {
+		if isPrime(uint32(q)) {
+			return uint32(q), true
+		}
+	}
+	return 0, false
+}
+
+// polySub returns a−b (lengths may differ).
+func (f *Field) polySub(a, b []uint32) []uint32 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		var x, y uint32
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = f.z.sub(x, y)
+	}
+	return out
+}
+
+// polyMulSchool returns a·b by schoolbook multiplication.
+func (f *Field) polyMulSchool(a, b []uint32) []uint32 {
+	a, b = trim(a), trim(b)
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(a)+len(b)-1)
+	for i, x := range a {
+		if x == 0 {
+			continue
+		}
+		for j, y := range b {
+			out[i+j] = f.z.add(out[i+j], f.z.mul(x, y))
+		}
+	}
+	return out
+}
+
+// polyMulSchoolTrunc returns a·b mod x^prec.
+func (f *Field) polyMulSchoolTrunc(a, b []uint32, prec int) []uint32 {
+	out := make([]uint32, prec)
+	for i, x := range a {
+		if x == 0 || i >= prec {
+			continue
+		}
+		for j, y := range b {
+			if i+j >= prec {
+				break
+			}
+			out[i+j] = f.z.add(out[i+j], f.z.mul(x, y))
+		}
+	}
+	return out
+}
+
+// polyDivMod returns quotient and remainder of a ÷ b (b ≠ 0).
+func (f *Field) polyDivMod(a, b []uint32) (quot, rem []uint32) {
+	db := polyDeg(b)
+	if db < 0 {
+		panic("fastfield: division by zero polynomial")
+	}
+	rem = append([]uint32(nil), a...)
+	da := polyDeg(rem)
+	if da < db {
+		return nil, rem
+	}
+	quot = make([]uint32, da-db+1)
+	invLead := f.z.inv(b[db])
+	for d := da; d >= db; d-- {
+		if rem[d] == 0 {
+			continue
+		}
+		c := f.z.mul(rem[d], invLead)
+		quot[d-db] = c
+		for j := 0; j <= db; j++ {
+			rem[d-db+j] = f.z.sub(rem[d-db+j], f.z.mul(c, b[j]))
+		}
+	}
+	return quot, rem[:db]
+}
+
+// polyMod returns a mod b.
+func (f *Field) polyMod(a, b []uint32) []uint32 {
+	_, rem := f.polyDivMod(a, b)
+	return rem
+}
+
+// polyGCD returns the (non-normalized) gcd of a and b.
+func (f *Field) polyGCD(a, b []uint32) []uint32 {
+	a, b = trim(a), trim(b)
+	for polyDeg(b) >= 0 {
+		a, b = b, f.polyMod(a, b)
+		b = trim(b)
+	}
+	return a
+}
+
+// polyMulMod returns a·b mod h.
+func (f *Field) polyMulMod(a, b, h []uint32) []uint32 {
+	return f.polyMod(f.polyMulSchool(a, b), h)
+}
+
+// polyPowMod returns a^e mod h.
+func (f *Field) polyPowMod(a []uint32, e uint64, h []uint32) []uint32 {
+	result := []uint32{1}
+	base := f.polyMod(a, h)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.polyMulMod(result, base, h)
+		}
+		base = f.polyMulMod(base, base, h)
+		e >>= 1
+	}
+	return result
+}

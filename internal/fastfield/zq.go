@@ -1,0 +1,147 @@
+package fastfield
+
+import "fmt"
+
+// zq provides arithmetic in the prime field Z_q, optionally via lookup
+// tables (the paper: "We can implement operations over Z_q via a table, so
+// that they take O(log q) time"). Tables are built when q is small enough
+// that a q×q multiplication table is cheap.
+type zq struct {
+	q        uint32
+	mulTable []uint32 // q*q entries when tabled, nil otherwise
+	invTable []uint32 // q entries when tabled
+}
+
+// tableLimit bounds the table size: q ≤ tableLimit gets a q² table (≤ 16 MB).
+const tableLimit = 2048
+
+func newZq(q uint32) *zq {
+	z := &zq{q: q}
+	if q <= tableLimit {
+		z.mulTable = make([]uint32, int(q)*int(q))
+		for a := uint32(0); a < q; a++ {
+			for b := a; b < q; b++ {
+				p := uint32(uint64(a) * uint64(b) % uint64(q))
+				z.mulTable[a*q+b] = p
+				z.mulTable[b*q+a] = p
+			}
+		}
+		z.invTable = make([]uint32, q)
+		for a := uint32(1); a < q; a++ {
+			z.invTable[a] = z.expDirect(a, uint64(q-2))
+		}
+	}
+	return z
+}
+
+func (z *zq) add(a, b uint32) uint32 {
+	s := a + b
+	if s >= z.q {
+		s -= z.q
+	}
+	return s
+}
+
+func (z *zq) sub(a, b uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return a + z.q - b
+}
+
+func (z *zq) neg(a uint32) uint32 {
+	if a == 0 {
+		return 0
+	}
+	return z.q - a
+}
+
+func (z *zq) mul(a, b uint32) uint32 {
+	if z.mulTable != nil {
+		return z.mulTable[a*z.q+b]
+	}
+	return uint32(uint64(a) * uint64(b) % uint64(z.q))
+}
+
+func (z *zq) expDirect(a uint32, e uint64) uint32 {
+	result := uint32(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = uint32(uint64(result) * uint64(base) % uint64(z.q))
+		}
+		base = uint32(uint64(base) * uint64(base) % uint64(z.q))
+		e >>= 1
+	}
+	return result
+}
+
+func (z *zq) exp(a uint32, e uint64) uint32 {
+	result := uint32(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = z.mul(result, base)
+		}
+		base = z.mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+func (z *zq) inv(a uint32) uint32 {
+	if a == 0 {
+		panic("fastfield: inverse of zero in Z_q")
+	}
+	if z.invTable != nil {
+		return z.invTable[a]
+	}
+	return z.expDirect(a, uint64(z.q-2))
+}
+
+// generator finds a generator of Z_q^* by trial against the prime factors
+// of q−1.
+func (z *zq) generator() (uint32, error) {
+	factors := primeFactors(uint64(z.q - 1))
+	for g := uint32(2); g < z.q; g++ {
+		ok := true
+		for _, p := range factors {
+			if z.expDirect(g, uint64(z.q-1)/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("fastfield: no generator found for Z_%d", z.q)
+}
+
+func primeFactors(n uint64) []uint64 {
+	var out []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func isPrime(n uint32) bool {
+	if n < 2 {
+		return false
+	}
+	for p := uint32(2); uint64(p)*uint64(p) <= uint64(n); p++ {
+		if n%p == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+// Package gf2big implements GF(2^k) for arbitrary k (beyond the uint64
+// fields of internal/gf2k) with the naive O(k²) multiplication the paper's
+// §2 discusses: "naive multiplication in a field of size 2^k takes O(k²)
+// steps". It is the comparison baseline for experiment E9, which locates
+// the crossover between this representation and the special NTT field of
+// internal/fastfield.
+//
+// Elements are little-endian []uint64 words. The reduction modulus is a
+// sparse irreducible trinomial x^k + x^a + 1 or pentanomial
+// x^k + x^a + x^b + x^c + 1, found by search and verified with Rabin's
+// irreducibility test (a small-degree-factor screen keeps the search fast).
+package gf2big
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Element is a binary polynomial of degree < k in little-endian uint64
+// words. Treat as immutable; operations return fresh slices.
+type Element []uint64
+
+// Field is GF(2^k) with a sparse reduction modulus.
+type Field struct {
+	k     int
+	words int
+	// taps are the exponents of the modulus besides k, descending, ending
+	// in 0: {a, 0} for a trinomial, {a, b, c, 0} for a pentanomial.
+	taps []int
+}
+
+// New constructs GF(2^k), searching for a sparse irreducible modulus.
+// k must be ≥ 2. Construction cost grows with k (a Rabin verification is
+// O(k²/w) per candidate surviving the screen); cache the Field.
+func New(k int) (*Field, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("gf2big: k must be ≥ 2, got %d", k)
+	}
+	f := &Field{k: k, words: (k + 63) / 64}
+	taps, err := f.findSparseIrreducible()
+	if err != nil {
+		return nil, err
+	}
+	f.taps = taps
+	return f, nil
+}
+
+// K returns the extension degree.
+func (f *Field) K() int { return f.k }
+
+// Taps returns the modulus exponents besides k (descending, ending in 0).
+func (f *Field) Taps() []int { return append([]int(nil), f.taps...) }
+
+// Zero returns the zero element.
+func (f *Field) Zero() Element { return make(Element, f.words) }
+
+// One returns the identity.
+func (f *Field) One() Element {
+	e := make(Element, f.words)
+	e[0] = 1
+	return e
+}
+
+// Equal reports a == b.
+func (f *Field) Equal(a, b Element) bool {
+	for i := 0; i < f.words; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether e is zero.
+func (f *Field) IsZero(e Element) bool {
+	for _, w := range e {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a+b (XOR).
+func (f *Field) Add(a, b Element) Element {
+	out := make(Element, f.words)
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// Mul returns a·b by naive carry-less multiplication (O(k²/w) word
+// operations) followed by sparse reduction.
+func (f *Field) Mul(a, b Element) Element {
+	prod := make([]uint64, 2*f.words)
+	for i, w := range b {
+		if w == 0 {
+			continue
+		}
+		for w != 0 {
+			j := bits.TrailingZeros64(w)
+			w &= w - 1
+			xorShifted(prod, a, i*64+j)
+		}
+	}
+	f.reduce(prod)
+	out := make(Element, f.words)
+	copy(out, prod[:f.words])
+	return out
+}
+
+// Sqr returns a² — linear time: bit spreading plus sparse reduction.
+func (f *Field) Sqr(a Element) Element {
+	prod := make([]uint64, 2*f.words)
+	for i, w := range a {
+		lo := spreadBits(uint32(w))
+		hi := spreadBits(uint32(w >> 32))
+		prod[2*i] = lo
+		prod[2*i+1] = hi
+	}
+	f.reduce(prod)
+	out := make(Element, f.words)
+	copy(out, prod[:f.words])
+	return out
+}
+
+// Inv returns a^{-1} = a^(2^k−2) (square-and-multiply; O(k) multiplications,
+// so O(k³/w) — fine off the hot path). Panics on zero.
+func (f *Field) Inv(a Element) Element {
+	if f.IsZero(a) {
+		panic("gf2big: inverse of zero")
+	}
+	result := f.One()
+	sq := a
+	for i := 1; i < f.k; i++ {
+		sq = f.Sqr(sq)
+		result = f.Mul(result, sq)
+	}
+	return result
+}
+
+// Rand returns a uniform random element from r.
+func (f *Field) Rand(r io.Reader) (Element, error) {
+	buf := make([]byte, f.words*8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("gf2big: read randomness: %w", err)
+	}
+	out := make(Element, f.words)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	f.maskTop(out)
+	return out, nil
+}
+
+// maskTop clears bits ≥ k in the top word.
+func (f *Field) maskTop(e Element) {
+	if r := f.k % 64; r != 0 {
+		e[f.words-1] &= (uint64(1) << r) - 1
+	}
+}
+
+// reduce folds v (length ≥ words, degree ≤ 2k−2) modulo
+// x^k + Σ x^tap in place, one top bit at a time (O(k·taps) bit operations).
+func (f *Field) reduce(v []uint64) {
+	for wi := len(v) - 1; wi >= 0; wi-- {
+		for v[wi] != 0 {
+			d := wi*64 + 63 - bits.LeadingZeros64(v[wi])
+			if d < f.k {
+				return
+			}
+			shift := d - f.k
+			v[wi] &^= uint64(1) << (d % 64)
+			for _, t := range f.taps {
+				p := shift + t
+				v[p/64] ^= uint64(1) << (p % 64)
+			}
+			// The tap at position k−... may set bits in the current word
+			// again below d; the inner loop re-scans v[wi].
+		}
+	}
+}
+
+// xorShifted XORs src << shift into dst. Leading zero words of src are
+// skipped, so dst only needs capacity for the actual shifted degree.
+func xorShifted(dst []uint64, src []uint64, shift int) {
+	top := len(src) - 1
+	for top >= 0 && src[top] == 0 {
+		top--
+	}
+	if top < 0 {
+		return
+	}
+	wordShift, bitShift := shift/64, shift%64
+	if bitShift == 0 {
+		for i := 0; i <= top; i++ {
+			dst[i+wordShift] ^= src[i]
+		}
+		return
+	}
+	var carry uint64
+	for i := 0; i <= top; i++ {
+		dst[i+wordShift] ^= src[i]<<bitShift | carry
+		carry = src[i] >> (64 - bitShift)
+	}
+	if carry != 0 {
+		dst[top+1+wordShift] ^= carry
+	}
+}
+
+// spreadBits interleaves zeros between the bits of w (squaring helper).
+func spreadBits(w uint32) uint64 {
+	x := uint64(w)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// deg returns the degree of v, or −1 if zero.
+func deg(v []uint64) int {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(v[i])
+		}
+	}
+	return -1
+}

@@ -1,0 +1,214 @@
+package gf2big
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2k"
+)
+
+var testDegrees = []int{2, 8, 63, 64, 65, 100, 127, 128, 233, 256}
+
+func randElem(f *Field, rng *rand.Rand) Element {
+	e := make(Element, f.words)
+	for i := range e {
+		e[i] = rng.Uint64()
+	}
+	f.maskTop(e)
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestModulusVerified(t *testing.T) {
+	for _, k := range testDegrees {
+		f, err := New(k)
+		if err != nil {
+			t.Fatalf("New(%d): %v", k, err)
+		}
+		if !f.isIrreducible(f.taps) {
+			t.Errorf("k=%d: taps %v not irreducible", k, f.taps)
+		}
+	}
+}
+
+func TestKnownTapsAllIrreducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-degree Rabin tests")
+	}
+	for k := range knownTaps {
+		if k > 1024 {
+			continue // keep test time modest; bench setup exercises these
+		}
+		f := &Field{k: k, words: (k + 63) / 64}
+		if !f.isIrreducible(knownTaps[k]) {
+			t.Errorf("knownTaps[%d] = %v is NOT irreducible; construction will fall back to search", k, knownTaps[k])
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, k := range testDegrees {
+		f, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 30; trial++ {
+			a, b, c := randElem(f, rng), randElem(f, rng), randElem(f, rng)
+			if !f.Equal(f.Mul(a, b), f.Mul(b, a)) {
+				t.Fatalf("k=%d: commutativity fails", k)
+			}
+			if !f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c))) {
+				t.Fatalf("k=%d: associativity fails", k)
+			}
+			if !f.Equal(f.Mul(a, f.Add(b, c)), f.Add(f.Mul(a, b), f.Mul(a, c))) {
+				t.Fatalf("k=%d: distributivity fails", k)
+			}
+			if !f.Equal(f.Mul(a, f.One()), a) {
+				t.Fatalf("k=%d: identity fails", k)
+			}
+			if !f.Equal(f.Sqr(a), f.Mul(a, a)) {
+				t.Fatalf("k=%d: Sqr != Mul(a,a)", k)
+			}
+		}
+	}
+}
+
+func TestInv(t *testing.T) {
+	for _, k := range []int{8, 64, 100, 128} {
+		f, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(k) * 3))
+		for trial := 0; trial < 10; trial++ {
+			a := randElem(f, rng)
+			if f.IsZero(a) {
+				continue
+			}
+			if !f.Equal(f.Mul(a, f.Inv(a)), f.One()) {
+				t.Fatalf("k=%d: a·Inv(a) != 1", k)
+			}
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	f.Inv(f.Zero())
+}
+
+func TestAgreesWithGf2kWhenSameModulus(t *testing.T) {
+	// For k ≤ 64, gf2k finds the lexicographically smallest irreducible
+	// polynomial. When gf2big lands on the same modulus, multiplication
+	// must agree bit for bit.
+	for _, k := range []int{17, 23, 33, 47} {
+		small := gf2k.MustNew(k)
+		big, err := New(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bigTapsMask uint64
+		for _, tap := range big.taps {
+			bigTapsMask |= uint64(1) << tap
+		}
+		if bigTapsMask != small.Modulus() {
+			continue // different moduli: skip (isomorphic but not identical)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 50; trial++ {
+			a := gf2k.Element(rng.Uint64()) & ((1 << k) - 1)
+			b := gf2k.Element(rng.Uint64()) & ((1 << k) - 1)
+			want := small.Mul(a, b)
+			got := big.Mul(Element{uint64(a)}, Element{uint64(b)})
+			if got[0] != uint64(want) {
+				t.Fatalf("k=%d: gf2big %#x != gf2k %#x", k, got[0], want)
+			}
+		}
+	}
+}
+
+func TestRand(t *testing.T) {
+	f, err := New(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		e, err := f.Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg(e) >= 100 {
+			t.Fatalf("random element degree %d ≥ k", deg(e))
+		}
+	}
+}
+
+func TestFermat(t *testing.T) {
+	// a^(2^k) = a via repeated squaring.
+	f, err := New(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		a := randElem(f, rng)
+		u := append(Element(nil), a...)
+		for i := 0; i < 33; i++ {
+			u = f.Sqr(u)
+		}
+		if !f.Equal(u, a) {
+			t.Fatalf("a^(2^33) != a")
+		}
+	}
+}
+
+func TestDeg(t *testing.T) {
+	if deg([]uint64{0, 0}) != -1 {
+		t.Error("deg(0) != -1")
+	}
+	if deg([]uint64{1}) != 0 {
+		t.Error("deg(1) != 0")
+	}
+	if deg([]uint64{0, 1 << 5}) != 69 {
+		t.Error("deg(x^69) != 69")
+	}
+}
+
+func BenchmarkMulNaiveBig(b *testing.B) {
+	for _, k := range []int{64, 256, 1024, 4096} {
+		f, err := New(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		x, y := randElem(f, rng), randElem(f, rng)
+		b.Run(kName(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x = f.Mul(x, y)
+			}
+		})
+	}
+}
+
+func kName(k int) string {
+	d := []byte{byte('0' + k/1000%10), byte('0' + k/100%10), byte('0' + k/10%10), byte('0' + k%10)}
+	return "k=" + string(d)
+}

@@ -1,0 +1,180 @@
+package gf2big
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// knownTaps are sparse irreducible polynomials for common benchmark
+// degrees. Every entry is verified with the Rabin test at construction, so
+// a wrong entry degrades to a search, never to silent misbehaviour.
+var knownTaps = map[int][]int{
+	128:  {7, 2, 1, 0},
+	192:  {7, 2, 1, 0},
+	256:  {10, 5, 2, 0},
+	384:  {12, 3, 2, 0},
+	512:  {8, 5, 2, 0},
+	768:  {19, 17, 4, 0},
+	1024: {19, 6, 1, 0},
+	2048: {19, 14, 13, 0},
+	4096: {27, 15, 1, 0},
+	8192: {9, 5, 2, 0},
+}
+
+// findSparseIrreducible locates a sparse irreducible modulus for degree k:
+// first a known candidate, then trinomials x^k + x^a + 1, then pentanomials
+// x^k + x^a + x^b + x^c + 1 with small a > b > c ≥ 1. Candidates pass a
+// small-degree-factor screen before the full Rabin test.
+func (f *Field) findSparseIrreducible() ([]int, error) {
+	if taps, ok := knownTaps[f.k]; ok && f.isIrreducible(taps) {
+		return taps, nil
+	}
+	// Trinomials (none exist when k ≡ 0 mod 8, skip the scan then).
+	if f.k%8 != 0 {
+		for a := 1; a < f.k; a++ {
+			taps := []int{a, 0}
+			if !f.screen(taps) {
+				continue
+			}
+			if f.isIrreducible(taps) {
+				return taps, nil
+			}
+		}
+	}
+	// Pentanomials with small terms.
+	for a := 3; a <= 64 && a < f.k; a++ {
+		for b := 2; b < a; b++ {
+			for c := 1; c < b; c++ {
+				taps := []int{a, b, c, 0}
+				if !f.screen(taps) {
+					continue
+				}
+				if f.isIrreducible(taps) {
+					return taps, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("gf2big: no sparse irreducible polynomial found for degree %d", f.k)
+}
+
+// screen cheaply rejects candidates with an irreducible factor of degree
+// ≤ 12: gcd(x^(2^j) − x, f) must be trivial for each j.
+func (f *Field) screen(taps []int) bool {
+	g := f.withTaps(taps)
+	u := g.One()
+	setBit(u, 1) // u = x... (x has bit 1)
+	u[0] &^= 1   // clear the stray constant from One()
+	x := append(Element(nil), u...)
+	for j := 1; j <= 12 && j < f.k; j++ {
+		u = g.Sqr(u)
+		if !g.gcdWithModulusIsOne(g.Add(u, x)) {
+			return false
+		}
+	}
+	return true
+}
+
+// isIrreducible is Rabin's test for f = x^k + Σ x^taps: x^(2^k) ≡ x mod f
+// and gcd(x^(2^(k/p)) − x, f) = 1 for every prime p | k.
+func (f *Field) isIrreducible(taps []int) bool {
+	for _, t := range taps[:len(taps)-1] {
+		if t <= 0 || t >= f.k {
+			return false
+		}
+	}
+	g := f.withTaps(taps)
+	x := g.Zero()
+	setBit(x, 1)
+	checkpoints := make(map[int]bool)
+	for _, p := range primeDivisors(f.k) {
+		checkpoints[f.k/p] = true
+	}
+	u := append(Element(nil), x...)
+	for j := 1; j <= f.k; j++ {
+		u = g.Sqr(u)
+		if checkpoints[j] {
+			if !g.gcdWithModulusIsOne(g.Add(u, x)) {
+				return false
+			}
+		}
+	}
+	return g.Equal(u, x)
+}
+
+// withTaps returns a shallow field using the candidate modulus (for use
+// during the search, before f.taps is fixed).
+func (f *Field) withTaps(taps []int) *Field {
+	return &Field{k: f.k, words: f.words, taps: taps}
+}
+
+// gcdWithModulusIsOne reports gcd(h, modulus) == 1 for h of degree < k.
+// The first Euclid step reduces the (sparse, degree-k) modulus by h; the
+// rest is a plain binary-polynomial gcd.
+func (f *Field) gcdWithModulusIsOne(h Element) bool {
+	if f.IsZero(h) {
+		return false // gcd = modulus, not 1
+	}
+	// modulus mod h: start from x^k mod h then add the taps.
+	// x^k mod h: fold x^k with repeated shifts of h.
+	dh := deg(h)
+	rem := make([]uint64, f.words+1)
+	setBitSlice(rem, f.k)
+	for _, t := range f.taps {
+		flipBitSlice(rem, t)
+	}
+	for {
+		d := deg(rem)
+		if d < dh {
+			break
+		}
+		xorShifted(rem, h, d-dh)
+	}
+	a := make(Element, f.words)
+	copy(a, rem[:f.words])
+	b := append(Element(nil), h...)
+	// gcd(a, b) with deg a < deg b initially... loop invariant-free binary
+	// long division gcd.
+	for !f.IsZero(a) {
+		da, db := deg(a), deg(b)
+		if da < db {
+			a, b = b, a
+			da, db = db, da
+		}
+		for da >= db && da >= 0 {
+			xorShifted(a, b, da-db)
+			da = deg(a)
+		}
+	}
+	return deg(b) == 0 // gcd is the constant 1
+}
+
+func setBit(e Element, i int) {
+	e[i/64] |= uint64(1) << (i % 64)
+}
+
+func setBitSlice(v []uint64, i int) {
+	v[i/64] |= uint64(1) << (i % 64)
+}
+
+func flipBitSlice(v []uint64, i int) {
+	v[i/64] ^= uint64(1) << (i % 64)
+}
+
+func primeDivisors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+var _ = bits.LeadingZeros64

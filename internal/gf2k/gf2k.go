@@ -1,0 +1,315 @@
+// Package gf2k implements arithmetic in the binary extension fields GF(2^k)
+// for 2 ≤ k ≤ 64, the fields over which every protocol in the paper is
+// presented ("For simplicity however the algorithms we provide below assume
+// we work over GF(2^k)", §2).
+//
+// Elements are stored in a uint64 holding the coefficients of a degree-<k
+// binary polynomial. Addition is XOR; multiplication is a carry-less
+// 64×64→128-bit product followed by reduction modulo a fixed irreducible
+// polynomial of degree k. The reduction polynomial is found at Field
+// construction time by deterministic search and verified with Rabin's
+// irreducibility test, so no hard-coded polynomial table needs to be trusted.
+//
+// A Field may carry a *metrics.Counters; when present, every arithmetic
+// operation is accounted so protocol experiments can report field-operation
+// costs in the units the paper uses.
+package gf2k
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"repro/internal/metrics"
+)
+
+// Element is an element of GF(2^k), k ≤ 64: the coefficients of a binary
+// polynomial of degree < k, least-significant bit = constant term.
+type Element uint64
+
+// Field describes GF(2^k) together with its reduction polynomial.
+//
+// Construct with New. The zero value is not usable.
+type Field struct {
+	k    int
+	taps uint64 // reduction polynomial minus the implicit x^k term
+	ctr  *metrics.Counters
+	tbl  *tables // optional log/antilog tables (WithTables, k ≤ 16)
+}
+
+// New returns the field GF(2^k). The reduction polynomial is the
+// lexicographically smallest irreducible binary polynomial of degree k,
+// found by search (a few microseconds; deterministic).
+//
+// k must be in [2, 64].
+func New(k int) (Field, error) {
+	if k < 2 || k > 64 {
+		return Field{}, fmt.Errorf("gf2k: k must be in [2,64], got %d", k)
+	}
+	taps, err := findIrreducibleTaps(k)
+	if err != nil {
+		return Field{}, err
+	}
+	return Field{k: k, taps: taps}, nil
+}
+
+// MustNew is New but panics on error; for use with constant k in tests,
+// examples and benchmarks.
+func MustNew(k int) Field {
+	f, err := New(k)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// WithCounters returns a copy of the field that records every operation in c.
+func (f Field) WithCounters(c *metrics.Counters) Field {
+	f.ctr = c
+	return f
+}
+
+// K returns the extension degree k.
+func (f Field) K() int { return f.k }
+
+// Order returns the field size p = 2^k as a float64 (exact for k ≤ 53,
+// otherwise the nearest representable value). Used for probability bounds.
+func (f Field) Order() float64 {
+	return float64(uint64(1)) * pow2(f.k)
+}
+
+func pow2(k int) float64 {
+	v := 1.0
+	for i := 0; i < k; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Modulus returns the reduction polynomial's coefficients below x^k.
+// The full modulus is x^k + Modulus().
+func (f Field) Modulus() uint64 { return f.taps }
+
+// mask returns the bitmask of valid element bits.
+func (f Field) mask() uint64 {
+	if f.k == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << f.k) - 1
+}
+
+// Valid reports whether a is a canonical element of the field.
+func (f Field) Valid(a Element) bool { return uint64(a)&^f.mask() == 0 }
+
+// Add returns a+b. In characteristic 2 subtraction is identical.
+func (f Field) Add(a, b Element) Element {
+	if f.ctr != nil {
+		f.ctr.AddFieldAdds(1)
+	}
+	return a ^ b
+}
+
+// Mul returns a·b.
+func (f Field) Mul(a, b Element) Element {
+	if f.ctr != nil {
+		f.ctr.AddFieldMuls(1)
+	}
+	if f.tbl != nil {
+		return f.mulTable(a, b)
+	}
+	hi, lo := clmul64(uint64(a), uint64(b))
+	return Element(f.reduce(hi, lo))
+}
+
+// Sqr returns a².
+func (f Field) Sqr(a Element) Element { return f.Mul(a, a) }
+
+// Exp returns a^e (e ≥ 0), with a^0 = 1 including 0^0 = 1.
+func (f Field) Exp(a Element, e uint64) Element {
+	result := Element(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero; the
+// protocols only ever invert differences of distinct evaluation points.
+func (f Field) Inv(a Element) Element {
+	if a == 0 {
+		panic("gf2k: inverse of zero")
+	}
+	if f.ctr != nil {
+		f.ctr.AddFieldInvs(1)
+	}
+	if f.tbl != nil {
+		return f.invTable(a)
+	}
+	// a^(2^k − 2) = a^{-1}. Addition-chain-free square-and-multiply: the
+	// exponent is 111...10 in binary (k−1 ones followed by a zero).
+	result := Element(1)
+	sq := a // a^(2^0)
+	for i := 1; i < f.k; i++ {
+		sq = f.mulUncounted(sq, sq) // a^(2^i)
+		result = f.mulUncounted(result, sq)
+	}
+	return result
+}
+
+// mulUncounted multiplies without touching the counters (used inside Inv so
+// an inversion is counted as a single Inv, matching the paper's accounting
+// of "basic operations").
+func (f Field) mulUncounted(a, b Element) Element {
+	hi, lo := clmul64(uint64(a), uint64(b))
+	return Element(f.reduce(hi, lo))
+}
+
+// Div returns a/b. It panics if b is zero.
+func (f Field) Div(a, b Element) Element { return f.Mul(a, f.Inv(b)) }
+
+// Rand returns a uniformly random field element read from r.
+func (f Field) Rand(r io.Reader) (Element, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("gf2k: read randomness: %w", err)
+	}
+	return Element(binary.LittleEndian.Uint64(buf[:]) & f.mask()), nil
+}
+
+// ElementFromID maps a 1-based player identifier to the field element with
+// the same bit pattern. Player IDs must be nonzero and distinct, and the
+// paper evaluates polynomials "at the players' id's"; this works for all
+// id < 2^k.
+func (f Field) ElementFromID(id int) (Element, error) {
+	if id <= 0 {
+		return 0, fmt.Errorf("gf2k: player id must be positive, got %d", id)
+	}
+	e := Element(uint64(id))
+	if !f.Valid(e) {
+		return 0, fmt.Errorf("gf2k: player id %d does not fit in GF(2^%d)", id, f.k)
+	}
+	return e, nil
+}
+
+// ByteLen returns the number of bytes needed to encode one element, ⌈k/8⌉.
+// The paper measures communication in messages "of size k"; wire encodings
+// use exactly this many bytes per element.
+func (f Field) ByteLen() int { return (f.k + 7) / 8 }
+
+// AppendElement appends the ⌈k/8⌉-byte little-endian encoding of a to dst.
+func (f Field) AppendElement(dst []byte, a Element) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(a))
+	return append(dst, buf[:f.ByteLen()]...)
+}
+
+// ReadElement decodes one element from the front of src, returning the
+// element and the remaining bytes.
+func (f Field) ReadElement(src []byte) (Element, []byte, error) {
+	n := f.ByteLen()
+	if len(src) < n {
+		return 0, nil, fmt.Errorf("gf2k: short element encoding: have %d bytes, need %d", len(src), n)
+	}
+	var buf [8]byte
+	copy(buf[:], src[:n])
+	e := Element(binary.LittleEndian.Uint64(buf[:]))
+	if !f.Valid(e) {
+		return 0, nil, fmt.Errorf("gf2k: element encoding out of range for GF(2^%d)", f.k)
+	}
+	return e, src[n:], nil
+}
+
+// AppendElements appends the encodings of all elements in a.
+func (f Field) AppendElements(dst []byte, a []Element) []byte {
+	for _, e := range a {
+		dst = f.AppendElement(dst, e)
+	}
+	return dst
+}
+
+// ReadElements decodes exactly count elements from the front of src.
+func (f Field) ReadElements(src []byte, count int) ([]Element, []byte, error) {
+	out := make([]Element, 0, count)
+	var (
+		e   Element
+		err error
+	)
+	for i := 0; i < count; i++ {
+		e, src, err = f.ReadElement(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, e)
+	}
+	return out, src, nil
+}
+
+// reduce reduces a 128-bit carry-less product modulo x^k + taps.
+func (f Field) reduce(hi, lo uint64) uint64 {
+	for {
+		d := deg128(hi, lo)
+		if d < f.k {
+			return lo
+		}
+		shift := d - f.k
+		// XOR (x^k + taps) << shift into (hi, lo).
+		mhi, mlo := shl128(f.modHi(), f.modLo(), shift)
+		hi ^= mhi
+		lo ^= mlo
+	}
+}
+
+// modLo and modHi give the full modulus x^k + taps as a 128-bit value.
+func (f Field) modLo() uint64 {
+	if f.k == 64 {
+		return f.taps
+	}
+	return f.taps | (uint64(1) << f.k)
+}
+
+func (f Field) modHi() uint64 {
+	if f.k == 64 {
+		return 1
+	}
+	return 0
+}
+
+// clmul64 computes the 128-bit carry-less (GF(2)[x]) product of a and b.
+func clmul64(a, b uint64) (hi, lo uint64) {
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		b &= b - 1
+		lo ^= a << i
+		if i != 0 {
+			hi ^= a >> (64 - i)
+		}
+	}
+	return hi, lo
+}
+
+// deg128 returns the degree of the binary polynomial in (hi, lo), or -1 for
+// the zero polynomial.
+func deg128(hi, lo uint64) int {
+	if hi != 0 {
+		return 127 - bits.LeadingZeros64(hi)
+	}
+	return 63 - bits.LeadingZeros64(lo)
+}
+
+// shl128 shifts (hi, lo) left by s bits (0 ≤ s ≤ 127).
+func shl128(hi, lo uint64, s int) (uint64, uint64) {
+	switch {
+	case s == 0:
+		return hi, lo
+	case s < 64:
+		return hi<<s | lo>>(64-s), lo << s
+	default:
+		return lo << (s - 64), 0
+	}
+}

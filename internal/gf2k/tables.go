@@ -1,0 +1,97 @@
+package gf2k
+
+import "fmt"
+
+// Table-driven multiplication for small fields, echoing the paper's §2
+// remark that small-field operations can be implemented "via a table". For
+// k ≤ tableMaxK, WithTables returns a field whose Mul/Inv run through
+// log/antilog tables (two lookups and an addition mod 2^k−1), which is
+// faster than carry-less multiplication for the tiny fields used in the
+// soundness experiments. Larger k keep the carry-less path.
+
+// tableMaxK bounds table construction: 2^16 entries ≈ 1 MB of tables.
+const tableMaxK = 16
+
+// tables holds discrete log/antilog tables w.r.t. a fixed generator.
+type tables struct {
+	log []uint32 // log[a] for a ≥ 1; log[0] unused
+	exp []uint64 // exp[i] = g^i for i < 2(p−1), doubled to skip a mod
+}
+
+// WithTables returns a copy of the field using log/antilog multiplication
+// tables. Only available for k ≤ 16; construction is O(2^k).
+func (f Field) WithTables() (Field, error) {
+	if f.k > tableMaxK {
+		return Field{}, fmt.Errorf("gf2k: tables limited to k ≤ %d, got %d", tableMaxK, f.k)
+	}
+	order := (uint64(1) << f.k) - 1
+	tb := &tables{
+		log: make([]uint32, order+1),
+		exp: make([]uint64, 2*order),
+	}
+	g, err := f.findGenerator()
+	if err != nil {
+		return Field{}, err
+	}
+	x := Element(1)
+	for i := uint64(0); i < order; i++ {
+		tb.exp[i] = uint64(x)
+		tb.exp[i+order] = uint64(x)
+		tb.log[x] = uint32(i)
+		x = f.mulUncounted(x, g)
+	}
+	f.tbl = tb
+	return f, nil
+}
+
+// HasTables reports whether this field instance multiplies through tables.
+func (f Field) HasTables() bool { return f.tbl != nil }
+
+// findGenerator locates a multiplicative generator by order testing.
+func (f Field) findGenerator() (Element, error) {
+	order := (uint64(1) << f.k) - 1
+	factors := primeDivisorsU64(order)
+	for cand := Element(2); uint64(cand) <= order; cand++ {
+		ok := true
+		for _, p := range factors {
+			if f.Exp(cand, order/p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("gf2k: no generator found for GF(2^%d)", f.k)
+}
+
+func primeDivisorsU64(n uint64) []uint64 {
+	var out []uint64
+	for p := uint64(2); p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// mulTable multiplies via log/antilog lookup. Caller guarantees tbl != nil.
+func (f Field) mulTable(a, b Element) Element {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return Element(f.tbl.exp[uint64(f.tbl.log[a])+uint64(f.tbl.log[b])])
+}
+
+// invTable inverts via the log table. Caller guarantees tbl != nil, a != 0.
+func (f Field) invTable(a Element) Element {
+	order := (uint64(1) << f.k) - 1
+	return Element(f.tbl.exp[(order-uint64(f.tbl.log[a]))%order])
+}

@@ -1,0 +1,34 @@
+package gradecast
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeInstanceValues: the multiplexed-frame decoder must never panic
+// and accepted frames must re-encode to an equivalent value set.
+func FuzzDecodeInstanceValues(f *testing.F) {
+	vals := make([][]byte, 5)
+	vals[0] = []byte("abc")
+	vals[3] = []byte{}
+	f.Add(encodeInstanceValues(vals))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := decodeInstanceValues(5, data)
+		if err != nil {
+			return
+		}
+		re := encodeInstanceValues(out)
+		out2, err := decodeInstanceValues(5, re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		for i := range out {
+			if (out[i] == nil) != (out2[i] == nil) || !bytes.Equal(out[i], out2[i]) {
+				t.Fatalf("round trip mismatch at instance %d", i)
+			}
+		}
+	})
+}

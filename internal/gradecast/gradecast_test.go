@@ -1,0 +1,332 @@
+package gradecast
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// runSingle drives a single-dealer grade-cast for all players; faulty maps a
+// player index to alternative behaviour.
+func runSingle(t *testing.T, n, tf, dealer int, value []byte, faulty map[int]simnet.PlayerFunc) []simnet.PlayerResult {
+	t.Helper()
+	nw := simnet.New(n)
+	fns := make([]simnet.PlayerFunc, n)
+	for i := 0; i < n; i++ {
+		if f, ok := faulty[i]; ok {
+			fns[i] = f
+			continue
+		}
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			var v []byte
+			if nd.Index() == dealer {
+				v = value
+			}
+			return Run(nd, tf, dealer, v)
+		}
+	}
+	return simnet.Run(nw, fns)
+}
+
+func TestHonestDealerAllConfidence2(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}} {
+		results := runSingle(t, tc.n, tc.t, 0, []byte("hello"), nil)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("n=%d player %d: %v", tc.n, i, r.Err)
+			}
+			out := r.Value.(Output)
+			if out.Confidence != 2 || string(out.Value) != "hello" {
+				t.Fatalf("n=%d player %d: output %+v, want (hello, 2)", tc.n, i, out)
+			}
+		}
+	}
+}
+
+// equivocatingDealer sends different values to each half of the players in
+// round 1, echoes inconsistently in rounds 2 and 3.
+func equivocatingDealer(tf int) simnet.PlayerFunc {
+	return func(nd *simnet.Node) (interface{}, error) {
+		n := nd.N()
+		for i := 0; i < n; i++ {
+			if i == nd.Index() {
+				continue
+			}
+			nd.Send(i, []byte{byte(i % 2)})
+		}
+		if _, err := nd.EndRound(); err != nil {
+			return nil, err
+		}
+		// Round 2: echo garbage to half the players.
+		for i := 0; i < n; i++ {
+			if i == nd.Index() {
+				continue
+			}
+			nd.Send(i, []byte{byte(i % 3)})
+		}
+		if _, err := nd.EndRound(); err != nil {
+			return nil, err
+		}
+		if _, err := nd.EndRound(); err != nil { // silent in round 3
+			return nil, err
+		}
+		return Output{}, nil
+	}
+}
+
+func TestEquivocatingDealerGradedAgreement(t *testing.T) {
+	// Properties 2 and 3 must hold even when the dealer equivocates:
+	// if anyone has confidence 2 all have ≥ 1, and all confident values agree.
+	for trial := 0; trial < 5; trial++ {
+		n, tf := 7, 2
+		faulty := map[int]simnet.PlayerFunc{0: equivocatingDealer(tf)}
+		results := runSingle(t, n, tf, 0, nil, faulty)
+		checkGradedConsistency(t, results, map[int]bool{0: true})
+	}
+}
+
+func checkGradedConsistency(t *testing.T, results []simnet.PlayerResult, faulty map[int]bool) {
+	t.Helper()
+	var confident [][]byte
+	any2 := false
+	all1 := true
+	for i, r := range results {
+		if faulty[i] {
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		out := r.Value.(Output)
+		if out.Confidence >= 1 {
+			confident = append(confident, out.Value)
+		} else {
+			all1 = false
+		}
+		if out.Confidence == 2 {
+			any2 = true
+		}
+	}
+	for i := 1; i < len(confident); i++ {
+		if !bytes.Equal(confident[i], confident[0]) {
+			t.Fatalf("confident players disagree: %q vs %q", confident[0], confident[i])
+		}
+	}
+	if any2 && !all1 {
+		t.Fatal("a player has confidence 2 but another honest player has confidence 0")
+	}
+}
+
+func TestSilentDealerConfidence0(t *testing.T) {
+	n, tf := 7, 2
+	faulty := map[int]simnet.PlayerFunc{
+		3: func(nd *simnet.Node) (interface{}, error) {
+			for r := 0; r < 3; r++ {
+				if _, err := nd.EndRound(); err != nil {
+					return nil, err
+				}
+			}
+			return Output{}, nil
+		},
+	}
+	results := runSingle(t, n, tf, 3, nil, faulty)
+	for i, r := range results {
+		if i == 3 {
+			continue
+		}
+		out := r.Value.(Output)
+		if out.Confidence != 0 {
+			t.Fatalf("player %d: confidence %d for silent dealer, want 0", i, out.Confidence)
+		}
+	}
+}
+
+func TestRunAllHonest(t *testing.T) {
+	n, tf := 7, 2
+	nw := simnet.New(n)
+	fns := make([]simnet.PlayerFunc, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			return RunAll(nd, tf, []byte(fmt.Sprintf("value-%d", nd.Index())))
+		}
+	}
+	results := simnet.Run(nw, fns)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		outs := r.Value.([]Output)
+		if len(outs) != n {
+			t.Fatalf("player %d: %d outputs", i, len(outs))
+		}
+		for d, out := range outs {
+			want := fmt.Sprintf("value-%d", d)
+			if out.Confidence != 2 || string(out.Value) != want {
+				t.Fatalf("player %d instance %d: %+v, want (%s, 2)", i, d, out, want)
+			}
+		}
+	}
+}
+
+func TestRunAllUsesThreeRounds(t *testing.T) {
+	n, tf := 4, 1
+	nw := simnet.New(n)
+	fns := make([]simnet.PlayerFunc, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			if _, err := RunAll(nd, tf, []byte{1}); err != nil {
+				return nil, err
+			}
+			return nd.Round(), nil
+		}
+	}
+	for i, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		if r.Value.(int) != 3 {
+			t.Fatalf("player %d consumed %v rounds, want 3", i, r.Value)
+		}
+	}
+}
+
+func TestRunAllWithByzantineDealers(t *testing.T) {
+	// t players equivocate across all instances; honest instances must still
+	// come out with confidence 2, and the graded-consistency property must
+	// hold per instance.
+	n, tf := 10, 3
+	for trial := 0; trial < 5; trial++ {
+		nw := simnet.New(n)
+		fns := make([]simnet.PlayerFunc, n)
+		faulty := map[int]bool{1: true, 4: true, 8: true}
+		for i := 0; i < n; i++ {
+			if faulty[i] {
+				rng := rand.New(rand.NewSource(int64(5 + trial*100 + i)))
+				fns[i] = func(nd *simnet.Node) (interface{}, error) {
+					// Random garbage in every round, different per receiver.
+					for r := 0; r < 3; r++ {
+						for j := 0; j < n; j++ {
+							if j == nd.Index() {
+								continue
+							}
+							junk := make([]byte, rng.Intn(20))
+							rng.Read(junk)
+							nd.Send(j, junk)
+						}
+						if _, err := nd.EndRound(); err != nil {
+							return nil, err
+						}
+					}
+					return []Output(nil), nil
+				}
+				continue
+			}
+			fns[i] = func(nd *simnet.Node) (interface{}, error) {
+				return RunAll(nd, tf, []byte{byte(nd.Index()), 0xaa})
+			}
+		}
+		results := simnet.Run(nw, fns)
+		for d := 0; d < n; d++ {
+			var confident [][]byte
+			for i, r := range results {
+				if faulty[i] {
+					continue
+				}
+				if r.Err != nil {
+					t.Fatalf("player %d: %v", i, r.Err)
+				}
+				out := r.Value.([]Output)[d]
+				if !faulty[d] {
+					want := []byte{byte(d), 0xaa}
+					if out.Confidence != 2 || !bytes.Equal(out.Value, want) {
+						t.Fatalf("honest dealer %d at player %d: %+v", d, i, out)
+					}
+				}
+				if out.Confidence >= 1 {
+					confident = append(confident, out.Value)
+				}
+			}
+			for i := 1; i < len(confident); i++ {
+				if !bytes.Equal(confident[i], confident[0]) {
+					t.Fatalf("instance %d: confident values disagree", d)
+				}
+			}
+		}
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	nw := simnet.New(3) // too small for t=1 (needs 4)
+	fns := make([]simnet.PlayerFunc, 3)
+	for i := range fns {
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			if _, err := RunAll(nd, 1, []byte{1}); err == nil {
+				return nil, fmt.Errorf("RunAll accepted n=3, t=1")
+			}
+			if _, err := Run(nd, 1, 0, nil); err == nil {
+				return nil, fmt.Errorf("Run accepted n=3, t=1")
+			}
+			if _, err := Run(nd, 0, 7, nil); err == nil {
+				return nil, fmt.Errorf("Run accepted out-of-range dealer")
+			}
+			return nil, nil
+		}
+	}
+	for i, r := range simnet.Run(nw, fns) {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestEncodeDecodeInstanceValues(t *testing.T) {
+	vals := make([][]byte, 5)
+	vals[0] = []byte("abc")
+	vals[3] = []byte{}
+	vals[4] = []byte{1, 2, 3, 4}
+	enc := encodeInstanceValues(vals)
+	dec, err := decodeInstanceValues(5, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if (vals[i] == nil) != (dec[i] == nil) {
+			t.Fatalf("index %d: presence mismatch", i)
+		}
+		if !bytes.Equal(vals[i], dec[i]) {
+			t.Fatalf("index %d: %v != %v", i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestDecodeInstanceValuesRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{0x01},                            // truncated header
+		{0x09, 0x00, 0x01, 0, 0, 0, 0xff}, // instance 9 ≥ n
+		{0x01, 0x00, 0xff, 0, 0, 0},       // length longer than body
+		append(encodeInstanceValues([][]byte{{1}}), encodeInstanceValues([][]byte{{2}})...), // duplicate instance
+	}
+	for i, c := range cases {
+		if _, err := decodeInstanceValues(5, c); err == nil {
+			t.Errorf("case %d: malformed frame accepted", i)
+		}
+	}
+}
+
+func TestPlurality(t *testing.T) {
+	v, c := plurality([][]byte{[]byte("a"), []byte("b"), []byte("a"), nil})
+	if string(v) != "a" || c != 2 {
+		t.Errorf("plurality = %q,%d want a,2", v, c)
+	}
+	if v, c := plurality(nil); v != nil || c != 0 {
+		t.Errorf("empty plurality = %q,%d", v, c)
+	}
+	// Deterministic tie-break: lexicographically smallest.
+	v, _ = plurality([][]byte{[]byte("b"), []byte("a")})
+	if string(v) != "a" {
+		t.Errorf("tie-break = %q, want a", v)
+	}
+}

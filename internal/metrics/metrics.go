@@ -1,0 +1,128 @@
+// Package metrics provides lightweight atomic counters used throughout the
+// repository to account for the cost measures the paper states its results
+// in: field operations (additions, multiplications, inversions), polynomial
+// interpolations, network messages, bytes, and rounds.
+//
+// Counters are cheap enough to leave enabled permanently; experiments take a
+// Snapshot before and after a protocol run and report the Diff.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters aggregates every cost measure tracked by the library. The zero
+// value is ready to use. All methods are safe for concurrent use.
+type Counters struct {
+	fieldAdds      atomic.Int64
+	fieldMuls      atomic.Int64
+	fieldInvs      atomic.Int64
+	interpolations atomic.Int64
+	messages       atomic.Int64
+	bytes          atomic.Int64
+	broadcasts     atomic.Int64
+	rounds         atomic.Int64
+}
+
+// AddFieldAdds records n field additions.
+func (c *Counters) AddFieldAdds(n int64) { c.fieldAdds.Add(n) }
+
+// AddFieldMuls records n field multiplications.
+func (c *Counters) AddFieldMuls(n int64) { c.fieldMuls.Add(n) }
+
+// AddFieldInvs records n field inversions.
+func (c *Counters) AddFieldInvs(n int64) { c.fieldInvs.Add(n) }
+
+// AddInterpolations records n polynomial interpolations.
+func (c *Counters) AddInterpolations(n int64) { c.interpolations.Add(n) }
+
+// AddMessages records n point-to-point messages.
+func (c *Counters) AddMessages(n int64) { c.messages.Add(n) }
+
+// AddBytes records n bytes of communication.
+func (c *Counters) AddBytes(n int64) { c.bytes.Add(n) }
+
+// AddBroadcasts records n uses of the ideal broadcast facility.
+func (c *Counters) AddBroadcasts(n int64) { c.broadcasts.Add(n) }
+
+// AddRounds records n synchronous communication rounds.
+func (c *Counters) AddRounds(n int64) { c.rounds.Add(n) }
+
+// Snapshot is an immutable copy of counter values at one instant.
+type Snapshot struct {
+	FieldAdds      int64
+	FieldMuls      int64
+	FieldInvs      int64
+	Interpolations int64
+	Messages       int64
+	Bytes          int64
+	Broadcasts     int64
+	Rounds         int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		FieldAdds:      c.fieldAdds.Load(),
+		FieldMuls:      c.fieldMuls.Load(),
+		FieldInvs:      c.fieldInvs.Load(),
+		Interpolations: c.interpolations.Load(),
+		Messages:       c.messages.Load(),
+		Bytes:          c.bytes.Load(),
+		Broadcasts:     c.broadcasts.Load(),
+		Rounds:         c.rounds.Load(),
+	}
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.fieldAdds.Store(0)
+	c.fieldMuls.Store(0)
+	c.fieldInvs.Store(0)
+	c.interpolations.Store(0)
+	c.messages.Store(0)
+	c.bytes.Store(0)
+	c.broadcasts.Store(0)
+	c.rounds.Store(0)
+}
+
+// Diff returns the per-measure difference new−old.
+func Diff(old, new Snapshot) Snapshot {
+	return Snapshot{
+		FieldAdds:      new.FieldAdds - old.FieldAdds,
+		FieldMuls:      new.FieldMuls - old.FieldMuls,
+		FieldInvs:      new.FieldInvs - old.FieldInvs,
+		Interpolations: new.Interpolations - old.Interpolations,
+		Messages:       new.Messages - old.Messages,
+		Bytes:          new.Bytes - old.Bytes,
+		Broadcasts:     new.Broadcasts - old.Broadcasts,
+		Rounds:         new.Rounds - old.Rounds,
+	}
+}
+
+// PerUnit divides every measure by units, rounding toward zero. It reports
+// amortized costs; units must be positive.
+func (s Snapshot) PerUnit(units int64) Snapshot {
+	if units <= 0 {
+		panic("metrics: PerUnit requires positive units")
+	}
+	return Snapshot{
+		FieldAdds:      s.FieldAdds / units,
+		FieldMuls:      s.FieldMuls / units,
+		FieldInvs:      s.FieldInvs / units,
+		Interpolations: s.Interpolations / units,
+		Messages:       s.Messages / units,
+		Bytes:          s.Bytes / units,
+		Broadcasts:     s.Broadcasts / units,
+		Rounds:         s.Rounds / units,
+	}
+}
+
+// String renders the snapshot as a single human-readable line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"adds=%d muls=%d invs=%d interp=%d msgs=%d bytes=%d bcasts=%d rounds=%d",
+		s.FieldAdds, s.FieldMuls, s.FieldInvs, s.Interpolations,
+		s.Messages, s.Bytes, s.Broadcasts, s.Rounds)
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.AddFieldAdds(3)
+	c.AddFieldMuls(4)
+	c.AddFieldInvs(5)
+	c.AddInterpolations(6)
+	c.AddMessages(7)
+	c.AddBytes(8)
+	c.AddBroadcasts(9)
+	c.AddRounds(10)
+	s := c.Snapshot()
+	want := Snapshot{
+		FieldAdds: 3, FieldMuls: 4, FieldInvs: 5, Interpolations: 6,
+		Messages: 7, Bytes: 8, Broadcasts: 9, Rounds: 10,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.AddBytes(100)
+	c.AddRounds(5)
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var c Counters
+	c.AddMessages(10)
+	before := c.Snapshot()
+	c.AddMessages(7)
+	c.AddBytes(42)
+	d := Diff(before, c.Snapshot())
+	if d.Messages != 7 || d.Bytes != 42 || d.Rounds != 0 {
+		t.Fatalf("diff = %+v", d)
+	}
+}
+
+func TestPerUnit(t *testing.T) {
+	s := Snapshot{Bytes: 100, Messages: 10}
+	u := s.PerUnit(10)
+	if u.Bytes != 10 || u.Messages != 1 {
+		t.Fatalf("per unit = %+v", u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PerUnit(0) did not panic")
+		}
+	}()
+	s.PerUnit(0)
+}
+
+func TestString(t *testing.T) {
+	s := Snapshot{FieldAdds: 1, Bytes: 2}
+	got := s.String()
+	if got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddMessages(1)
+				c.AddBytes(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != 8000 || s.Bytes != 16000 {
+		t.Fatalf("concurrent totals: %+v", s)
+	}
+}

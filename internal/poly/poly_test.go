@@ -1,0 +1,297 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+)
+
+func distinctPoints(f gf2k.Field, n int, rng *rand.Rand) []gf2k.Element {
+	seen := make(map[gf2k.Element]bool, n)
+	out := make([]gf2k.Element, 0, n)
+	for len(out) < n {
+		e, err := f.Rand(rng)
+		if err != nil {
+			panic(err)
+		}
+		if e == 0 || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestDegree(t *testing.T) {
+	tests := []struct {
+		p    Poly
+		want int
+	}{
+		{nil, -1},
+		{Poly{0}, -1},
+		{Poly{5}, 0},
+		{Poly{0, 0, 3}, 2},
+		{Poly{1, 2, 0, 0}, 1},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Degree(); got != tt.want {
+			t.Errorf("Degree(%v) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	f := gf2k.MustNew(8)
+	// p(x) = x^2 + 3x + 7 over GF(2^8).
+	p := Poly{7, 3, 1}
+	for _, x := range []gf2k.Element{0, 1, 2, 5, 200} {
+		want := f.Add(f.Add(f.Mul(x, x), f.Mul(3, x)), 7)
+		if got := Eval(f, p, x); got != want {
+			t.Errorf("Eval(p, %d) = %d, want %d", x, got, want)
+		}
+	}
+	if Eval(f, nil, 42) != 0 {
+		t.Error("Eval of empty polynomial should be 0")
+	}
+}
+
+func TestRandomSecretAndDegree(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		secret, _ := f.Rand(rng)
+		p, err := Random(f, 5, secret, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != secret {
+			t.Fatalf("Random: p(0) = %#x, want secret %#x", p[0], secret)
+		}
+		if p.Degree() > 5 {
+			t.Fatalf("Random: degree %d > 5", p.Degree())
+		}
+		if len(p) != 6 {
+			t.Fatalf("Random: len %d, want 6", len(p))
+		}
+	}
+	if _, err := Random(f, -1, 0, rng); err == nil {
+		t.Error("Random with negative degree accepted")
+	}
+}
+
+func TestInterpolateRoundTrip(t *testing.T) {
+	for _, k := range []int{8, 16, 32, 64} {
+		f := gf2k.MustNew(k)
+		rng := rand.New(rand.NewSource(int64(k)))
+		for deg := 0; deg <= 8; deg++ {
+			secret, _ := f.Rand(rng)
+			p, err := Random(f, deg, secret, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := distinctPoints(f, deg+1, rng)
+			ys := EvalMany(f, p, xs)
+			q, err := Interpolate(f, xs, ys, nil)
+			if err != nil {
+				t.Fatalf("GF(2^%d) deg %d: %v", k, deg, err)
+			}
+			// Same polynomial: agree on fresh points and at zero.
+			if Eval(f, q, 0) != secret {
+				t.Fatalf("GF(2^%d) deg %d: recovered secret %#x, want %#x", k, deg, Eval(f, q, 0), secret)
+			}
+			for _, x := range distinctPoints(f, 4, rng) {
+				if Eval(f, q, x) != Eval(f, p, x) {
+					t.Fatalf("GF(2^%d) deg %d: interpolant disagrees at %#x", k, deg, x)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpolateAt0MatchesInterpolate(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		deg := rng.Intn(7)
+		p, err := Random(f, deg, gf2k.Element(rng.Uint64())&0xffffffff, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := distinctPoints(f, deg+1, rng)
+		ys := EvalMany(f, p, xs)
+		v, err := InterpolateAt0(f, xs, ys, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != p[0] {
+			t.Fatalf("InterpolateAt0 = %#x, want %#x", v, p[0])
+		}
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	f := gf2k.MustNew(8)
+	if _, err := Interpolate(f, []gf2k.Element{1, 1}, []gf2k.Element{2, 3}, nil); !errors.Is(err, ErrDuplicatePoint) {
+		t.Errorf("duplicate xs: err = %v, want ErrDuplicatePoint", err)
+	}
+	if _, err := Interpolate(f, []gf2k.Element{1}, []gf2k.Element{2, 3}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := InterpolateAt0(f, []gf2k.Element{1, 1}, []gf2k.Element{2, 3}, nil); !errors.Is(err, ErrDuplicatePoint) {
+		t.Error("InterpolateAt0 duplicate xs accepted")
+	}
+	if _, err := InterpolateAt0(f, nil, nil, nil); err == nil {
+		t.Error("InterpolateAt0 with no points accepted")
+	}
+	if p, err := Interpolate(f, nil, nil, nil); err != nil || p.Degree() != -1 {
+		t.Error("empty interpolation should give zero polynomial")
+	}
+}
+
+func TestInterpolationCounterRecorded(t *testing.T) {
+	var c metrics.Counters
+	f := gf2k.MustNew(16).WithCounters(&c)
+	xs := []gf2k.Element{1, 2, 3}
+	ys := []gf2k.Element{4, 5, 6}
+	if _, err := Interpolate(f, xs, ys, &c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InterpolateAt0(f, xs, ys, &c); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Interpolations; got != 2 {
+		t.Errorf("interpolations counted = %d, want 2", got)
+	}
+}
+
+func TestAddScalarMul(t *testing.T) {
+	f := gf2k.MustNew(16)
+	p := Poly{1, 2, 3}
+	q := Poly{4, 5}
+	sum := Add(f, p, q)
+	want := Poly{5, 7, 3}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Fatalf("Add = %v, want %v", sum, want)
+		}
+	}
+	sp := ScalarMul(f, 2, p)
+	for i := range p {
+		if sp[i] != f.Mul(2, p[i]) {
+			t.Fatalf("ScalarMul wrong at %d", i)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	f := gf2k.MustNew(16)
+	// (x+1)(x+1) = x^2+1 in characteristic 2.
+	got := Mul(f, Poly{1, 1}, Poly{1, 1})
+	want := Poly{1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Mul len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Mul = %v, want %v", got, want)
+		}
+	}
+	if Mul(f, Poly{}, Poly{1}).Degree() != -1 {
+		t.Error("Mul by zero polynomial should be zero")
+	}
+}
+
+func TestMulEvalHomomorphism(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		p, _ := Random(f, rng.Intn(5), gf2k.Element(rng.Uint32()), rng)
+		q, _ := Random(f, rng.Intn(5), gf2k.Element(rng.Uint32()), rng)
+		x, _ := f.Rand(rng)
+		if Eval(f, Mul(f, p, q), x) != f.Mul(Eval(f, p, x), Eval(f, q, x)) {
+			t.Fatal("(p*q)(x) != p(x)*q(x)")
+		}
+	}
+}
+
+func TestFitsDegree(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(4))
+	p, err := Random(f, 3, 77, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := distinctPoints(f, 10, rng)
+	ys := EvalMany(f, p, xs)
+
+	ok, err := FitsDegree(f, xs, ys, 3, nil)
+	if err != nil || !ok {
+		t.Fatalf("degree-3 points rejected at maxDeg 3: ok=%v err=%v", ok, err)
+	}
+	ok, err = FitsDegree(f, xs, ys, 2, nil)
+	if err != nil || ok {
+		t.Fatalf("degree-3 points accepted at maxDeg 2")
+	}
+	// Corrupt one evaluation: must be rejected.
+	ys[7] ^= 1
+	ok, err = FitsDegree(f, xs, ys, 3, nil)
+	if err != nil || ok {
+		t.Fatal("corrupted point accepted")
+	}
+	// Fewer points than maxDeg+1 always fit.
+	ok, err = FitsDegree(f, xs[:2], ys[:2], 3, nil)
+	if err != nil || !ok {
+		t.Fatal("underdetermined points should fit")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := Poly{1, 2, 3}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func BenchmarkInterpolate(b *testing.B) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 32} {
+		p, _ := Random(f, n-1, 42, rng)
+		xs := distinctPoints(f, n, rng)
+		ys := EvalMany(f, p, xs)
+		b.Run(benchSize(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Interpolate(f, xs, ys, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInterpolateAt0(b *testing.B) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 8, 16, 32} {
+		p, _ := Random(f, n-1, 42, rng)
+		xs := distinctPoints(f, n, rng)
+		ys := EvalMany(f, p, xs)
+		b.Run(benchSize(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := InterpolateAt0(f, xs, ys, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchSize(n int) string {
+	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,125 @@
+package poly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2k"
+)
+
+// quickPoints generates a random degree, a polynomial of that degree, and a
+// set of distinct evaluation points, for property-based interpolation tests.
+type quickCase struct {
+	P  Poly
+	Xs []gf2k.Element
+}
+
+func quickConfig(f gf2k.Field, maxDeg, extraPoints int, seed int64) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			deg := rng.Intn(maxDeg + 1)
+			secret, _ := f.Rand(rng)
+			p, err := Random(f, deg, secret, rng)
+			if err != nil {
+				panic(err)
+			}
+			n := deg + 1 + rng.Intn(extraPoints+1)
+			seen := map[gf2k.Element]bool{}
+			xs := make([]gf2k.Element, 0, n)
+			for len(xs) < n {
+				x, _ := f.Rand(rng)
+				if x == 0 || seen[x] {
+					continue
+				}
+				seen[x] = true
+				xs = append(xs, x)
+			}
+			vals[0] = reflect.ValueOf(quickCase{P: p, Xs: xs})
+		},
+	}
+}
+
+// Property: interpolating deg+1 evaluations recovers a polynomial that
+// agrees with the original everywhere (checked at fresh points and at 0).
+func TestQuickInterpolationIdentity(t *testing.T) {
+	f := gf2k.MustNew(32)
+	cfg := quickConfig(f, 8, 4, 1)
+	err := quick.Check(func(c quickCase) bool {
+		deg := c.P.Degree()
+		if deg < 0 {
+			deg = 0
+		}
+		pts := c.Xs[:deg+1]
+		q, err := Interpolate(f, pts, EvalMany(f, c.P, pts), nil)
+		if err != nil {
+			return false
+		}
+		for _, x := range c.Xs {
+			if Eval(f, q, x) != Eval(f, c.P, x) {
+				return false
+			}
+		}
+		return Eval(f, q, 0) == c.P[0]
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a degree-d polynomial evaluated at any point set fits degree d
+// and does not fit degree d−1 (when d ≥ 1 and enough points are given).
+func TestQuickFitsDegreeTight(t *testing.T) {
+	f := gf2k.MustNew(32)
+	cfg := quickConfig(f, 6, 6, 2)
+	err := quick.Check(func(c quickCase) bool {
+		d := c.P.Degree()
+		if d < 1 || len(c.Xs) < d+3 {
+			return true // vacuous
+		}
+		ys := EvalMany(f, c.P, c.Xs)
+		ok, err := FitsDegree(f, c.Xs, ys, d, nil)
+		if err != nil || !ok {
+			return false
+		}
+		tight, err := FitsDegree(f, c.Xs, ys, d-1, nil)
+		if err != nil {
+			return false
+		}
+		return !tight
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval is a ring homomorphism w.r.t. Add and ScalarMul.
+func TestQuickEvalLinearity(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(3))
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			p, _ := Random(f, rng.Intn(6), gf2k.Element(rng.Uint32()), rng)
+			q, _ := Random(f, rng.Intn(6), gf2k.Element(rng.Uint32()), rng)
+			x, _ := f.Rand(rng)
+			c, _ := f.Rand(rng)
+			vals[0] = reflect.ValueOf(p)
+			vals[1] = reflect.ValueOf(q)
+			vals[2] = reflect.ValueOf(x)
+			vals[3] = reflect.ValueOf(c)
+		},
+	}
+	err := quick.Check(func(p, q Poly, x, c gf2k.Element) bool {
+		if Eval(f, Add(f, p, q), x) != f.Add(Eval(f, p, x), Eval(f, q, x)) {
+			return false
+		}
+		return Eval(f, ScalarMul(f, c, p), x) == f.Mul(c, Eval(f, p, x))
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

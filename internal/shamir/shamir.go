@@ -1,0 +1,118 @@
+// Package shamir implements Shamir secret sharing over GF(2^k) — the
+// sharing substrate the paper builds on ("The most common way of achieving
+// this is to employ the secret sharing scheme proposed by Shamir [18]", §1.3).
+// The secret is the value of a degree-≤t polynomial at the origin and player
+// i's share is the value at the field element i.
+package shamir
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bw"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/poly"
+)
+
+// Sharing is the dealer-side result of sharing a secret among n players with
+// threshold t: any t+1 shares reconstruct, any t reveal nothing.
+type Sharing struct {
+	// Poly is the sharing polynomial; Poly[0] is the secret.
+	Poly poly.Poly
+	// Shares[i] is the share of player i+1 (players are 1-based).
+	Shares []gf2k.Element
+}
+
+// IDs returns the evaluation points 1..n used for n players.
+func IDs(f gf2k.Field, n int) ([]gf2k.Element, error) {
+	out := make([]gf2k.Element, n)
+	for i := 0; i < n; i++ {
+		id, err := f.ElementFromID(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Share splits secret among n players with threshold t (degree-t polynomial)
+// using randomness from r. Requires 0 ≤ t < n and n < 2^k.
+func Share(f gf2k.Field, secret gf2k.Element, n, t int, r io.Reader) (Sharing, error) {
+	if t < 0 || t >= n {
+		return Sharing{}, fmt.Errorf("shamir: invalid threshold t=%d for n=%d", t, n)
+	}
+	xs, err := IDs(f, n)
+	if err != nil {
+		return Sharing{}, err
+	}
+	p, err := poly.Random(f, t, secret, r)
+	if err != nil {
+		return Sharing{}, err
+	}
+	return Sharing{Poly: p, Shares: poly.EvalMany(f, p, xs)}, nil
+}
+
+// Reconstruct recovers the secret from shares held by the given 1-based
+// player ids, assuming all shares are correct. len(ids) must be ≥ t+1.
+func Reconstruct(f gf2k.Field, ids []int, shares []gf2k.Element, t int, ctr *metrics.Counters) (gf2k.Element, error) {
+	if len(ids) != len(shares) {
+		return 0, fmt.Errorf("shamir: %d ids vs %d shares", len(ids), len(shares))
+	}
+	if len(ids) < t+1 {
+		return 0, fmt.Errorf("shamir: need ≥ %d shares, have %d", t+1, len(ids))
+	}
+	xs := make([]gf2k.Element, t+1)
+	for i := 0; i < t+1; i++ {
+		x, err := f.ElementFromID(ids[i])
+		if err != nil {
+			return 0, err
+		}
+		xs[i] = x
+	}
+	return poly.InterpolateAt0(f, xs, shares[:t+1], ctr)
+}
+
+// ReconstructRobust recovers the secret even if up to maxErrors of the
+// provided shares are wrong, via Berlekamp–Welch. Requires
+// len(ids) ≥ t + 2·maxErrors + 1.
+func ReconstructRobust(f gf2k.Field, ids []int, shares []gf2k.Element, t, maxErrors int, ctr *metrics.Counters) (gf2k.Element, error) {
+	if len(ids) != len(shares) {
+		return 0, fmt.Errorf("shamir: %d ids vs %d shares", len(ids), len(shares))
+	}
+	xs := make([]gf2k.Element, len(ids))
+	for i, id := range ids {
+		x, err := f.ElementFromID(id)
+		if err != nil {
+			return 0, err
+		}
+		xs[i] = x
+	}
+	res, err := bw.Decode(f, xs, shares, t, maxErrors, ctr)
+	if err != nil {
+		return 0, fmt.Errorf("shamir: robust reconstruction: %w", err)
+	}
+	return poly.Eval(f, res.Poly, 0), nil
+}
+
+// Refresh produces a re-randomization of an existing sharing (proactive
+// security, the paper's §1.2 motivation): a fresh degree-t sharing of ZERO
+// whose shares are added to the players' existing shares. The secret is
+// unchanged, but old and new share sets are statistically independent, so
+// an adversary that collects t shares before a refresh and t different
+// shares after it still learns nothing.
+func Refresh(f gf2k.Field, n, t int, r io.Reader) (Sharing, error) {
+	return Share(f, 0, n, t, r)
+}
+
+// Apply adds a refresh sharing to existing shares in place.
+func (s Sharing) Apply(f gf2k.Field, shares []gf2k.Element) error {
+	if len(shares) != len(s.Shares) {
+		return fmt.Errorf("shamir: refresh for %d players applied to %d shares", len(s.Shares), len(shares))
+	}
+	for i := range shares {
+		shares[i] = f.Add(shares[i], s.Shares[i])
+	}
+	return nil
+}

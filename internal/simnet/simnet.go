@@ -1,0 +1,373 @@
+// Package simnet simulates the paper's communication model (§2): a
+// synchronous network of n players connected by private authenticated
+// channels, with an optional ideal broadcast facility (assumed in §3,
+// dropped in §4).
+//
+// Every player runs as a goroutine and advances in lockstep: messages staged
+// with Send or Broadcast during round r are delivered, all at once, when
+// every active player has called EndRound for round r. Per-run message,
+// byte, broadcast and round counts are recorded in a metrics.Counters so
+// experiments can verify the paper's communication complexity claims
+// exactly rather than approximately.
+//
+// Byzantine players are ordinary goroutines running adversarial code; they
+// may send arbitrary (including inconsistent) messages, stay silent, or halt
+// (crash). The ideal Broadcast facility enforces non-equivocation by
+// construction, matching the paper's broadcast-channel assumption.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ErrHalted is returned by EndRound after the node has halted.
+var ErrHalted = errors.New("simnet: node has halted")
+
+// ErrMaxRounds is returned when the network exceeds its round budget —
+// almost always a deadlocked or diverging protocol under test.
+var ErrMaxRounds = errors.New("simnet: maximum round count exceeded")
+
+// Kind distinguishes how a message was delivered.
+type Kind int
+
+const (
+	// Unicast is a private point-to-point message.
+	Unicast Kind = iota + 1
+	// Broadcast was sent through the ideal broadcast facility and is
+	// guaranteed identical at all receivers.
+	Broadcast
+)
+
+// Message is one delivered message.
+type Message struct {
+	// From is the 0-based index of the sender.
+	From int
+	// Kind tells whether the message arrived by unicast or ideal broadcast.
+	Kind Kind
+	// Payload is the message body. Receivers must treat it as read-only.
+	Payload []byte
+
+	seq uint64 // global staging order, for deterministic delivery
+}
+
+// Network is a synchronous network of n nodes.
+type Network struct {
+	n         int
+	maxRounds int
+	ctr       *metrics.Counters
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	round     int
+	arrived   int
+	active    int
+	seq       uint64
+	staging   [][]Message // staged for the next boundary, indexed by recipient
+	delivery  [][]Message // delivered at the last boundary
+	nodes     []*Node
+	closedErr error
+
+	// TCP transport state (nil for in-memory networks); see tcp.go.
+	tcp     *tcpTransport
+	tcpDone []int // per-sender done markers received for the current round
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCounters attaches a metrics sink recording messages, bytes, broadcasts
+// and rounds.
+func WithCounters(c *metrics.Counters) Option {
+	return func(nw *Network) { nw.ctr = c }
+}
+
+// WithMaxRounds overrides the default round budget (100000).
+func WithMaxRounds(r int) Option {
+	return func(nw *Network) { nw.maxRounds = r }
+}
+
+// New creates a network of n nodes, all active.
+func New(n int, opts ...Option) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("simnet: invalid network size %d", n))
+	}
+	nw := &Network{
+		n:         n,
+		maxRounds: 100000,
+		active:    n,
+		staging:   make([][]Message, n),
+		delivery:  make([][]Message, n),
+	}
+	nw.cond = sync.NewCond(&nw.mu)
+	for _, o := range opts {
+		o(nw)
+	}
+	nw.nodes = make([]*Node, n)
+	for i := range nw.nodes {
+		nw.nodes[i] = &Node{nw: nw, idx: i}
+	}
+	return nw
+}
+
+// N returns the network size.
+func (nw *Network) N() int { return nw.n }
+
+// Node returns the handle for the node with 0-based index i.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// Round returns the number of completed rounds.
+func (nw *Network) Round() int {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.round
+}
+
+// commitLocked delivers all staged messages and advances the round.
+// Caller holds nw.mu.
+func (nw *Network) commitLocked() {
+	for i := range nw.staging {
+		msgs := nw.staging[i]
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].From != msgs[b].From {
+				return msgs[a].From < msgs[b].From
+			}
+			return msgs[a].seq < msgs[b].seq
+		})
+	}
+	nw.delivery = nw.staging
+	nw.staging = make([][]Message, nw.n)
+	nw.round++
+	nw.arrived = 0
+	if nw.tcpDone != nil {
+		for i := range nw.tcpDone {
+			nw.tcpDone[i] = 0
+		}
+	}
+	if nw.ctr != nil {
+		nw.ctr.AddRounds(1)
+	}
+	if nw.round > nw.maxRounds && nw.closedErr == nil {
+		nw.closedErr = ErrMaxRounds
+	}
+	nw.cond.Broadcast()
+}
+
+// Node is one player's endpoint in the network. A Node must be used from a
+// single goroutine.
+type Node struct {
+	nw     *Network
+	idx    int
+	round  int
+	outbox []stagedMsg
+	halted bool
+}
+
+type stagedMsg struct {
+	to  int // -1 for broadcast
+	msg Message
+}
+
+// Index returns the node's 0-based index. The paper's 1-based player id is
+// Index()+1.
+func (nd *Node) Index() int { return nd.idx }
+
+// N returns the network size.
+func (nd *Node) N() int { return nd.nw.n }
+
+// Round returns the node's current (0-based) round number.
+func (nd *Node) Round() int { return nd.round }
+
+// Send stages a private message to node `to` (0-based) for delivery at the
+// next round boundary. Sending to self is allowed.
+func (nd *Node) Send(to int, payload []byte) {
+	if nd.halted {
+		panic("simnet: Send after Halt")
+	}
+	if to < 0 || to >= nd.nw.n {
+		panic(fmt.Sprintf("simnet: Send to invalid node %d", to))
+	}
+	nd.outbox = append(nd.outbox, stagedMsg{
+		to:  to,
+		msg: Message{From: nd.idx, Kind: Unicast, Payload: payload},
+	})
+	if nd.nw.ctr != nil {
+		nd.nw.ctr.AddMessages(1)
+		nd.nw.ctr.AddBytes(int64(len(payload)))
+	}
+}
+
+// SendAll stages the same private message to every node except the sender.
+// This is the paper's point-to-point substitute for announcing a value
+// ("every time a player needs to announce a message, (s)he can only
+// distribute it to each of the other players individually", §4).
+func (nd *Node) SendAll(payload []byte) {
+	for i := 0; i < nd.nw.n; i++ {
+		if i == nd.idx {
+			continue
+		}
+		nd.Send(i, payload)
+	}
+}
+
+// Broadcast stages a message through the ideal broadcast facility: every
+// node (including the sender) receives an identical copy, and equivocation
+// is impossible by construction. Only §3 protocols, which assume a broadcast
+// channel, may use this. Cost accounting charges n messages of the payload
+// size, plus one broadcast invocation.
+func (nd *Node) Broadcast(payload []byte) {
+	if nd.halted {
+		panic("simnet: Broadcast after Halt")
+	}
+	nd.outbox = append(nd.outbox, stagedMsg{
+		to:  -1,
+		msg: Message{From: nd.idx, Kind: Broadcast, Payload: payload},
+	})
+	if nd.nw.ctr != nil {
+		nd.nw.ctr.AddBroadcasts(1)
+		nd.nw.ctr.AddMessages(int64(nd.nw.n))
+		nd.nw.ctr.AddBytes(int64(nd.nw.n) * int64(len(payload)))
+	}
+}
+
+// EndRound flushes this node's staged messages, waits for every other
+// active node to end the round, and returns the messages delivered to this
+// node, ordered by sender index (ties by send order).
+func (nd *Node) EndRound() ([]Message, error) {
+	nw := nd.nw
+	if nw.tcp != nil {
+		// Socket writes happen outside the lock: the reader goroutines
+		// need the lock to drain, and a full socket buffer must not
+		// deadlock the barrier.
+		if err := nw.tcpFlush(nd); err != nil {
+			return nil, err
+		}
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nd.halted {
+		return nil, ErrHalted
+	}
+	if nw.closedErr != nil {
+		return nil, nw.closedErr
+	}
+	if nw.tcp != nil {
+		nw.stageLocalTCP(nd)
+	} else {
+		for _, s := range nd.outbox {
+			s.msg.seq = nw.seq
+			nw.seq++
+			if s.to >= 0 {
+				nw.staging[s.to] = append(nw.staging[s.to], s.msg)
+			} else {
+				for i := 0; i < nw.n; i++ {
+					nw.staging[i] = append(nw.staging[i], s.msg)
+				}
+			}
+		}
+		nd.outbox = nd.outbox[:0]
+	}
+
+	myRound := nd.round
+	nw.arrived++
+	if nw.arrived == nw.active && nw.tcpReadyLocked() {
+		nw.commitLocked()
+	}
+	for nw.round <= myRound && nw.closedErr == nil {
+		nw.cond.Wait()
+	}
+	if nw.round <= myRound {
+		return nil, nw.closedErr
+	}
+	nd.round++
+	return nw.delivery[nd.idx], nil
+}
+
+// Halt removes the node from the network: it stops participating in round
+// barriers and its pending messages are discarded. Halt is idempotent.
+// A halted player models a crash fault (and is how the orchestrator retires
+// players whose protocol function returned).
+func (nd *Node) Halt() {
+	nw := nd.nw
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nd.halted {
+		return
+	}
+	nd.halted = true
+	nd.outbox = nil
+	nw.active--
+	if nw.active > 0 && nw.arrived == nw.active && nw.tcpReadyLocked() {
+		nw.commitLocked()
+	} else if nw.active == 0 {
+		nw.cond.Broadcast()
+	}
+}
+
+// tcpReadyLocked reports whether every active node's end-of-round markers
+// for the current round have been processed (always true for in-memory
+// networks). Caller holds nw.mu.
+func (nw *Network) tcpReadyLocked() bool {
+	if nw.tcp == nil {
+		return true
+	}
+	for i, nd := range nw.nodes {
+		if nd.halted {
+			continue
+		}
+		if nw.tcpDone[i] < nw.n-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstFromEach indexes delivered messages by sender, keeping only the first
+// message from each sender — the common shape for protocols where every
+// player announces exactly one value per round.
+func FirstFromEach(msgs []Message) map[int][]byte {
+	out := make(map[int][]byte, len(msgs))
+	for _, m := range msgs {
+		if _, ok := out[m.From]; !ok {
+			out[m.From] = m.Payload
+		}
+	}
+	return out
+}
+
+// PlayerFunc is one player's protocol code. It may return a protocol output
+// and an error; the orchestrator halts the player's node when it returns.
+type PlayerFunc func(nd *Node) (interface{}, error)
+
+// PlayerResult is the outcome of one player's run.
+type PlayerResult struct {
+	Value interface{}
+	Err   error
+}
+
+// Run executes fns[i] on node i concurrently and waits for all to finish.
+// len(fns) must equal the network size. Each node is halted when its
+// function returns, so stragglers do not block the round barrier.
+func Run(nw *Network, fns []PlayerFunc) []PlayerResult {
+	if len(fns) != nw.n {
+		panic(fmt.Sprintf("simnet: %d player funcs for %d nodes", len(fns), nw.n))
+	}
+	results := make([]PlayerResult, nw.n)
+	var wg sync.WaitGroup
+	for i := range fns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nd := nw.Node(i)
+			defer nd.Halt()
+			v, err := fns[i](nd)
+			results[i] = PlayerResult{Value: v, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,287 @@
+package simnet
+
+// TCP transport: the same synchronous-network semantics (round barrier,
+// boundary delivery, deterministic ordering) with every inter-player
+// message crossing a real TCP loopback connection instead of shared
+// memory. Protocol code is unchanged — it still talks to *Node — but the
+// wire encodings genuinely travel through the kernel's network stack,
+// which exercises framing and catches any accidental sharing of buffers
+// between players.
+//
+// The round barrier itself stays in-process (synchrony is part of the
+// paper's model, §2; in a real deployment it would come from clocks and
+// timeouts). Correct delivery does not rely on scheduling luck: a round is
+// committed only after every active player has both reached the barrier
+// and had its per-connection end-of-round marker processed, and TCP's
+// in-order delivery guarantees all of that player's round messages
+// precede the marker.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+const (
+	frameHello byte = iota + 1
+	frameData
+	frameBroadcast
+	frameDone
+)
+
+// tcpTransport holds the full mesh of loopback connections.
+type tcpTransport struct {
+	n     int
+	conns [][]net.Conn // conns[from][to], nil on the diagonal
+	lns   []net.Listener
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewTCP creates a network of n nodes whose messages travel over real TCP
+// loopback connections. Call Close when done to release sockets.
+func NewTCP(n int, opts ...Option) (*Network, error) {
+	nw := New(n, opts...)
+	tr := &tcpTransport{n: n}
+	nw.tcp = tr
+	nw.tcpDone = make([]int, n)
+
+	tr.conns = make([][]net.Conn, n)
+	for i := range tr.conns {
+		tr.conns[i] = make([]net.Conn, n)
+	}
+	tr.lns = make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tr.close()
+			return nil, fmt.Errorf("simnet: listen: %w", err)
+		}
+		tr.lns[i] = ln
+	}
+
+	// Accept side: every node accepts n−1 connections, identified by a
+	// hello frame.
+	var acceptWG sync.WaitGroup
+	acceptErr := make([]error, n)
+	for i := 0; i < n; i++ {
+		acceptWG.Add(1)
+		go func(i int) {
+			defer acceptWG.Done()
+			for c := 0; c < n-1; c++ {
+				conn, err := tr.lns[i].Accept()
+				if err != nil {
+					acceptErr[i] = err
+					return
+				}
+				from, err := readHello(conn)
+				if err != nil || from < 0 || from >= n {
+					acceptErr[i] = fmt.Errorf("simnet: bad hello: %v", err)
+					conn.Close()
+					return
+				}
+				tr.wg.Add(1)
+				go nw.tcpReaderFor(from, i, conn)
+			}
+		}(i)
+	}
+	// Dial side.
+	for from := 0; from < n; from++ {
+		for to := 0; to < n; to++ {
+			if from == to {
+				continue
+			}
+			conn, err := net.Dial("tcp", tr.lns[to].Addr().String())
+			if err != nil {
+				tr.close()
+				return nil, fmt.Errorf("simnet: dial: %w", err)
+			}
+			if err := writeHello(conn, from); err != nil {
+				tr.close()
+				return nil, err
+			}
+			tr.conns[from][to] = conn
+		}
+	}
+	acceptWG.Wait()
+	for _, err := range acceptErr {
+		if err != nil {
+			tr.close()
+			return nil, err
+		}
+	}
+	return nw, nil
+}
+
+// Close shuts down the TCP mesh (no-op for in-memory networks). Safe to
+// call multiple times.
+func (nw *Network) Close() {
+	if nw.tcp == nil {
+		return
+	}
+	nw.mu.Lock()
+	if nw.closedErr == nil {
+		nw.closedErr = fmt.Errorf("simnet: network closed")
+	}
+	nw.cond.Broadcast()
+	nw.mu.Unlock()
+	nw.tcp.close()
+}
+
+func (tr *tcpTransport) close() {
+	tr.closeOnce.Do(func() {
+		for _, ln := range tr.lns {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, row := range tr.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+	tr.wg.Wait()
+}
+
+// tcpFlush writes the node's staged remote messages plus end-of-round
+// markers to every outgoing connection. Called WITHOUT the network lock
+// (socket writes may block; the reader goroutines need the lock to drain).
+func (nw *Network) tcpFlush(nd *Node) error {
+	tr := nw.tcp
+	for _, s := range nd.outbox {
+		switch {
+		case s.to == nd.idx:
+			// self-delivery is staged locally in EndRound
+		case s.to >= 0:
+			if err := writeFrame(tr.conns[nd.idx][s.to], frameData, nd.round, s.msg.Payload); err != nil {
+				return fmt.Errorf("simnet: send to %d: %w", s.to, err)
+			}
+		default: // broadcast
+			for to := 0; to < nw.n; to++ {
+				if to == nd.idx {
+					continue
+				}
+				if err := writeFrame(tr.conns[nd.idx][to], frameBroadcast, nd.round, s.msg.Payload); err != nil {
+					return fmt.Errorf("simnet: broadcast to %d: %w", to, err)
+				}
+			}
+		}
+	}
+	for to := 0; to < nw.n; to++ {
+		if to == nd.idx {
+			continue
+		}
+		if err := writeFrame(tr.conns[nd.idx][to], frameDone, nd.round, nil); err != nil {
+			return fmt.Errorf("simnet: done marker to %d: %w", to, err)
+		}
+	}
+	return nil
+}
+
+// stageLocalTCP stages the node's self-addressed traffic (self-sends and
+// its own broadcast copies). Caller holds nw.mu.
+func (nw *Network) stageLocalTCP(nd *Node) {
+	for _, s := range nd.outbox {
+		m := s.msg
+		m.seq = nw.seq
+		nw.seq++
+		switch {
+		case s.to == nd.idx:
+			nw.staging[nd.idx] = append(nw.staging[nd.idx], m)
+		case s.to < 0:
+			nw.staging[nd.idx] = append(nw.staging[nd.idx], m)
+		}
+	}
+	nd.outbox = nd.outbox[:0]
+}
+
+// tcpReaderFor ingests frames from the (from → to) connection into the
+// shared staging area. Runs until the connection closes. TCP preserves
+// order, so by the time a round's done marker is processed every data
+// frame the sender emitted in that round has already been staged.
+func (nw *Network) tcpReaderFor(from, to int, conn net.Conn) {
+	defer nw.tcp.wg.Done()
+	defer conn.Close()
+	for {
+		typ, round, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		nw.mu.Lock()
+		switch typ {
+		case frameData, frameBroadcast:
+			kind := Unicast
+			if typ == frameBroadcast {
+				kind = Broadcast
+			}
+			nw.staging[to] = append(nw.staging[to], Message{
+				From:    from,
+				Kind:    kind,
+				Payload: payload,
+				seq:     nw.seq,
+			})
+			nw.seq++
+		case frameDone:
+			if round == nw.round {
+				nw.tcpDone[from]++
+				if nw.arrived == nw.active && nw.tcpReadyLocked() {
+					nw.commitLocked()
+				}
+			}
+			// A marker for a different round can only be stale (the
+			// sender halted after a partial flush); ignore it.
+		}
+		nw.mu.Unlock()
+	}
+}
+
+func writeHello(conn net.Conn, from int) error {
+	return writeFrame(conn, frameHello, from, nil)
+}
+
+func readHello(conn net.Conn) (int, error) {
+	typ, from, _, err := readFrame(conn)
+	if err != nil {
+		return -1, err
+	}
+	if typ != frameHello {
+		return -1, fmt.Errorf("simnet: expected hello, got %d", typ)
+	}
+	return from, nil
+}
+
+// writeFrame: [type:1][arg:4][len:4][payload].
+func writeFrame(conn net.Conn, typ byte, arg int, payload []byte) error {
+	hdr := make([]byte, 9, 9+len(payload))
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(arg))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	_, err := conn.Write(append(hdr, payload...))
+	return err
+}
+
+func readFrame(conn net.Conn) (typ byte, arg int, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = hdr[0]
+	arg = int(int32(binary.LittleEndian.Uint32(hdr[1:])))
+	length := binary.LittleEndian.Uint32(hdr[5:])
+	if length > 1<<24 {
+		return 0, 0, nil, fmt.Errorf("simnet: oversized frame (%d bytes)", length)
+	}
+	if length > 0 {
+		payload = make([]byte, length)
+		if _, err = io.ReadFull(conn, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return typ, arg, payload, nil
+}

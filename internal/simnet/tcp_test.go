@@ -1,0 +1,242 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestTCPRoundDelivery(t *testing.T) {
+	nw, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) {
+			nd.Send(1, []byte("over tcp"))
+			_, err := nd.EndRound()
+			return nil, err
+		},
+		func(nd *Node) (interface{}, error) {
+			msgs, err := nd.EndRound()
+			return msgs, err
+		},
+		func(nd *Node) (interface{}, error) {
+			msgs, err := nd.EndRound()
+			return msgs, err
+		},
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+	}
+	msgs := results[1].Value.([]Message)
+	if len(msgs) != 1 || string(msgs[0].Payload) != "over tcp" || msgs[0].From != 0 {
+		t.Fatalf("player 1 inbox = %v", msgs)
+	}
+	if len(results[2].Value.([]Message)) != 0 {
+		t.Fatal("player 2 should receive nothing")
+	}
+}
+
+func TestTCPMatchesInMemorySemantics(t *testing.T) {
+	// Run the same multi-round all-to-all protocol on both transports and
+	// compare every player's complete view.
+	const n, rounds = 4, 6
+	protocol := func(nd *Node) (interface{}, error) {
+		var transcript bytes.Buffer
+		for r := 0; r < rounds; r++ {
+			nd.SendAll([]byte{byte(nd.Index()), byte(r)})
+			if r%2 == 0 {
+				nd.Broadcast([]byte{0xb0, byte(r)})
+			}
+			if r%3 == 0 {
+				nd.Send(nd.Index(), []byte{0x5e, byte(r)}) // self-send
+			}
+			msgs, err := nd.EndRound()
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range msgs {
+				fmt.Fprintf(&transcript, "r%d from%d kind%d %x;", r, m.From, m.Kind, m.Payload)
+			}
+		}
+		return transcript.String(), nil
+	}
+
+	runOn := func(nw *Network) []string {
+		fns := make([]PlayerFunc, n)
+		for i := range fns {
+			fns[i] = protocol
+		}
+		results := Run(nw, fns)
+		out := make([]string, n)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("player %d: %v", i, r.Err)
+			}
+			out[i] = r.Value.(string)
+		}
+		return out
+	}
+
+	mem := runOn(New(n))
+	tcpNW, err := NewTCP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcpNW.Close()
+	tcp := runOn(tcpNW)
+
+	for i := range mem {
+		if mem[i] != tcp[i] {
+			t.Fatalf("player %d transcripts differ:\n mem: %s\n tcp: %s", i, mem[i], tcp[i])
+		}
+	}
+}
+
+func TestTCPHaltedNodeDoesNotBlock(t *testing.T) {
+	nw, err := NewTCP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) { return nil, nil }, // crash
+		func(nd *Node) (interface{}, error) {
+			for r := 0; r < 5; r++ {
+				nd.SendAll([]byte{byte(r)})
+				if _, err := nd.EndRound(); err != nil {
+					return nil, err
+				}
+			}
+			return "done", nil
+		},
+		func(nd *Node) (interface{}, error) {
+			for r := 0; r < 5; r++ {
+				if _, err := nd.EndRound(); err != nil {
+					return nil, err
+				}
+			}
+			return "done", nil
+		},
+	})
+	for i := 1; i < 3; i++ {
+		if results[i].Err != nil || results[i].Value != "done" {
+			t.Fatalf("player %d: %+v", i, results[i])
+		}
+	}
+}
+
+func TestTCPLargePayloads(t *testing.T) {
+	// Exceed typical socket buffer sizes to exercise the out-of-lock flush.
+	nw, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) {
+			nd.Send(1, big)
+			nd.Send(1, big)
+			_, err := nd.EndRound()
+			return nil, err
+		},
+		func(nd *Node) (interface{}, error) {
+			msgs, err := nd.EndRound()
+			if err != nil {
+				return nil, err
+			}
+			if len(msgs) != 2 {
+				return nil, fmt.Errorf("got %d messages", len(msgs))
+			}
+			for _, m := range msgs {
+				if !bytes.Equal(m.Payload, big) {
+					return nil, fmt.Errorf("payload corrupted in transit")
+				}
+			}
+			return nil, nil
+		},
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+	}
+}
+
+func TestTCPCloseUnblocksWaiters(t *testing.T) {
+	nw, err := NewTCP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := nw.Node(0).EndRound() // blocks: node 1 never arrives
+		done <- err
+	}()
+	nw.Close()
+	if err := <-done; err == nil {
+		t.Fatal("EndRound returned nil after Close")
+	}
+	nw.Close() // idempotent
+}
+
+func TestTCPCoinProtocolEndToEnd(t *testing.T) {
+	// The full D-PRBG protocol stack over real sockets is exercised in
+	// TestGeneratorOverTCP (package core_test-style, see core's tests);
+	// here we check a representative multi-phase pattern: three rounds of
+	// echo-and-aggregate with deterministic results.
+	const n = 5
+	nw, err := NewTCP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	fns := make([]PlayerFunc, n)
+	for i := 0; i < n; i++ {
+		fns[i] = func(nd *Node) (interface{}, error) {
+			sum := byte(nd.Index())
+			for r := 0; r < 3; r++ {
+				nd.SendAll([]byte{sum})
+				msgs, err := nd.EndRound()
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range msgs {
+					sum += m.Payload[0]
+				}
+			}
+			return sum, nil
+		}
+	}
+	results := Run(nw, fns)
+	ref := results[0].Value.(byte)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+		// All players aggregate the same multiset each round... their own
+		// contribution differs, so just check determinism across reruns.
+		_ = ref
+		_ = i
+	}
+	// Determinism across a fresh TCP network.
+	nw2, err := NewTCP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw2.Close()
+	results2 := Run(nw2, fns)
+	for i := range results {
+		if results[i].Value.(byte) != results2[i].Value.(byte) {
+			t.Fatalf("player %d: nondeterministic across identical TCP runs", i)
+		}
+	}
+}
