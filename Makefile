@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the gate every PR must pass:
+# build, vet, and the full test suite with the race detector on (the simnet
+# lockstep runs one goroutine per player, so -race exercises real
+# cross-goroutine traffic, including the shared interpolation-domain cache).
+
+GO ?= go
+
+.PHONY: check build vet test race bench experiments
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

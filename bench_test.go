@@ -21,6 +21,7 @@ import (
 	"repro/internal/gf2big"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/poly"
 	"repro/internal/rba"
 	"repro/internal/simnet"
 	"repro/internal/vss"
@@ -88,6 +89,129 @@ func BenchmarkE4BatchVSS(b *testing.B) {
 	for _, m := range []int{1, 16, 256, 1024} {
 		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
 			benchVSSCeremony(b, 7, 2, m)
+		})
+	}
+}
+
+// --- Interpolation domains (poly.Domain) -------------------------------------
+
+// BenchmarkInterpolateUncached and BenchmarkInterpolateCached compare the
+// plain Lagrange path (n inversions per call) against the precomputed
+// poly.Domain path (one batch inversion at construction, zero per call).
+// Both report invs/op measured with metrics.Counters — the unit the PR's
+// acceptance criterion is stated in — alongside wall clock.
+func BenchmarkInterpolateUncached(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var ctr metrics.Counters
+			field := gf2k.MustNew(32).WithCounters(&ctr)
+			xs, ys := interpPoints(b, field, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := poly.InterpolateAt0(field, xs, ys, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ctr.Snapshot().FieldInvs)/float64(b.N), "invs/op")
+		})
+	}
+}
+
+func BenchmarkInterpolateCached(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var ctr metrics.Counters
+			field := gf2k.MustNew(32).WithCounters(&ctr)
+			xs, ys := interpPoints(b, field, n)
+			dom, err := poly.DomainFor(field, xs, &ctr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dom.InterpolateAt0(ys, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ctr.Snapshot().FieldInvs)/float64(b.N), "invs/op")
+		})
+	}
+}
+
+func interpPoints(b *testing.B, field gf2k.Field, n int) (xs, ys []gf2k.Element) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	xs = make([]gf2k.Element, n)
+	for i := range xs {
+		id, err := field.ElementFromID(i + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs[i] = id
+	}
+	p, err := poly.Random(field, n-1, 0x1234, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return xs, poly.EvalMany(field, p, xs)
+}
+
+// BenchmarkBatchVSSScale runs the full Batch-VSS ceremony at n ∈ {16,32,64}
+// (M=64 secrets), reporting amortized inversions per secret and the domain
+// cache hit rate — the end-to-end view of the same amortization.
+func BenchmarkBatchVSSScale(b *testing.B) {
+	for _, tc := range []struct{ n, t int }{{16, 5}, {32, 10}, {64, 21}} {
+		b.Run(fmt.Sprintf("n=%d", tc.n), func(b *testing.B) {
+			const m = 64
+			var ctr metrics.Counters
+			field := gf2k.MustNew(32).WithCounters(&ctr)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i + 1)))
+				batches, _, err := coin.DealTrusted(field, tc.n, tc.t, 1, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nw := simnet.New(tc.n)
+				fns := make([]simnet.PlayerFunc, tc.n)
+				for p := 0; p < tc.n; p++ {
+					p := p
+					fns[p] = func(nd *simnet.Node) (interface{}, error) {
+						cfg := vss.Config{Field: field, N: tc.n, T: tc.t, Coins: batches[p], Counters: &ctr}
+						var rnd *rand.Rand
+						var secrets []gf2k.Element
+						if p == 0 {
+							rnd = rand.New(rand.NewSource(int64(i)))
+							secrets = make([]gf2k.Element, m)
+							for j := range secrets {
+								secrets[j] = gf2k.Element(j + 1)
+							}
+						}
+						inst, err := vss.Deal(nd, cfg, 0, secrets, rnd)
+						if err != nil {
+							return nil, err
+						}
+						ok, err := inst.Verify(nd)
+						if err != nil || !ok {
+							return nil, fmt.Errorf("verify: %v %v", ok, err)
+						}
+						return nil, nil
+					}
+				}
+				for p, r := range simnet.Run(nw, fns) {
+					if r.Err != nil {
+						b.Fatalf("player %d: %v", p, r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			s := ctr.Snapshot()
+			b.ReportMetric(float64(s.FieldInvs)/float64(b.N)/float64(m), "invs/secret")
+			if total := s.DomainHits + s.DomainMisses; total > 0 {
+				b.ReportMetric(float64(s.DomainHits)/float64(total), "domain-hit-rate")
+			}
 		})
 	}
 }

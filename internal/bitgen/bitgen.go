@@ -243,26 +243,36 @@ func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*V
 		}
 	}
 
+	// All n per-dealer decodes interpolate at (a subset of) the IDs 1..n;
+	// computing the IDs once and keeping the point order fixed lets every
+	// decode — across dealers AND across Coin-Gen rounds — share one cached
+	// interpolation domain inside bw.Decode.
+	ids := make([]gf2k.Element, n)
+	for k := 0; k < n; k++ {
+		id, err := f.ElementFromID(k + 1)
+		if err != nil {
+			return nil, err
+		}
+		ids[k] = id
+	}
 	for j := 0; j < n; j++ {
-		v.Outputs[j] = decodeInstance(cfg, v, j)
+		v.Outputs[j] = decodeInstance(cfg, v, ids, j)
 	}
 	return v, nil
 }
 
 // decodeInstance applies Fig. 4 step 5 to dealer j: find F with deg ≤ t
-// agreeing with at least n−t of the announced γ's.
-func decodeInstance(cfg Config, v *View, j int) Output {
+// agreeing with at least n−t of the announced γ's. Fault-free cost: one
+// interpolation over the cached t+1-prefix domain plus n·(t+1)
+// multiplications of agreement checking.
+func decodeInstance(cfg Config, v *View, ids []gf2k.Element, j int) Output {
 	f := cfg.Field
 	var xs, ys []gf2k.Element
 	for k := 0; k < cfg.N; k++ {
 		if !v.Has[k][j] {
 			continue
 		}
-		id, err := f.ElementFromID(k + 1)
-		if err != nil {
-			continue
-		}
-		xs = append(xs, id)
+		xs = append(xs, ids[k])
 		ys = append(ys, v.GammaOf[k][j])
 	}
 	// Agreement with ≥ n−t points means at most len−(n−t) disagreements.

@@ -34,9 +34,13 @@ type Result struct {
 // at least len(xs)−maxErrors of the points (xs[i], ys[i]). It requires
 // len(xs) ≥ degree + 2·maxErrors + 1 and pairwise-distinct xs.
 //
-// The happy path (zero errors) is detected first with a single plain
-// interpolation, which keeps the cost at "one polynomial interpolation" in
-// the fault-free runs the paper's amortized analysis assumes.
+// The happy path (zero errors) is detected first with a single
+// interpolation through the first degree+1 points, which keeps the cost at
+// "one polynomial interpolation" in the fault-free runs the paper's
+// amortized analysis assumes. That interpolation runs over a cached
+// poly.Domain, so repeated decodes over the same point set — every round
+// of Batch-VSS, Bit-Gen and Coin-Expose — pay no per-call inversions and
+// no Lagrange setup.
 func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *metrics.Counters) (Result, error) {
 	n := len(xs)
 	if len(ys) != n {
@@ -51,20 +55,26 @@ func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *met
 	}
 
 	// Fast path: interpolate through the first degree+1 points and test the
-	// rest. Succeeds whenever there are no errors at all.
-	if p, err := poly.Interpolate(f, xs[:degree+1], ys[:degree+1], ctr); err == nil {
-		if idx := disagreements(f, p, xs, ys); len(idx) == 0 {
-			return Result{Poly: p}, nil
-		}
-	} else {
+	// rest. Succeeds whenever there are no errors at all. The prefix domain
+	// is cached across calls, so in steady state this performs zero field
+	// inversions.
+	dom, err := poly.DomainFor(f, xs[:degree+1], ctr)
+	if err != nil {
 		return Result{}, err
+	}
+	p, err := dom.Interpolate(ys[:degree+1], ctr)
+	if err != nil {
+		return Result{}, err
+	}
+	if idx := disagreements(f, p, xs, ys); len(idx) == 0 {
+		return Result{Poly: p}, nil
 	}
 
 	if maxErrors == 0 {
 		return Result{}, ErrNoCodeword
 	}
 
-	p, err := solve(f, xs, ys, degree, maxErrors, ctr)
+	p, err = solve(f, xs, ys, degree, maxErrors, ctr)
 	if err != nil {
 		return Result{}, err
 	}

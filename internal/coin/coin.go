@@ -65,6 +65,10 @@ type Batch struct {
 	Counters *metrics.Counters
 
 	next int
+	// sids caches the field elements of the members of S. It is built
+	// lazily on first exposure (and after UnmarshalBatch, which leaves it
+	// nil) and never serialized.
+	sids []gf2k.Element
 }
 
 var _ Source = (*Batch)(nil)
@@ -124,8 +128,22 @@ func (b *Batch) ExposeAt(nd *simnet.Node, h int) (gf2k.Element, error) {
 	return b.exposeIndex(nd, h)
 }
 
-// exposeIndex runs the Fig. 6 exposure for one share index.
+// exposeIndex runs the Fig. 6 exposure for one share index. Every exposure
+// interpolates at (a subset of) the fixed member IDs of S, in S-order, so
+// bw.Decode's cached interpolation domain is shared by all coins of the
+// batch and by consecutive batches with the same S: the steady-state cost
+// of one exposure is a single inversion-free interpolation.
 func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
+	if len(b.sids) != len(b.S) {
+		b.sids = make([]gf2k.Element, len(b.S))
+		for i, idx := range b.S {
+			id, err := b.Field.ElementFromID(idx + 1)
+			if err != nil {
+				return 0, err
+			}
+			b.sids[i] = id
+		}
+	}
 
 	inS := false
 	for _, idx := range b.S {
@@ -147,7 +165,7 @@ func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
 
 	first := simnet.FirstFromEach(msgs)
 	var xs, ys []gf2k.Element
-	for _, idx := range b.S {
+	for i, idx := range b.S {
 		var share gf2k.Element
 		if idx == nd.Index() {
 			if !inS {
@@ -165,11 +183,7 @@ func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
 			}
 			share = s
 		}
-		id, err := b.Field.ElementFromID(idx + 1)
-		if err != nil {
-			return 0, err
-		}
-		xs = append(xs, id)
+		xs = append(xs, b.sids[i])
 		ys = append(ys, share)
 	}
 

@@ -207,19 +207,20 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 
 // conditionIII counts the members j of the candidate clique whose announced
 // γ's (in this player's view) satisfy every F_k of the candidate, k ∈ C_l —
-// Fig. 5 step 10 condition iii.
+// Fig. 5 step 10 condition iii. Cost: at most |C_l|² degree-t Horner
+// evaluations, i.e. O(|C_l|²·t) multiplications; the member's field id is
+// computed once per member, not once per (member, dealer) pair.
 func conditionIII(cfg Config, view *bitgen.View, cand *cliqueMsg) int {
 	f := cfg.Field
 	count := 0
 	for _, j := range cand.members {
+		id, err := f.ElementFromID(j + 1)
+		if err != nil {
+			continue
+		}
 		ok := true
 		for idx, k := range cand.members {
 			if !view.Has[j][k] {
-				ok = false
-				break
-			}
-			id, err := f.ElementFromID(j + 1)
-			if err != nil {
 				ok = false
 				break
 			}

@@ -1,0 +1,66 @@
+package gf2k
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestBatchInvMatchesInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{8, 32, 64} {
+		f := MustNew(k)
+		for _, n := range []int{0, 1, 2, 17, 64} {
+			a := make([]Element, n)
+			for i := range a {
+				for a[i] == 0 {
+					v, err := f.Rand(rng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					a[i] = v
+				}
+			}
+			inv, err := f.BatchInv(a)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			for i := range a {
+				if want := f.Inv(a[i]); inv[i] != want {
+					t.Fatalf("k=%d n=%d i=%d: %#x vs %#x", k, n, i, inv[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchInvZero(t *testing.T) {
+	f := MustNew(16)
+	if _, err := f.BatchInv([]Element{1, 0, 3}); err == nil {
+		t.Fatal("BatchInv with a zero element should fail")
+	}
+}
+
+// TestBatchInvCost pins the advertised accounting: exactly one inversion
+// and 3(n−1) multiplications.
+func TestBatchInvCost(t *testing.T) {
+	const n = 16
+	var ctr metrics.Counters
+	f := MustNew(32).WithCounters(&ctr)
+	a := make([]Element, n)
+	for i := range a {
+		a[i] = Element(i + 1)
+	}
+	before := ctr.Snapshot()
+	if _, err := f.BatchInv(a); err != nil {
+		t.Fatal(err)
+	}
+	d := metrics.Diff(before, ctr.Snapshot())
+	if d.FieldInvs != 1 {
+		t.Fatalf("BatchInv performed %d inversions, want 1", d.FieldInvs)
+	}
+	if d.FieldMuls != 3*(n-1) {
+		t.Fatalf("BatchInv performed %d multiplications, want %d", d.FieldMuls, 3*(n-1))
+	}
+}

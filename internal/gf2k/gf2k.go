@@ -70,6 +70,9 @@ func (f Field) WithCounters(c *metrics.Counters) Field {
 	return f
 }
 
+// Counters returns the metrics sink attached with WithCounters, or nil.
+func (f Field) Counters() *metrics.Counters { return f.ctr }
+
 // K returns the extension degree k.
 func (f Field) K() int { return f.k }
 
@@ -172,6 +175,40 @@ func (f Field) mulUncounted(a, b Element) Element {
 
 // Div returns a/b. It panics if b is zero.
 func (f Field) Div(a, b Element) Element { return f.Mul(a, f.Inv(b)) }
+
+// BatchInv returns the multiplicative inverses of all elements of a using
+// Montgomery's trick: one field inversion plus 3(n−1) multiplications,
+// instead of n inversions. An inversion costs ~2(k−1) multiplications
+// (Fermat exponentiation), so for k=32 this is a ~20× reduction in field
+// work for n ≥ 8. It returns an error if any element is zero.
+func (f Field) BatchInv(a []Element) ([]Element, error) {
+	n := len(a)
+	out := make([]Element, n)
+	if n == 0 {
+		return out, nil
+	}
+	// Prefix products: out[i] = a[0]·…·a[i].
+	for i, v := range a {
+		if v == 0 {
+			return nil, fmt.Errorf("gf2k: batch inverse of zero (index %d)", i)
+		}
+		if i == 0 {
+			out[0] = v
+		} else {
+			out[i] = f.Mul(out[i-1], v)
+		}
+	}
+	acc := out[n-1]
+	// One inversion of the total product, then peel off factors backwards:
+	// inv(a[i]) = inv(a[0]·…·a[i]) · (a[0]·…·a[i−1]).
+	inv := f.Inv(acc)
+	for i := n - 1; i > 0; i-- {
+		out[i] = f.Mul(inv, out[i-1])
+		inv = f.Mul(inv, a[i])
+	}
+	out[0] = inv
+	return out, nil
+}
 
 // Rand returns a uniformly random field element read from r.
 func (f Field) Rand(r io.Reader) (Element, error) {

@@ -23,6 +23,8 @@ type Counters struct {
 	bytes          atomic.Int64
 	broadcasts     atomic.Int64
 	rounds         atomic.Int64
+	domainHits     atomic.Int64
+	domainMisses   atomic.Int64
 }
 
 // AddFieldAdds records n field additions.
@@ -49,6 +51,14 @@ func (c *Counters) AddBroadcasts(n int64) { c.broadcasts.Add(n) }
 // AddRounds records n synchronous communication rounds.
 func (c *Counters) AddRounds(n int64) { c.rounds.Add(n) }
 
+// AddDomainHits records n interpolation-domain cache hits (a precomputed
+// poly.Domain was reused instead of rebuilt).
+func (c *Counters) AddDomainHits(n int64) { c.domainHits.Add(n) }
+
+// AddDomainMisses records n interpolation-domain cache misses (a fresh
+// poly.Domain had to be precomputed).
+func (c *Counters) AddDomainMisses(n int64) { c.domainMisses.Add(n) }
+
 // Snapshot is an immutable copy of counter values at one instant.
 type Snapshot struct {
 	FieldAdds      int64
@@ -59,6 +69,8 @@ type Snapshot struct {
 	Bytes          int64
 	Broadcasts     int64
 	Rounds         int64
+	DomainHits     int64
+	DomainMisses   int64
 }
 
 // Snapshot returns the current counter values.
@@ -72,6 +84,8 @@ func (c *Counters) Snapshot() Snapshot {
 		Bytes:          c.bytes.Load(),
 		Broadcasts:     c.broadcasts.Load(),
 		Rounds:         c.rounds.Load(),
+		DomainHits:     c.domainHits.Load(),
+		DomainMisses:   c.domainMisses.Load(),
 	}
 }
 
@@ -85,6 +99,8 @@ func (c *Counters) Reset() {
 	c.bytes.Store(0)
 	c.broadcasts.Store(0)
 	c.rounds.Store(0)
+	c.domainHits.Store(0)
+	c.domainMisses.Store(0)
 }
 
 // Diff returns the per-measure difference new−old.
@@ -98,6 +114,8 @@ func Diff(old, new Snapshot) Snapshot {
 		Bytes:          new.Bytes - old.Bytes,
 		Broadcasts:     new.Broadcasts - old.Broadcasts,
 		Rounds:         new.Rounds - old.Rounds,
+		DomainHits:     new.DomainHits - old.DomainHits,
+		DomainMisses:   new.DomainMisses - old.DomainMisses,
 	}
 }
 
@@ -116,13 +134,15 @@ func (s Snapshot) PerUnit(units int64) Snapshot {
 		Bytes:          s.Bytes / units,
 		Broadcasts:     s.Broadcasts / units,
 		Rounds:         s.Rounds / units,
+		DomainHits:     s.DomainHits / units,
+		DomainMisses:   s.DomainMisses / units,
 	}
 }
 
 // String renders the snapshot as a single human-readable line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"adds=%d muls=%d invs=%d interp=%d msgs=%d bytes=%d bcasts=%d rounds=%d",
+		"adds=%d muls=%d invs=%d interp=%d msgs=%d bytes=%d bcasts=%d rounds=%d dhit=%d dmiss=%d",
 		s.FieldAdds, s.FieldMuls, s.FieldInvs, s.Interpolations,
-		s.Messages, s.Bytes, s.Broadcasts, s.Rounds)
+		s.Messages, s.Bytes, s.Broadcasts, s.Rounds, s.DomainHits, s.DomainMisses)
 }

@@ -15,10 +15,13 @@ func TestCountersAccumulate(t *testing.T) {
 	c.AddBytes(8)
 	c.AddBroadcasts(9)
 	c.AddRounds(10)
+	c.AddDomainHits(11)
+	c.AddDomainMisses(12)
 	s := c.Snapshot()
 	want := Snapshot{
 		FieldAdds: 3, FieldMuls: 4, FieldInvs: 5, Interpolations: 6,
 		Messages: 7, Bytes: 8, Broadcasts: 9, Rounds: 10,
+		DomainHits: 11, DomainMisses: 12,
 	}
 	if s != want {
 		t.Fatalf("snapshot = %+v, want %+v", s, want)
@@ -29,6 +32,8 @@ func TestReset(t *testing.T) {
 	var c Counters
 	c.AddBytes(100)
 	c.AddRounds(5)
+	c.AddDomainHits(1)
+	c.AddDomainMisses(2)
 	c.Reset()
 	if s := c.Snapshot(); s != (Snapshot{}) {
 		t.Fatalf("after reset: %+v", s)

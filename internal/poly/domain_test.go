@@ -1,0 +1,310 @@
+package poly
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+)
+
+// randomDistinctXs returns n pairwise-distinct field elements (possibly
+// including zero — InterpolateAt0 must cope with a point at the origin).
+func randomDistinctXs(t *testing.T, f gf2k.Field, n int, rng *rand.Rand) []gf2k.Element {
+	t.Helper()
+	seen := make(map[gf2k.Element]bool, n)
+	xs := make([]gf2k.Element, 0, n)
+	for len(xs) < n {
+		x, err := f.Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// TestDomainMatchesUncached is the property test: for random polynomials
+// over several GF(2^k) and n up to 64, the Domain methods must agree with
+// the plain (reference) implementations exactly.
+func TestDomainMatchesUncached(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{8, 16, 32, 64} {
+		f := gf2k.MustNew(k)
+		for _, n := range []int{1, 2, 3, 7, 16, 33, 64} {
+			xs := randomDistinctXs(t, f, n, rng)
+			deg := rng.Intn(n)
+			p, err := Random(f, deg, gf2k.Element(uint64(rng.Int63())&uint64(1<<k-1)), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ys := EvalMany(f, p, xs)
+
+			d, err := NewDomain(f, xs)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: NewDomain: %v", k, n, err)
+			}
+
+			want, err := Interpolate(f, xs, ys, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Interpolate(ys, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d n=%d: length %d vs %d", k, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d n=%d: coeff %d: %#x vs %#x", k, n, i, got[i], want[i])
+				}
+			}
+
+			want0, err := InterpolateAt0(f, xs, ys, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got0, err := d.InterpolateAt0(ys, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got0 != want0 {
+				t.Fatalf("k=%d n=%d: at0 %#x vs %#x", k, n, got0, want0)
+			}
+
+			for _, maxDeg := range []int{deg, deg - 1, n - 1} {
+				if maxDeg < 0 {
+					continue
+				}
+				wantFit, err := FitsDegree(f, xs, ys, maxDeg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotFit, err := d.FitsDegree(ys, maxDeg, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotFit != wantFit {
+					t.Fatalf("k=%d n=%d maxDeg=%d: fits %v vs %v", k, n, maxDeg, gotFit, wantFit)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainEvalBasis checks the two defining properties of the Lagrange
+// basis: indicator vectors at the domain points, and Σ ys[i]·L_i(x) equal to
+// the interpolant's value everywhere else.
+func TestDomainEvalBasis(t *testing.T) {
+	f := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(11))
+	xs := randomDistinctXs(t, f, 9, rng)
+	d, err := NewDomain(f, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		basis := d.EvalBasis(x)
+		for j, b := range basis {
+			want := gf2k.Element(0)
+			if j == i {
+				want = 1
+			}
+			if b != want {
+				t.Fatalf("L_%d(x_%d) = %#x, want %#x", j, i, b, want)
+			}
+		}
+	}
+	p, err := Random(f, 8, 0x5eed, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := EvalMany(f, p, xs)
+	for trial := 0; trial < 32; trial++ {
+		x, err := f.Rand(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		basis := d.EvalBasis(x)
+		var acc gf2k.Element
+		for i := range ys {
+			acc = f.Add(acc, f.Mul(ys[i], basis[i]))
+		}
+		if want := Eval(f, p, x); acc != want {
+			t.Fatalf("basis combination at %#x = %#x, want %#x", x, acc, want)
+		}
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	f := gf2k.MustNew(16)
+
+	if _, err := NewDomain(f, nil); err == nil {
+		t.Fatal("NewDomain over no points should fail")
+	}
+	if _, err := NewDomain(f, []gf2k.Element{1, 2, 1}); !errors.Is(err, ErrDuplicatePoint) {
+		t.Fatalf("duplicate xs: got %v, want ErrDuplicatePoint", err)
+	}
+	if _, err := DomainFor(f, []gf2k.Element{3, 3}, nil); !errors.Is(err, ErrDuplicatePoint) {
+		t.Fatalf("DomainFor duplicate xs: got %v, want ErrDuplicatePoint", err)
+	}
+
+	d, err := NewDomain(f, []gf2k.Element{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Interpolate([]gf2k.Element{1, 2}, nil); err == nil {
+		t.Fatal("Interpolate length mismatch should fail")
+	}
+	if _, err := d.InterpolateAt0([]gf2k.Element{1, 2, 3, 4}, nil); err == nil {
+		t.Fatal("InterpolateAt0 length mismatch should fail")
+	}
+	if _, err := d.FitsDegree([]gf2k.Element{1}, 1, nil); err == nil {
+		t.Fatal("FitsDegree length mismatch should fail")
+	}
+	if _, err := d.FitsDegree([]gf2k.Element{1, 2, 3}, -1, nil); err == nil {
+		t.Fatal("FitsDegree negative degree should fail")
+	}
+	for _, m := range []int{0, -1, 4} {
+		if _, err := d.Prefix(m); err == nil {
+			t.Fatalf("Prefix(%d) should fail", m)
+		}
+	}
+	if sub, err := d.Prefix(3); err != nil || sub != d {
+		t.Fatalf("Prefix(len) should return the domain itself, got %v, %v", sub, err)
+	}
+}
+
+// TestDomainForCache checks hit/miss accounting and identity of cached
+// domains.
+func TestDomainForCache(t *testing.T) {
+	f := gf2k.MustNew(24)
+	var ctr metrics.Counters
+	xs := []gf2k.Element{0x11, 0x22, 0x33, 0x44}
+
+	d1, err := DomainFor(f, xs, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DomainFor(f, xs, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("same (field, xs) should return the identical cached domain")
+	}
+	s := ctr.Snapshot()
+	if s.DomainMisses < 1 || s.DomainHits < 1 {
+		t.Fatalf("expected ≥1 miss and ≥1 hit, got %+v", s)
+	}
+
+	// A different point order is a different domain.
+	perm := []gf2k.Element{0x22, 0x11, 0x33, 0x44}
+	d3, err := DomainFor(f, perm, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("different point order must not share a domain")
+	}
+}
+
+// TestDomainCacheConcurrent hammers DomainFor from many goroutines; run
+// under -race it checks the cache (and the Prefix memo) for data races.
+func TestDomainCacheConcurrent(t *testing.T) {
+	f := gf2k.MustNew(32)
+	var ctr metrics.Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				n := 2 + (g+iter)%7
+				d, err := IDDomain(f, n, &ctr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ys := make([]gf2k.Element, n)
+				for i := range ys {
+					ys[i] = gf2k.Element(g*100 + i + 1)
+				}
+				if _, err := d.InterpolateAt0(ys, &ctr); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := d.Prefix(1 + iter%n); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := ctr.Snapshot()
+	if s.DomainHits+s.DomainMisses != 16*50 {
+		t.Fatalf("hit+miss = %d, want %d", s.DomainHits+s.DomainMisses, 16*50)
+	}
+}
+
+// TestDomainInversionSavings is the PR's acceptance check: at n=32, the
+// cached path must perform at least 2× fewer field inversions than the
+// uncached path, measured with metrics.Counters (not wall clock).
+func TestDomainInversionSavings(t *testing.T) {
+	const n, rounds = 32, 8
+	var ctr metrics.Counters
+	f := gf2k.MustNew(32).WithCounters(&ctr)
+	rng := rand.New(rand.NewSource(3))
+	xs := randomDistinctXs(t, f, n, rng)
+	p, err := Random(f, n-1, 0xabcd, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := EvalMany(f, p, xs)
+
+	before := ctr.Snapshot()
+	for i := 0; i < rounds; i++ {
+		if _, err := InterpolateAt0(f, xs, ys, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Interpolate(f, xs, ys, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uncached := metrics.Diff(before, ctr.Snapshot()).FieldInvs
+
+	d, err := NewDomain(f, xs) // counted: the one-time batch inversion
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = ctr.Snapshot()
+	for i := 0; i < rounds; i++ {
+		if _, err := d.InterpolateAt0(ys, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Interpolate(ys, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := metrics.Diff(before, ctr.Snapshot()).FieldInvs
+
+	t.Logf("n=%d rounds=%d: uncached %d inversions, cached %d (construction: 1)", n, rounds, uncached, cached)
+	if uncached < int64(2*n*rounds) {
+		t.Fatalf("uncached path performed %d inversions, expected ≥ %d", uncached, 2*n*rounds)
+	}
+	if cached != 0 {
+		t.Fatalf("cached path performed %d inversions per-call, expected 0", cached)
+	}
+	if 2*(cached+1) > uncached {
+		t.Fatalf("acceptance: cached (%d+1 construction) not ≥2× fewer inversions than uncached (%d)", cached, uncached)
+	}
+}

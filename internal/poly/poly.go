@@ -3,6 +3,20 @@
 // value-at-zero), random polynomial sampling and degree checks. These are the
 // "basic steps" of the paper's protocols (§2: "In some parts we consider the
 // interpolation of a polynomial as a basic step").
+//
+// Two interpolation paths exist. The package-level Interpolate,
+// InterpolateAt0 and FitsDegree recompute the Lagrange denominators — n
+// field inversions — on every call; they are the reference implementation
+// and the right choice for one-off point sets. The Domain type precomputes
+// the Lagrange basis for a fixed point set once (a single Montgomery batch
+// inversion) and then serves every later call with zero inversions;
+// DomainFor adds a process-wide keyed cache. The protocol hot path
+// (internal/bw, and through it vss, bitgen, coingen, coin) interpolates
+// over the fixed player IDs 1..n every round and uses the cached path.
+//
+// Every function documents its cost in the units internal/metrics tracks:
+// field multiplications/additions/inversions and "interpolations" (the
+// paper's basic-step unit).
 package poly
 
 import (
@@ -38,7 +52,8 @@ func (p Poly) Clone() Poly {
 	return out
 }
 
-// Eval returns p(x) by Horner's rule.
+// Eval returns p(x) by Horner's rule. Cost: deg(p) multiplications and
+// additions.
 func Eval(f gf2k.Field, p Poly, x gf2k.Element) gf2k.Element {
 	var acc gf2k.Element
 	for i := len(p) - 1; i >= 0; i-- {
@@ -47,7 +62,8 @@ func Eval(f gf2k.Field, p Poly, x gf2k.Element) gf2k.Element {
 	return acc
 }
 
-// EvalMany evaluates p at each of the given points.
+// EvalMany evaluates p at each of the given points. Cost: len(xs)·deg(p)
+// multiplications and additions.
 func EvalMany(f gf2k.Field, p Poly, xs []gf2k.Element) []gf2k.Element {
 	out := make([]gf2k.Element, len(xs))
 	for i, x := range xs {
@@ -58,6 +74,7 @@ func EvalMany(f gf2k.Field, p Poly, xs []gf2k.Element) []gf2k.Element {
 
 // Random returns a uniformly random polynomial of degree at most deg with
 // p(0) = secret, sampled from r. This is a Shamir sharing polynomial.
+// Cost: deg field-element reads from r; no field operations.
 func Random(f gf2k.Field, deg int, secret gf2k.Element, r io.Reader) (Poly, error) {
 	if deg < 0 {
 		return nil, fmt.Errorf("poly: negative degree %d", deg)
@@ -123,6 +140,10 @@ func Mul(f gf2k.Field, p, q Poly) Poly {
 // If counters are attached to the field, the call is additionally recorded
 // as one "interpolation" — the unit in which the paper counts the dominant
 // protocol cost.
+//
+// Cost: O(n²) multiplications/additions and n inversions, n = len(xs). For
+// repeated interpolation over one point set, Domain.Interpolate performs
+// the same O(n²) multiplications but NO per-call inversions.
 func Interpolate(f gf2k.Field, xs, ys []gf2k.Element, ctr *metrics.Counters) (Poly, error) {
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("poly: interpolate: %d xs vs %d ys", len(xs), len(ys))
@@ -161,6 +182,10 @@ func Interpolate(f gf2k.Field, xs, ys []gf2k.Element, ctr *metrics.Counters) (Po
 // InterpolateAt0 returns the value at zero of the unique degree-<len(xs)
 // polynomial through the points, using Lagrange weights directly (cheaper
 // than recovering all coefficients when only the secret is needed).
+//
+// Cost: O(n²) multiplications and n inversions, n = len(xs). For repeated
+// reconstruction over one point set, Domain.InterpolateAt0 costs n
+// multiplications and no inversions per call.
 func InterpolateAt0(f gf2k.Field, xs, ys []gf2k.Element, ctr *metrics.Counters) (gf2k.Element, error) {
 	if len(xs) != len(ys) {
 		return 0, fmt.Errorf("poly: interpolateAt0: %d xs vs %d ys", len(xs), len(ys))
@@ -192,7 +217,9 @@ func InterpolateAt0(f gf2k.Field, xs, ys []gf2k.Element, ctr *metrics.Counters) 
 // FitsDegree reports whether the points (xs, ys) all lie on a polynomial of
 // degree ≤ maxDeg. It interpolates through the first maxDeg+1 points and
 // checks the remainder — the paper's §3.1 "basic solution" to degree
-// checking.
+// checking. Cost: one Interpolate over maxDeg+1 points (including its
+// maxDeg+1 inversions; Domain.FitsDegree avoids them) plus
+// (len(xs)−maxDeg−1)·(maxDeg+1) multiplications of checking.
 func FitsDegree(f gf2k.Field, xs, ys []gf2k.Element, maxDeg int, ctr *metrics.Counters) (bool, error) {
 	if len(xs) != len(ys) {
 		return false, fmt.Errorf("poly: fitsDegree: %d xs vs %d ys", len(xs), len(ys))

@@ -39,6 +39,7 @@ func IDs(f gf2k.Field, n int) ([]gf2k.Element, error) {
 
 // Share splits secret among n players with threshold t (degree-t polynomial)
 // using randomness from r. Requires 0 ≤ t < n and n < 2^k.
+// Cost: n·t multiplications and additions (one Horner evaluation per player).
 func Share(f gf2k.Field, secret gf2k.Element, n, t int, r io.Reader) (Sharing, error) {
 	if t < 0 || t >= n {
 		return Sharing{}, fmt.Errorf("shamir: invalid threshold t=%d for n=%d", t, n)
@@ -56,6 +57,11 @@ func Share(f gf2k.Field, secret gf2k.Element, n, t int, r io.Reader) (Sharing, e
 
 // Reconstruct recovers the secret from shares held by the given 1-based
 // player ids, assuming all shares are correct. len(ids) must be ≥ t+1.
+//
+// Interpolation runs over a cached poly.Domain keyed by the first t+1 ids:
+// the first reconstruction over a given quorum costs O(t²) multiplications
+// plus ONE inversion to build the domain; every later reconstruction over
+// the same quorum costs t+1 multiplications and zero inversions.
 func Reconstruct(f gf2k.Field, ids []int, shares []gf2k.Element, t int, ctr *metrics.Counters) (gf2k.Element, error) {
 	if len(ids) != len(shares) {
 		return 0, fmt.Errorf("shamir: %d ids vs %d shares", len(ids), len(shares))
@@ -71,12 +77,21 @@ func Reconstruct(f gf2k.Field, ids []int, shares []gf2k.Element, t int, ctr *met
 		}
 		xs[i] = x
 	}
-	return poly.InterpolateAt0(f, xs, shares[:t+1], ctr)
+	dom, err := poly.DomainFor(f, xs, ctr)
+	if err != nil {
+		return 0, err
+	}
+	return dom.InterpolateAt0(shares[:t+1], ctr)
 }
 
 // ReconstructRobust recovers the secret even if up to maxErrors of the
 // provided shares are wrong, via Berlekamp–Welch. Requires
 // len(ids) ≥ t + 2·maxErrors + 1.
+//
+// The fault-free cost is one interpolation over bw.Decode's cached prefix
+// domain (zero inversions in steady state) plus len(ids)·(t+1)
+// multiplications of agreement checking; each actual error adds a Gaussian
+// elimination of O((t+2e)³) multiplications.
 func ReconstructRobust(f gf2k.Field, ids []int, shares []gf2k.Element, t, maxErrors int, ctr *metrics.Counters) (gf2k.Element, error) {
 	if len(ids) != len(shares) {
 		return 0, fmt.Errorf("shamir: %d ids vs %d shares", len(ids), len(shares))

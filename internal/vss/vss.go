@@ -26,6 +26,17 @@
 // Soundness matches Lemma 1 / Lemma 3: a dealer whose sharing does not have
 // degree ≤ t passes with probability at most 1/p (single) or M/p (batch)
 // over the choice of r.
+//
+// # Cost
+//
+// Per ceremony and player, independent of M: one polynomial interpolation
+// (inside bw.Decode's fast path, over a cached poly.Domain — zero field
+// inversions in steady state), O(M) multiplications for the Horner
+// combination δ, and the coin-exposure interpolation. This is the
+// amortization Lemma 4 claims: the M-secret batch costs what a single
+// verification costs, plus O(M) cheap multiply-adds. internal/metrics
+// counts all of it (field ops, interpolations, domain cache hits/misses,
+// messages, bytes, rounds).
 package vss
 
 import (
@@ -186,6 +197,11 @@ func Deal(nd *simnet.Node, cfg Config, dealer int, secrets []gf2k.Element, rnd i
 // masked Horner combination δ_i, and accept iff a polynomial of degree ≤ t
 // agrees with ≥ n−t of the broadcasts. Consumes the coin-expose rounds plus
 // one broadcast round. All honest players return the same verdict.
+//
+// Cost per player: M+1 multiplications for δ, then one Berlekamp–Welch
+// decode — a single interpolation (cached domain, zero inversions in
+// steady state) when all broadcasts are consistent, plus a Gaussian
+// elimination only when some are not.
 func (inst *Instance) Verify(nd *simnet.Node) (bool, error) {
 	cfg := inst.cfg
 	r, err := cfg.Coins.Expose(nd)
@@ -213,9 +229,14 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	// Tally broadcasts. Anything that is not a well-formed δ — an explicit
 	// complaint, a malformed message, or silence — counts as a complaint;
 	// only faulty players (or victims of a faulty dealer) produce them.
+	// Players are scanned in index order so the interpolation point
+	// sequence is deterministic: every round with the same respondent set
+	// reuses the same cached poly.Domain inside bw.Decode.
+	first := simnet.FirstFromEach(msgs)
 	var xs, ys []gf2k.Element
-	for from, payload := range simnet.FirstFromEach(msgs) {
-		if len(payload) == 0 || payload[0] != deltaFlag {
+	for from := 0; from < cfg.N; from++ {
+		payload, ok := first[from]
+		if !ok || len(payload) == 0 || payload[0] != deltaFlag {
 			continue
 		}
 		v, rest, err := cfg.Field.ReadElement(payload[1:])
@@ -264,6 +285,8 @@ func (inst *Instance) combination(r gf2k.Element) gf2k.Element {
 
 // Reconstruct publicly opens secret j: every player broadcasts its share and
 // decodes the value at zero through Berlekamp–Welch. Consumes one round.
+// Fault-free cost per player: one interpolation over the cached t+1-point
+// domain plus n·(t+1) multiplications of agreement checking.
 func (inst *Instance) Reconstruct(nd *simnet.Node, j int) (gf2k.Element, error) {
 	cfg := inst.cfg
 	var my gf2k.Element
@@ -277,8 +300,15 @@ func (inst *Instance) Reconstruct(nd *simnet.Node, j int) (gf2k.Element, error) 
 	if err != nil {
 		return 0, fmt.Errorf("vss: reconstruct round: %w", err)
 	}
+	// Index-order scan, as in verifyWithChallenge: deterministic point
+	// order keeps bw.Decode on one cached interpolation domain.
+	first := simnet.FirstFromEach(msgs)
 	var xs, ys []gf2k.Element
-	for from, payload := range simnet.FirstFromEach(msgs) {
+	for from := 0; from < cfg.N; from++ {
+		payload, ok := first[from]
+		if !ok {
+			continue
+		}
 		v, rest, err := cfg.Field.ReadElement(payload)
 		if err != nil || len(rest) != 0 {
 			continue
