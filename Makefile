@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench experiments
+.PHONY: check build vet test race bench experiments fmt-check
 
 check: build vet race
 
@@ -21,8 +21,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench records a machine-readable baseline (see cmd/benchjson); raw
+# output still streams to the terminal while it runs.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchjson -out BENCH_$(shell date +%Y-%m-%d).json
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

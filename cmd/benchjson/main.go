@@ -1,0 +1,135 @@
+// Command benchjson runs the repository's benchmarks and records the
+// results as a JSON document, so successive PRs can diff machine-readable
+// baselines (BENCH_<date>.json at the repo root) instead of eyeballing
+// `go test -bench` output.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_2026-08-05.json
+//	go run ./cmd/benchjson -bench 'Interpolate' -benchtime 100x -out /dev/stdout
+//
+// The raw benchmark output is teed to stderr while it is parsed, so the
+// command is a drop-in replacement for `make bench`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line: name, iteration count, and the measured
+// metrics keyed by unit (ns/op, B/op, allocs/op, and any custom ReportMetric
+// units).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the file format: enough context to interpret the numbers
+// (host, Go version, benchtime) plus the results.
+type Document struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime,omitempty"`
+	Command   string   `json:"command"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 100x)")
+		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
+		out       = flag.String("out", "", "output JSON file (default stdout)")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkgs}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	results, perr := parseBench(io.TeeReader(pipe, os.Stderr))
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("go test -bench: %v", err)
+	}
+	if perr != nil {
+		log.Fatalf("parse benchmark output: %v", perr)
+	}
+
+	doc := Document{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+		Command:   "go " + strings.Join(args, " "),
+		Results:   results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d results written to %s\n", len(results), *out)
+}
+
+// parseBench extracts benchmark lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// from go test output. Value/unit pairs after the iteration count become
+// Metrics entries; non-benchmark lines are ignored.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: some note" lines
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}

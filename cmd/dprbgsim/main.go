@@ -6,102 +6,252 @@
 // Usage:
 //
 //	dprbgsim -n 13 -t 2 -k 32 -coins 200 -batch 32 -crash 2,9 -v
+//
+// Observability:
+//
+//	-trace coins.jsonl   write the full protocol trace as JSONL (replayable
+//	                     with obs.ParseJSONL)
+//	-timeline            print a per-round timeline (player 0 + network view)
+//	-pprof :6060         serve net/http/pprof and live counters (expvar) on
+//	                     the given address while the simulation runs
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	var (
-		n       = flag.Int("n", 7, "number of players (n ≥ 6t+1)")
-		t       = flag.Int("t", 1, "Byzantine fault bound")
-		k       = flag.Int("k", 32, "coin field GF(2^k), 2 ≤ k ≤ 64")
-		coins   = flag.Int("coins", 100, "shared coins to generate")
-		batch   = flag.Int("batch", 16, "Coin-Gen batch size M")
-		seed    = flag.Int("seed", 8, "initial trusted-dealer seed coins")
-		crash   = flag.String("crash", "", "comma-separated player indices that crash at start")
-		rngSeed = flag.Int64("rngseed", time.Now().UnixNano(), "PRNG seed (reproducibility)")
-		verbose = flag.Bool("v", false, "print every coin")
-		useTCP  = flag.Bool("tcp", false, "carry every protocol message over TCP loopback sockets")
-	)
-	flag.Parse()
+// config is the validated flag set of one invocation.
+type config struct {
+	n, t, k  int
+	coins    int
+	batch    int
+	seed     int
+	crashed  map[int]bool
+	rngSeed  int64
+	verbose  bool
+	useTCP   bool
+	trace    string
+	timeline bool
+	pprof    string
+}
 
-	field, err := gf2k.New(*k)
-	if err != nil {
-		return err
+// parseFlags parses args into a config, validating every combination up
+// front so misconfigurations fail with a clear message instead of a late
+// protocol error deep inside a run.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("dprbgsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n        = fs.Int("n", 7, "number of players (n ≥ 6t+1)")
+		t        = fs.Int("t", 1, "Byzantine fault bound")
+		k        = fs.Int("k", 32, "coin field GF(2^k), 2 ≤ k ≤ 64")
+		coins    = fs.Int("coins", 100, "shared coins to generate")
+		batch    = fs.Int("batch", 16, "Coin-Gen batch size M")
+		seed     = fs.Int("seed", 8, "initial trusted-dealer seed coins")
+		crash    = fs.String("crash", "", "comma-separated player indices that crash at start")
+		rngSeed  = fs.Int64("rngseed", time.Now().UnixNano(), "PRNG seed (reproducibility)")
+		verbose  = fs.Bool("v", false, "print every coin")
+		useTCP   = fs.Bool("tcp", false, "carry every protocol message over TCP loopback sockets")
+		trace    = fs.String("trace", "", "write a JSONL protocol trace to this file")
+		timeline = fs.Bool("timeline", false, "print a per-round timeline after the run")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof and expvar counters on this address (e.g. :6060)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected positional arguments: %v", fs.Args())
+	}
+
+	if *t < 0 {
+		return nil, fmt.Errorf("-t must be ≥ 0, got %d", *t)
+	}
+	if *n < 6**t+1 {
+		return nil, fmt.Errorf("-n %d is too small for -t %d: the paper's Coin-Gen regime needs n ≥ 6t+1 = %d",
+			*n, *t, 6**t+1)
+	}
+	if *k < 2 || *k > 64 {
+		return nil, fmt.Errorf("-k must be in [2, 64], got %d", *k)
+	}
+	if *coins < 1 {
+		return nil, fmt.Errorf("-coins must be ≥ 1, got %d", *coins)
+	}
+	if *batch < 1 {
+		return nil, fmt.Errorf("-batch must be ≥ 1, got %d", *batch)
+	}
+	if *batch <= core.DefaultThreshold {
+		return nil, fmt.Errorf("-batch %d must exceed the refill threshold %d or refills cannot make net progress",
+			*batch, core.DefaultThreshold)
+	}
+	if *seed < core.DefaultThreshold {
+		return nil, fmt.Errorf("-seed %d is below the refill threshold %d: the first refill would run out of challenge coins",
+			*seed, core.DefaultThreshold)
+	}
+
 	crashed := map[int]bool{}
 	if *crash != "" {
 		for _, s := range strings.Split(*crash, ",") {
-			idx, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || idx < 0 || idx >= *n {
-				return fmt.Errorf("bad -crash entry %q", s)
+			s = strings.TrimSpace(s)
+			idx, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad -crash entry %q: not an integer", s)
+			}
+			if idx < 0 || idx >= *n {
+				return nil, fmt.Errorf("bad -crash entry %d: player indices range over [0, %d)", idx, *n)
+			}
+			if crashed[idx] {
+				return nil, fmt.Errorf("duplicate -crash entry %d", idx)
 			}
 			crashed[idx] = true
 		}
 	}
 	if len(crashed) > *t {
-		return fmt.Errorf("%d crashed players exceed fault bound t=%d", len(crashed), *t)
+		return nil, fmt.Errorf("%d crashed players exceed the fault bound -t %d", len(crashed), *t)
 	}
 
-	var ctr metrics.Counters
-	cfg := core.Config{
-		Field:     field.WithCounters(&ctr),
-		N:         *n,
-		T:         *t,
-		BatchSize: *batch,
-		Counters:  &ctr,
-	}
-	rng := rand.New(rand.NewSource(*rngSeed))
-	gens, err := core.SetupTrusted(cfg, *seed, rng)
+	return &config{
+		n: *n, t: *t, k: *k,
+		coins: *coins, batch: *batch, seed: *seed,
+		crashed: crashed, rngSeed: *rngSeed,
+		verbose: *verbose, useTCP: *useTCP,
+		trace: *trace, timeline: *timeline, pprof: *pprofA,
+	}, nil
+}
+
+// publishCounters exposes the live counter snapshot as the expvar variable
+// "dprbg.counters". expvar.Publish panics on duplicate names, so the
+// registration is process-global and sticky: the last-started run wins.
+var publishCounters = sync.OnceFunc(func() {
+	expvar.Publish("dprbg.counters", expvar.Func(func() interface{} {
+		liveCounters.mu.Lock()
+		defer liveCounters.mu.Unlock()
+		if liveCounters.ctr == nil {
+			return nil
+		}
+		return liveCounters.ctr.Snapshot()
+	}))
+})
+
+var liveCounters struct {
+	mu  sync.Mutex
+	ctr *metrics.Counters
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	cfg, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "dprbgsim: n=%d t=%d k=%d batch=%d seed=%d crashed=%v rngseed=%d tcp=%v\n",
-		*n, *t, *k, *batch, *seed, keys(crashed), *rngSeed, *useTCP)
+	field, err := gf2k.New(cfg.k)
+	if err != nil {
+		return err
+	}
 
+	var ctr metrics.Counters
+	if cfg.pprof != "" {
+		liveCounters.mu.Lock()
+		liveCounters.ctr = &ctr
+		liveCounters.mu.Unlock()
+		publishCounters()
+		go func() {
+			if err := http.ListenAndServe(cfg.pprof, nil); err != nil {
+				fmt.Fprintf(stderr, "dprbgsim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "dprbgsim: pprof + expvar on http://%s/debug/pprof/ (counters at /debug/vars)\n", cfg.pprof)
+	}
+
+	// Assemble the tracer: a JSONL export, an in-memory ring for the
+	// timeline, or both. No flag → nil tracer → true zero-cost path.
+	var sinks []obs.Sink
+	var ring *obs.Ring
+	var jsonl *obs.JSONL
+	var traceFile *os.File
+	if cfg.trace != "" {
+		traceFile, err = os.Create(cfg.trace)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer traceFile.Close()
+		jsonl = obs.NewJSONL(traceFile)
+		sinks = append(sinks, jsonl)
+	}
+	if cfg.timeline {
+		ring = obs.NewRing(0)
+		sinks = append(sinks, ring)
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 {
+		tracer = obs.New(&ctr, sinks...)
+	}
+
+	coreCfg := core.Config{
+		Field:     field.WithCounters(&ctr),
+		N:         cfg.n,
+		T:         cfg.t,
+		BatchSize: cfg.batch,
+		Counters:  &ctr,
+	}
+	rng := rand.New(rand.NewSource(cfg.rngSeed))
+	gens, err := core.SetupTrusted(coreCfg, cfg.seed, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "dprbgsim: n=%d t=%d k=%d batch=%d seed=%d crashed=%v rngseed=%d tcp=%v\n",
+		cfg.n, cfg.t, cfg.k, cfg.batch, cfg.seed, keys(cfg.crashed), cfg.rngSeed, cfg.useTCP)
+
+	opts := []simnet.Option{simnet.WithCounters(&ctr)}
+	if tracer != nil {
+		opts = append(opts, simnet.WithTracer(tracer))
+	}
 	var nw *simnet.Network
-	if *useTCP {
-		nw, err = simnet.NewTCP(*n, simnet.WithCounters(&ctr))
+	if cfg.useTCP {
+		nw, err = simnet.NewTCP(cfg.n, opts...)
 		if err != nil {
 			return err
 		}
 		defer nw.Close()
 	} else {
-		nw = simnet.New(*n, simnet.WithCounters(&ctr))
+		nw = simnet.New(cfg.n, opts...)
 	}
-	fns := make([]simnet.PlayerFunc, *n)
-	for i := 0; i < *n; i++ {
-		if crashed[i] {
+	fns := make([]simnet.PlayerFunc, cfg.n)
+	for i := 0; i < cfg.n; i++ {
+		if cfg.crashed[i] {
 			fns[i] = adversary.Crash()
 			continue
 		}
 		i := i
 		fns[i] = func(nd *simnet.Node) (interface{}, error) {
-			rnd := rand.New(rand.NewSource(*rngSeed + int64(i) + 1))
-			out := make([]gf2k.Element, 0, *coins)
-			for len(out) < *coins {
+			rnd := rand.New(rand.NewSource(cfg.rngSeed + int64(i) + 1))
+			out := make([]gf2k.Element, 0, cfg.coins)
+			for len(out) < cfg.coins {
 				c, err := gens[i].Next(nd, rnd)
 				if err != nil {
 					return nil, err
@@ -115,10 +265,17 @@ func run() error {
 	results := simnet.Run(nw, fns)
 	elapsed := time.Since(start)
 
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			return fmt.Errorf("write trace %s: %w", cfg.trace, err)
+		}
+		fmt.Fprintf(stderr, "dprbgsim: trace written to %s\n", cfg.trace)
+	}
+
 	var ref []gf2k.Element
 	var refIdx int
 	for i, r := range results {
-		if crashed[i] {
+		if cfg.crashed[i] {
 			continue
 		}
 		if r.Err != nil {
@@ -137,23 +294,40 @@ func run() error {
 		}
 	}
 
-	if *verbose {
+	if cfg.timeline {
+		// One player's view plus the network events is the readable cut;
+		// every honest player's timeline is identical up to span ids.
+		var view []obs.Event
+		for _, e := range ring.Events() {
+			if e.Player == refIdx || e.Player < 0 {
+				view = append(view, e)
+			}
+		}
+		fmt.Fprintf(stdout, "--- timeline (player %d + network; %d of %d events) ---\n",
+			refIdx, len(view), len(ring.Events()))
+		obs.Timeline(stdout, view)
+		if d := ring.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, "(ring dropped %d oldest events; timeline is truncated at the front)\n", d)
+		}
+	}
+
+	if cfg.verbose {
 		for h, c := range ref {
-			fmt.Printf("coin %4d: %0*x\n", h, (field.K()+3)/4, uint64(c))
+			fmt.Fprintf(stdout, "coin %4d: %0*x\n", h, (field.K()+3)/4, uint64(c))
 		}
 	}
 	st := gens[refIdx].Stats()
 	s := ctr.Snapshot()
-	fmt.Printf("coins delivered:   %d (all honest players unanimous)\n", st.CoinsDelivered)
-	fmt.Printf("refills:           %d (batch size %d; %.2f seed coins each; %.2f leader attempts each)\n",
-		st.Batches, *batch, float64(st.SeedSpent)/max1(st.Batches), float64(st.Attempts)/max1(st.Batches))
-	fmt.Printf("totals:            %d msgs, %d bytes, %d rounds, %d interpolations, %d field mults\n",
+	fmt.Fprintf(stdout, "coins delivered:   %d (all honest players unanimous)\n", st.CoinsDelivered)
+	fmt.Fprintf(stdout, "refills:           %d (batch size %d; %.2f seed coins each; %.2f leader attempts each)\n",
+		st.Batches, cfg.batch, float64(st.SeedSpent)/max1(st.Batches), float64(st.Attempts)/max1(st.Batches))
+	fmt.Fprintf(stdout, "totals:            %d msgs, %d bytes, %d rounds, %d interpolations, %d field mults\n",
 		s.Messages, s.Bytes, s.Rounds, s.Interpolations, s.FieldMuls)
-	fmt.Printf("amortized/coin:    %.1f msgs, %.1f bytes, %.2f rounds, %.2f interpolations\n",
-		float64(s.Messages)/float64(*coins), float64(s.Bytes)/float64(*coins),
-		float64(s.Rounds)/float64(*coins), float64(s.Interpolations)/float64(*coins))
-	fmt.Printf("wall clock:        %v (%.1f µs/coin)\n", elapsed,
-		float64(elapsed.Microseconds())/float64(*coins))
+	fmt.Fprintf(stdout, "amortized/coin:    %.1f msgs, %.1f bytes, %.2f rounds, %.2f interpolations\n",
+		float64(s.Messages)/float64(cfg.coins), float64(s.Bytes)/float64(cfg.coins),
+		float64(s.Rounds)/float64(cfg.coins), float64(s.Interpolations)/float64(cfg.coins))
+	fmt.Fprintf(stdout, "wall clock:        %v (%.1f µs/coin)\n", elapsed,
+		float64(elapsed.Microseconds())/float64(cfg.coins))
 	return nil
 }
 

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunFlagValidation exercises the up-front flag validation: every bad
+// combination must fail before any protocol work with a message naming the
+// offending flag.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"negative t", []string{"-t", "-1"}, "-t must be ≥ 0"},
+		{"n below 6t+1", []string{"-n", "12", "-t", "2"}, "n ≥ 6t+1"},
+		{"k too small", []string{"-k", "1"}, "-k must be in [2, 64]"},
+		{"k too large", []string{"-k", "65"}, "-k must be in [2, 64]"},
+		{"zero coins", []string{"-coins", "0"}, "-coins must be ≥ 1"},
+		{"zero batch", []string{"-batch", "0"}, "-batch must be ≥ 1"},
+		{"batch below threshold", []string{"-batch", "5"}, "must exceed the refill threshold"},
+		{"seed below threshold", []string{"-seed", "3"}, "below the refill threshold"},
+		{"crash not a number", []string{"-crash", "x"}, "not an integer"},
+		{"crash out of range", []string{"-crash", "7"}, "range over [0, 7)"},
+		{"crash negative", []string{"-crash", "-1"}, "range over [0, 7)"},
+		{"crash duplicate", []string{"-crash", "0,0"}, "duplicate -crash entry 0"},
+		{"too many crashed", []string{"-n", "13", "-t", "2", "-crash", "0,1,2"}, "exceed the fault bound"},
+		{"positional junk", []string{"extra"}, "unexpected positional arguments"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			err := run(tc.args, &out, &errb)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) && !strings.Contains(errb.String(), tc.wantErr) {
+				t.Fatalf("run(%v) error = %q (stderr %q), want substring %q",
+					tc.args, err, errb.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunHappyPath runs a tiny simulation end to end, with a JSONL trace and
+// a timeline, and checks the artifacts: unanimous coins reported, the trace
+// parses back, and the timeline names protocol phases.
+func TestRunHappyPath(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errb bytes.Buffer
+	args := []string{
+		"-n", "7", "-t", "1", "-k", "16", "-coins", "12", "-batch", "8",
+		"-seed", "8", "-rngseed", "42", "-crash", "3",
+		"-trace", traceFile, "-timeline",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, errb.String())
+	}
+	stdout := out.String()
+	if !strings.Contains(stdout, "coins delivered:   12 (all honest players unanimous)") {
+		t.Fatalf("missing unanimity line in output:\n%s", stdout)
+	}
+	for _, want := range []string{"--- timeline", "coingen", "gradecast", "coin-expose"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("timeline missing %q in output:\n%s", want, stdout)
+		}
+	}
+
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	events, err := obs.ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("trace event %d has seq %d; export is not the full ordered stream", i, e.Seq)
+		}
+	}
+	// The run refills at least once, so the trace must contain sealed and
+	// exposed coins and a BA decision.
+	seen := map[obs.EventType]bool{}
+	for _, e := range events {
+		seen[e.Type] = true
+	}
+	for _, want := range []obs.EventType{
+		obs.EvSpanBegin, obs.EvSpanEnd, obs.EvRound, obs.EvSend,
+		obs.EvDeliver, obs.EvClique, obs.EvLeader, obs.EvDecision,
+		obs.EvCoinSealed, obs.EvCoinExposed,
+	} {
+		if !seen[want] {
+			t.Fatalf("trace has no %v event", want)
+		}
+	}
+}
+
+// TestRunDeterministicWithSeed checks that a fixed -rngseed reproduces the
+// identical coin stream (the flag exists for reproducibility).
+func TestRunDeterministicWithSeed(t *testing.T) {
+	args := []string{"-n", "7", "-t", "1", "-coins", "8", "-batch", "8", "-rngseed", "7", "-v"}
+	coinsOf := func() string {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var coins []string
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(l, "coin ") {
+				coins = append(coins, l)
+			}
+		}
+		if len(coins) != 8 {
+			t.Fatalf("got %d coin lines, want 8:\n%s", len(coins), out.String())
+		}
+		return strings.Join(coins, "\n")
+	}
+	if a, b := coinsOf(), coinsOf(); a != b {
+		t.Fatalf("same rngseed produced different coins:\n%s\nvs\n%s", a, b)
+	}
+}

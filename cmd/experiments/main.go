@@ -19,7 +19,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (e1..e14 or 'all')")
+	expFlag := flag.String("exp", "all", "experiment to run (e1..e15 or 'all')")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -37,6 +37,7 @@ func main() {
 		{"e12", "Fig 1: bootstrap self-sufficiency over many batches", runE12},
 		{"e13", "§1.2: pro-active setting — moving faulty set", runE13},
 		{"e14", "§1: randomized BA application consuming shared coins", runE14},
+		{"e15", "Thm 2 phase breakdown: per-phase cost attribution of one Coin-Gen run", runE15},
 	}
 
 	want := strings.ToLower(*expFlag)
@@ -53,7 +54,7 @@ func main() {
 		fmt.Println()
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e14 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e15 or all)\n", *expFlag)
 		os.Exit(1)
 	}
 }

@@ -29,6 +29,7 @@ package ba
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -68,6 +69,8 @@ func (p PhaseKing) Run(nd *simnet.Node, input byte) (byte, error) {
 	if input > 1 {
 		return 0, fmt.Errorf("ba: input must be 0 or 1, got %d", input)
 	}
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "ba/phase-king")
+	defer func() { sp.End(nd.Round()) }()
 	v := input
 	for phase := 0; phase <= p.T; phase++ {
 		// Round A: universal exchange.
@@ -112,5 +115,6 @@ func (p PhaseKing) Run(nd *simnet.Node, input byte) (byte, error) {
 			v = kingVal
 		}
 	}
+	nd.Tracer().Decision(nd.Index(), v, nd.Round())
 	return v, nil
 }

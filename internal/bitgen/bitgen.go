@@ -25,6 +25,7 @@ import (
 	"repro/internal/bw"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -76,6 +77,8 @@ func DealAll(nd *simnet.Node, cfg Config, rnd io.Reader) (*Shares, error) {
 	if nd.N() != cfg.N {
 		return nil, fmt.Errorf("bitgen: network size %d != configured %d", nd.N(), cfg.N)
 	}
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "bitgen/deal")
+	defer func() { sp.End(nd.Round()) }()
 	f := cfg.Field
 
 	polys := make([]poly.Poly, cfg.M+1)
@@ -190,6 +193,8 @@ type View struct {
 func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*View, error) {
 	f := cfg.Field
 	n := cfg.N
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "bitgen/gamma")
+	defer func() { sp.End(nd.Round()) }()
 
 	myGamma := make([]gf2k.Element, n)
 	myHas := make([]bool, n)
@@ -257,6 +262,11 @@ func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*V
 	}
 	for j := 0; j < n; j++ {
 		v.Outputs[j] = decodeInstance(cfg, v, ids, j)
+		if !v.Outputs[j].OK {
+			// Local verdict only (no broadcast channel here): dealer j's
+			// instance failed Fig. 4 step 5 in this player's view.
+			nd.Tracer().DealerDisqualified(nd.Index(), j, nd.Round())
+		}
 	}
 	return v, nil
 }

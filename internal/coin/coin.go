@@ -18,6 +18,7 @@ import (
 	"repro/internal/bw"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -134,6 +135,8 @@ func (b *Batch) ExposeAt(nd *simnet.Node, h int) (gf2k.Element, error) {
 // batch and by consecutive batches with the same S: the steady-state cost
 // of one exposure is a single inversion-free interpolation.
 func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "coin-expose")
+	defer func() { sp.End(nd.Round()) }()
 	if len(b.sids) != len(b.S) {
 		b.sids = make([]gf2k.Element, len(b.S))
 		for i, idx := range b.S {
@@ -202,7 +205,9 @@ func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
 	if err != nil {
 		return 0, fmt.Errorf("coin: expose coin %d: %w", h, err)
 	}
-	return poly.Eval(b.Field, res.Poly, 0), nil
+	value := poly.Eval(b.Field, res.Poly, 0)
+	nd.Tracer().CoinExposed(nd.Index(), h, uint64(value), nd.Round())
+	return value, nil
 }
 
 // ExposeBit reveals the next coin and reduces it to a single bit, the

@@ -49,6 +49,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/gradecast"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -124,6 +125,9 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 	if maxAttempts <= 0 {
 		maxAttempts = 8 * cfg.N
 	}
+	tr := nd.Tracer()
+	sp := tr.Start(nd.Index(), nd.Round(), obs.KindProtocol, "coingen")
+	defer func() { sp.End(nd.Round()) }()
 
 	bcfg := bitgen.Config{Field: cfg.Field, N: cfg.N, T: cfg.T, M: cfg.M, Counters: cfg.Counters}
 
@@ -143,7 +147,9 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 		return nil, err
 	}
 
-	// Steps 4–5: consistency graph and clique.
+	// Steps 4–5: consistency graph and clique (local computation, no
+	// rounds; the span isolates its field-op cost).
+	cliqueSpan := tr.Start(nd.Index(), nd.Round(), obs.KindPhase, "coingen/clique")
 	g := clique.NewGraph(cfg.N)
 	for j := 0; j < cfg.N; j++ {
 		for k := j + 1; k < cfg.N; k++ {
@@ -153,6 +159,8 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 		}
 	}
 	myClique := clique.ApproxClique(g)
+	tr.CliqueFound(nd.Index(), len(myClique), nd.Round())
+	cliqueSpan.End(nd.Round())
 
 	// Step 7: grade-cast (clique, F's).
 	payload, err := encodeCliqueMsg(cfg, myClique, view)
@@ -165,6 +173,8 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 	}
 
 	// Steps 9–11: leader selection and agreement, repeated until accepted.
+	agreeSpan := tr.Start(nd.Index(), nd.Round(), obs.KindPhase, "coingen/agree")
+	defer func() { agreeSpan.End(nd.Round()) }()
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		leader1, err := cfg.Seed.ExposeMod(nd, cfg.N)
 		if err != nil {
@@ -172,6 +182,7 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 		}
 		seedUsed++
 		leader := leader1 - 1 // 0-based index
+		tr.LeaderElected(nd.Index(), leader, attempt, nd.Round())
 
 		input := byte(0)
 		var cand *cliqueMsg
@@ -195,6 +206,7 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 			return nil, errors.New("coingen: BA accepted a leader whose grade-cast this player cannot decode (resilience assumption violated)")
 		}
 		batch := assembleBatch(cfg, sh, cand, nd.Index(), r)
+		tr.CoinSealed(nd.Index(), cfg.M, nd.Round())
 		return &Result{
 			Batch:        batch,
 			Clique:       cand.members,

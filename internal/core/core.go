@@ -31,6 +31,7 @@ import (
 	"repro/internal/coingen"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -208,6 +209,8 @@ func (g *Generator) maybeRefill(nd *simnet.Node, rnd io.Reader) error {
 // sealed coins to the store. Exposed for applications that want to pre-mint
 // coins during idle periods instead of on demand.
 func (g *Generator) Refill(nd *simnet.Node, rnd io.Reader) error {
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindProtocol, "core/refill")
+	defer func() { sp.End(nd.Round()) }()
 	before := g.store.Remaining()
 	res, err := coingen.Run(nd, coingen.Config{
 		Field:       g.cfg.Field,

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -43,6 +44,8 @@ func RunAll(nd *simnet.Node, t int, myValue []byte) ([]Output, error) {
 	if n < MinPlayers(t) {
 		return nil, fmt.Errorf("gradecast: need n ≥ %d for t=%d, have %d", MinPlayers(t), t, n)
 	}
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "gradecast")
+	defer func() { sp.End(nd.Round()) }()
 
 	// Round 1: every dealer distributes its value.
 	nd.SendAll(myValue)
@@ -106,6 +109,8 @@ func Run(nd *simnet.Node, t, dealer int, value []byte) (Output, error) {
 	if dealer < 0 || dealer >= n {
 		return Output{}, fmt.Errorf("gradecast: invalid dealer %d", dealer)
 	}
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "gradecast")
+	defer func() { sp.End(nd.Round()) }()
 
 	// Round 1.
 	if nd.Index() == dealer {

@@ -1,0 +1,194 @@
+// Package obs is the repository's observability layer: a lightweight,
+// allocation-conscious tracer producing hierarchical spans (run → protocol →
+// phase → round) and typed protocol events, each annotated with the network
+// round it happened in and — for spans — the metrics.Counters diff observed
+// between span entry and exit.
+//
+// The paper states every result as a cost claim (field operations, messages,
+// rounds per sealed coin); obs exists so those costs can be attributed to
+// the protocol phase that incurred them instead of being reported as one
+// whole-run diff. The simnet substrate emits round-boundary and delivery
+// events, each protocol module marks its paper-figure phases, and sinks
+// turn the stream into a JSONL trace, an in-memory ring, or a per-round
+// timeline for humans.
+//
+// The zero-cost path is a nil *Tracer: every method is nil-safe and returns
+// immediately without locking or allocating, so protocol code can call the
+// tracer unconditionally.
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// EventType enumerates the typed protocol events.
+type EventType uint8
+
+const (
+	// EvSpanBegin opens a span; Span/Parent/Kind/Name identify it.
+	EvSpanBegin EventType = iota + 1
+	// EvSpanEnd closes a span; Cost carries the counter diff since begin.
+	EvSpanEnd
+	// EvRound is a network round boundary; Count is messages delivered,
+	// Bytes their total payload size. Player is -1 (network-level).
+	EvRound
+	// EvSend is a staged unicast: From → To, Bytes payload size.
+	EvSend
+	// EvBroadcast is a staged ideal broadcast: From, Bytes payload size.
+	EvBroadcast
+	// EvDeliver is one message delivered at a round boundary: From → To.
+	EvDeliver
+	// EvDealerBad marks Player's local verdict that dealer From is
+	// disqualified (failed verification or never dealt).
+	EvDealerBad
+	// EvClique reports the clique Player found; Count is its size.
+	EvClique
+	// EvLeader reports a leader draw; Value is the 0-based leader index,
+	// Count the 1-based attempt number.
+	EvLeader
+	// EvDecision is a Byzantine-agreement output; Value is the decided bit.
+	EvDecision
+	// EvCoinSealed reports a freshly assembled batch of sealed coins;
+	// Count is the batch size.
+	EvCoinSealed
+	// EvCoinExposed reports one revealed coin; Count is the coin index
+	// within its batch, Value the revealed field element.
+	EvCoinExposed
+)
+
+var eventTypeNames = map[EventType]string{
+	EvSpanBegin:   "span-begin",
+	EvSpanEnd:     "span-end",
+	EvRound:       "round",
+	EvSend:        "send",
+	EvBroadcast:   "broadcast",
+	EvDeliver:     "deliver",
+	EvDealerBad:   "dealer-disqualified",
+	EvClique:      "clique-found",
+	EvLeader:      "leader-elected",
+	EvDecision:    "ba-decision",
+	EvCoinSealed:  "coin-sealed",
+	EvCoinExposed: "coin-exposed",
+}
+
+var eventTypeValues = func() map[string]EventType {
+	m := make(map[string]EventType, len(eventTypeNames))
+	for k, v := range eventTypeNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// String returns the stable wire name of the event type.
+func (t EventType) String() string {
+	if s, ok := eventTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// MarshalText renders the type as its wire name (used by encoding/json).
+func (t EventType) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses a wire name back into the type.
+func (t *EventType) UnmarshalText(b []byte) error {
+	v, ok := eventTypeValues[string(b)]
+	if !ok {
+		return fmt.Errorf("obs: unknown event type %q", b)
+	}
+	*t = v
+	return nil
+}
+
+// SpanKind is the level of a span in the run → protocol → phase → round
+// hierarchy.
+type SpanKind uint8
+
+const (
+	// KindRun is a whole protocol execution from one player's view.
+	KindRun SpanKind = iota + 1
+	// KindProtocol is one protocol invocation (Coin-Gen, VSS, BA, …).
+	KindProtocol
+	// KindPhase is a paper-figure phase within a protocol (dealing, γ
+	// exchange, grade-cast, leader selection, exposure, …).
+	KindPhase
+	// KindRound is a single-network-round sub-span; rarely used directly —
+	// EvRound events already delimit rounds.
+	KindRound
+)
+
+var spanKindNames = map[SpanKind]string{
+	KindRun:      "run",
+	KindProtocol: "protocol",
+	KindPhase:    "phase",
+	KindRound:    "round",
+}
+
+var spanKindValues = func() map[string]SpanKind {
+	m := make(map[string]SpanKind, len(spanKindNames))
+	for k, v := range spanKindNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// String returns the stable wire name of the span kind.
+func (k SpanKind) String() string {
+	if s, ok := spanKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalText renders the kind as its wire name (used by encoding/json).
+func (k SpanKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a wire name back into the kind.
+func (k *SpanKind) UnmarshalText(b []byte) error {
+	v, ok := spanKindValues[string(b)]
+	if !ok {
+		return fmt.Errorf("obs: unknown span kind %q", b)
+	}
+	*k = v
+	return nil
+}
+
+// Event is one trace record. A single struct covers every event type; the
+// Type field determines which of the optional fields are meaningful (see the
+// EventType constants). Fields at their zero value are omitted from JSON, so
+// a JSONL export round-trips to the identical event sequence.
+type Event struct {
+	// Seq is the global emission order, assigned by the Tracer; strictly
+	// increasing across all players.
+	Seq uint64 `json:"seq"`
+	// Type selects the event's meaning.
+	Type EventType `json:"type"`
+	// Player is the 0-based player observing the event, or -1 for
+	// network-level events (round boundaries, deliveries).
+	Player int `json:"player"`
+	// Round is the observing player's (or network's) completed-round count
+	// when the event was emitted.
+	Round int `json:"round"`
+
+	// Span and Parent identify span begin/end records.
+	Span   uint64   `json:"span,omitempty"`
+	Parent uint64   `json:"parent,omitempty"`
+	Kind   SpanKind `json:"kind,omitempty"`
+	Name   string   `json:"name,omitempty"`
+
+	// From/To are message endpoints (EvSend, EvDeliver, EvBroadcast,
+	// EvDealerBad). To is -1 for broadcasts.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Bytes is a payload size.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Count and Value carry type-specific integers (see EventType docs).
+	Count int64  `json:"count,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+
+	// Cost is the metrics.Counters diff observed across a span
+	// (EvSpanEnd only, and only when the tracer has counters attached).
+	Cost *metrics.Snapshot `json:"cost,omitempty"`
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink consumes trace events. Implementations must be safe for concurrent
+// Emit calls: the Tracer serializes its own emissions, but a sink may be
+// shared by several tracers or fed directly by tests.
+type Sink interface {
+	Emit(Event)
+}
+
+// --- ring buffer --------------------------------------------------------------
+
+// Ring is a fixed-capacity in-memory sink that overwrites its oldest events
+// when full — the always-on flight recorder. The zero value is unusable;
+// call NewRing.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+// DefaultRingCapacity is plenty for a multi-batch Coin-Gen run at n ≤ 32.
+const DefaultRingCapacity = 1 << 16
+
+// NewRing creates a ring buffer holding up to capacity events
+// (DefaultRingCapacity if capacity ≤ 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends the event, evicting the oldest when at capacity.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+		r.full = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Dropped reports how many events were evicted to make room.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// --- JSONL --------------------------------------------------------------------
+
+// JSONL streams events to a writer, one JSON object per line — the
+// replayable export format. Write errors are sticky and surfaced by Err
+// (Emit cannot fail, matching the Sink interface).
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL creates a JSONL sink over w. Call Flush before inspecting the
+// underlying writer.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one line. After the first error it is a no-op.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(e)
+	}
+	j.mu.Unlock()
+}
+
+// Flush drains buffered output and returns the first error seen, if any.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Err returns the first write/encode error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ParseJSONL reads a JSONL export back into the event sequence it encodes.
+// It is the inverse of the JSONL sink: exporting and parsing yields the
+// identical []Event (the round-trip property obs's tests pin down).
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: parse JSONL line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read JSONL: %w", err)
+	}
+	return out, nil
+}
+
+// Tee fans every event out to each sink in order.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}

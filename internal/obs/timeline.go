@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// PhaseCost is one closed span of a single player, with its position in the
+// span hierarchy and the counter diff it observed.
+//
+// Attribution semantics: the tracer snapshots the shared (process-wide)
+// counters at span entry and exit, and the simnet lockstep keeps every
+// honest player inside the same phase between two round barriers. A phase
+// span therefore observes (approximately) the total cost of that phase
+// across ALL players — which is exactly the unit the paper's lemmas charge
+// ("n messages of size k", "one interpolation per player" → n
+// interpolations). Rounds are exact: they only advance at barriers. For a
+// per-phase table, read one player's spans; do not sum the same phase over
+// players, which would multiply-count by n.
+type PhaseCost struct {
+	// Span is the span id; Parent its enclosing span (0 at the root).
+	Span, Parent uint64
+	// Name and Kind identify the phase ("bitgen/deal", "gradecast", …).
+	Name string
+	Kind SpanKind
+	// Depth is the nesting level (0 for root spans).
+	Depth int
+	// BeginRound/EndRound are the player's completed-round counts at span
+	// entry and exit; EndRound−BeginRound is the span's round consumption
+	// as seen by that player.
+	BeginRound, EndRound int
+	// Cost is the counter diff across the span (zero if the tracer had no
+	// counters attached or the span never closed).
+	Cost metrics.Snapshot
+}
+
+// Rounds returns the rounds consumed within the span.
+func (p PhaseCost) Rounds() int { return p.EndRound - p.BeginRound }
+
+// FieldOps returns the total field operations (adds+muls+invs) in the span.
+func (p PhaseCost) FieldOps() int64 {
+	return p.Cost.FieldAdds + p.Cost.FieldMuls + p.Cost.FieldInvs
+}
+
+// PhaseSummary extracts the closed spans of one player from an event
+// sequence, in span-begin order. Spans that never closed are omitted.
+func PhaseSummary(events []Event, player int) []PhaseCost {
+	type open struct {
+		row PhaseCost
+		idx int // position in out, reserved at begin
+	}
+	byID := make(map[uint64]*open)
+	var rows []*open
+	depth := make(map[uint64]int) // span id -> depth
+	for _, e := range events {
+		if e.Player != player {
+			continue
+		}
+		switch e.Type {
+		case EvSpanBegin:
+			d := 0
+			if e.Parent != 0 {
+				d = depth[e.Parent] + 1
+			}
+			depth[e.Span] = d
+			o := &open{row: PhaseCost{
+				Span: e.Span, Parent: e.Parent, Name: e.Name, Kind: e.Kind,
+				Depth: d, BeginRound: e.Round, EndRound: -1,
+			}}
+			byID[e.Span] = o
+			rows = append(rows, o)
+		case EvSpanEnd:
+			o, ok := byID[e.Span]
+			if !ok {
+				continue
+			}
+			o.row.EndRound = e.Round
+			if e.Cost != nil {
+				o.row.Cost = *e.Cost
+			}
+		}
+	}
+	out := make([]PhaseCost, 0, len(rows))
+	for _, o := range rows {
+		if o.row.EndRound < 0 {
+			continue // never closed
+		}
+		out = append(out, o.row)
+	}
+	return out
+}
+
+// WritePhaseTable renders a PhaseSummary as an indented table: one row per
+// span, children indented under their parent, with the cost columns the
+// paper states its lemmas in.
+func WritePhaseTable(w io.Writer, rows []PhaseCost) {
+	fmt.Fprintf(w, "%-34s %7s %9s %12s %8s %8s %12s\n",
+		"phase", "rounds", "msgs", "bytes", "bcasts", "interp", "field-ops")
+	for _, r := range rows {
+		name := r.Name
+		for i := 0; i < r.Depth; i++ {
+			name = "  " + name
+		}
+		fmt.Fprintf(w, "%-34s %7d %9d %12d %8d %8d %12d\n",
+			name, r.Rounds(), r.Cost.Messages, r.Cost.Bytes,
+			r.Cost.Broadcasts, r.Cost.Interpolations, r.FieldOps())
+	}
+}
+
+// AggregatePhases sums the costs of all spans (of the given player) whose
+// name maps to the same label under rename, in first-appearance order.
+// Spans whose name is absent from rename are skipped. Because the mapped
+// span names must not nest within one another, no cost is double-counted;
+// callers choose rename so this holds (e.g. map only leaf phases).
+func AggregatePhases(events []Event, player int, rename map[string]string) []PhaseCost {
+	rows := PhaseSummary(events, player)
+	idx := make(map[string]int)
+	var out []PhaseCost
+	for _, r := range rows {
+		label, ok := rename[r.Name]
+		if !ok {
+			continue
+		}
+		i, seen := idx[label]
+		if !seen {
+			idx[label] = len(out)
+			r.Name = label
+			r.Depth = 0
+			out = append(out, r)
+			continue
+		}
+		acc := &out[i]
+		acc.Cost = addSnapshots(acc.Cost, r.Cost)
+		// Rounds accumulate by summing each occurrence's consumption.
+		acc.EndRound = acc.BeginRound + acc.Rounds() + r.Rounds()
+	}
+	return out
+}
+
+func addSnapshots(a, b metrics.Snapshot) metrics.Snapshot {
+	return metrics.Snapshot{
+		FieldAdds:      a.FieldAdds + b.FieldAdds,
+		FieldMuls:      a.FieldMuls + b.FieldMuls,
+		FieldInvs:      a.FieldInvs + b.FieldInvs,
+		Interpolations: a.Interpolations + b.Interpolations,
+		Messages:       a.Messages + b.Messages,
+		Bytes:          a.Bytes + b.Bytes,
+		Broadcasts:     a.Broadcasts + b.Broadcasts,
+		Rounds:         a.Rounds + b.Rounds,
+		DomainHits:     a.DomainHits + b.DomainHits,
+		DomainMisses:   a.DomainMisses + b.DomainMisses,
+	}
+}
+
+// Timeline renders a human-readable per-round account of an event
+// sequence: one block per network round with its delivery totals, listing
+// span transitions and protocol events, with per-player send/broadcast
+// traffic aggregated into one line per round.
+func Timeline(w io.Writer, events []Event) {
+	type roundAgg struct {
+		round      int
+		sends      int64
+		sendBytes  int64
+		bcasts     int64
+		delivered  int64
+		delivBytes int64
+		lines      []string
+	}
+	byRound := make(map[int]*roundAgg)
+	order := []int{}
+	get := func(r int) *roundAgg {
+		a, ok := byRound[r]
+		if !ok {
+			a = &roundAgg{round: r}
+			byRound[r] = a
+			order = append(order, r)
+		}
+		return a
+	}
+	for _, e := range events {
+		a := get(e.Round)
+		switch e.Type {
+		case EvSend:
+			a.sends++
+			a.sendBytes += e.Bytes
+		case EvBroadcast:
+			a.bcasts++
+			a.sendBytes += e.Bytes
+		case EvDeliver:
+			a.delivered++
+			a.delivBytes += e.Bytes
+		case EvRound:
+			// totals already accumulated from deliveries; nothing to add
+		case EvSpanBegin:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] ▶ %s %s", e.Player, e.Kind, e.Name))
+		case EvSpanEnd:
+			line := fmt.Sprintf("[p%d] ◀ %s %s", e.Player, e.Kind, e.Name)
+			if e.Cost != nil {
+				line += fmt.Sprintf(" (%d rounds-span: msgs=%d bytes=%d interp=%d)",
+					e.Cost.Rounds, e.Cost.Messages, e.Cost.Bytes, e.Cost.Interpolations)
+			}
+			a.lines = append(a.lines, line)
+		case EvDealerBad:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] dealer %d disqualified", e.Player, e.From))
+		case EvClique:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] clique of %d found", e.Player, e.Count))
+		case EvLeader:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] leader %d elected (attempt %d)", e.Player, e.Value, e.Count))
+		case EvDecision:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] BA decided %d", e.Player, e.Value))
+		case EvCoinSealed:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] %d coins sealed", e.Player, e.Count))
+		case EvCoinExposed:
+			a.lines = append(a.lines, fmt.Sprintf("[p%d] coin %d exposed = %#x", e.Player, e.Count, e.Value))
+		}
+	}
+	sort.Ints(order)
+	for _, r := range order {
+		a := byRound[r]
+		fmt.Fprintf(w, "round %d: %d sent (+%d bcast), %d delivered, %d B\n",
+			a.round, a.sends, a.bcasts, a.delivered, a.delivBytes)
+		for _, l := range a.lines {
+			fmt.Fprintf(w, "  %s\n", l)
+		}
+	}
+}

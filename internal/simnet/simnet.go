@@ -23,14 +23,63 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
-// ErrHalted is returned by EndRound after the node has halted.
+// ErrHalted is returned by EndRound after the node has halted. Returned
+// errors wrap it with the node index and round; match with errors.Is.
 var ErrHalted = errors.New("simnet: node has halted")
 
-// ErrMaxRounds is returned when the network exceeds its round budget —
-// almost always a deadlocked or diverging protocol under test.
+// ErrMaxRounds is the sentinel for a network that exceeded its round
+// budget — almost always a deadlocked or diverging protocol under test.
+// The error actually returned is a *RoundLimitError wrapping this sentinel
+// with run context (round number, still-active players, staged traffic);
+// match with errors.Is(err, ErrMaxRounds).
 var ErrMaxRounds = errors.New("simnet: maximum round count exceeded")
+
+// RoundLimitError reports a round-budget overflow with enough context to
+// diagnose who stalled: the budget, the players that were still running
+// protocol code when it blew (halted players have finished and cannot be
+// the culprits), and how much traffic was pending delivery at the fatal
+// boundary. It unwraps to ErrMaxRounds.
+type RoundLimitError struct {
+	// Limit is the configured round budget that was exceeded.
+	Limit int
+	// Active lists the 0-based indices of players that had not halted —
+	// the suspects for a divergent or deadlocked protocol.
+	Active []int
+	// StagedMsgs and StagedBytes describe the traffic delivered at the
+	// boundary that overflowed the budget (0/0 means the protocol was
+	// spinning through empty rounds).
+	StagedMsgs  int
+	StagedBytes int64
+}
+
+// Error renders the diagnosis on one line.
+func (e *RoundLimitError) Error() string {
+	return fmt.Sprintf(
+		"simnet: maximum round count exceeded: budget of %d rounds exhausted with players %v still active (%d msgs / %d bytes staged at the fatal boundary)",
+		e.Limit, e.Active, e.StagedMsgs, e.StagedBytes)
+}
+
+// Unwrap makes errors.Is(err, ErrMaxRounds) hold.
+func (e *RoundLimitError) Unwrap() error { return ErrMaxRounds }
+
+// HaltedError reports EndRound being called on a node that already halted,
+// identifying the node and its round. It unwraps to ErrHalted.
+type HaltedError struct {
+	// Player is the 0-based index of the halted node; Round its completed
+	// round count when the call was made.
+	Player, Round int
+}
+
+// Error renders the diagnosis on one line.
+func (e *HaltedError) Error() string {
+	return fmt.Sprintf("simnet: node %d has halted (round %d)", e.Player, e.Round)
+}
+
+// Unwrap makes errors.Is(err, ErrHalted) hold.
+func (e *HaltedError) Unwrap() error { return ErrHalted }
 
 // Kind distinguishes how a message was delivered.
 type Kind int
@@ -60,6 +109,7 @@ type Network struct {
 	n         int
 	maxRounds int
 	ctr       *metrics.Counters
+	tracer    *obs.Tracer
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -89,6 +139,14 @@ func WithCounters(c *metrics.Counters) Option {
 // WithMaxRounds overrides the default round budget (100000).
 func WithMaxRounds(r int) Option {
 	return func(nw *Network) { nw.maxRounds = r }
+}
+
+// WithTracer attaches an obs.Tracer: the network emits send, broadcast,
+// delivery and round-boundary events, and protocol code reaches the same
+// tracer through Node.Tracer to mark its phases. A nil tracer (the
+// default) keeps the zero-cost path: no locking, no allocation.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(nw *Network) { nw.tracer = tr }
 }
 
 // New creates a network of n nodes, all active.
@@ -127,6 +185,21 @@ func (nw *Network) Round() int {
 	return nw.round
 }
 
+// Tracer returns the attached obs.Tracer (nil when tracing is disabled).
+func (nw *Network) Tracer() *obs.Tracer { return nw.tracer }
+
+// activeIndicesLocked lists the nodes that have not halted. Caller holds
+// nw.mu.
+func (nw *Network) activeIndicesLocked() []int {
+	out := make([]int, 0, nw.active)
+	for i, nd := range nw.nodes {
+		if !nd.halted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // commitLocked delivers all staged messages and advances the round.
 // Caller holds nw.mu.
 func (nw *Network) commitLocked() {
@@ -151,8 +224,36 @@ func (nw *Network) commitLocked() {
 	if nw.ctr != nil {
 		nw.ctr.AddRounds(1)
 	}
+	if nw.tracer != nil {
+		// Delivery and boundary events carry the index of the round the
+		// messages were staged in (the just-completed round), matching the
+		// Round field on the senders' EvSend events.
+		completed := nw.round - 1
+		delivered := 0
+		var totalBytes int64
+		for to, msgs := range nw.delivery {
+			for _, m := range msgs {
+				nw.tracer.Deliver(m.From, to, len(m.Payload), completed)
+				delivered++
+				totalBytes += int64(len(m.Payload))
+			}
+		}
+		nw.tracer.RoundBoundary(completed, delivered, totalBytes)
+	}
 	if nw.round > nw.maxRounds && nw.closedErr == nil {
-		nw.closedErr = ErrMaxRounds
+		staged, stagedBytes := 0, int64(0)
+		for _, msgs := range nw.delivery {
+			staged += len(msgs)
+			for _, m := range msgs {
+				stagedBytes += int64(len(m.Payload))
+			}
+		}
+		nw.closedErr = &RoundLimitError{
+			Limit:       nw.maxRounds,
+			Active:      nw.activeIndicesLocked(),
+			StagedMsgs:  staged,
+			StagedBytes: stagedBytes,
+		}
 	}
 	nw.cond.Broadcast()
 }
@@ -176,6 +277,11 @@ type stagedMsg struct {
 // Index()+1.
 func (nd *Node) Index() int { return nd.idx }
 
+// Tracer returns the network's obs.Tracer (nil when tracing is disabled).
+// Protocol modules fetch it here to mark their phases, so configuring one
+// WithTracer instruments the whole stack.
+func (nd *Node) Tracer() *obs.Tracer { return nd.nw.tracer }
+
 // N returns the network size.
 func (nd *Node) N() int { return nd.nw.n }
 
@@ -198,6 +304,9 @@ func (nd *Node) Send(to int, payload []byte) {
 	if nd.nw.ctr != nil {
 		nd.nw.ctr.AddMessages(1)
 		nd.nw.ctr.AddBytes(int64(len(payload)))
+	}
+	if nd.nw.tracer != nil {
+		nd.nw.tracer.Send(nd.idx, to, len(payload), nd.round)
 	}
 }
 
@@ -232,6 +341,9 @@ func (nd *Node) Broadcast(payload []byte) {
 		nd.nw.ctr.AddMessages(int64(nd.nw.n))
 		nd.nw.ctr.AddBytes(int64(nd.nw.n) * int64(len(payload)))
 	}
+	if nd.nw.tracer != nil {
+		nd.nw.tracer.Broadcast(nd.idx, len(payload), nd.round)
+	}
 }
 
 // EndRound flushes this node's staged messages, waits for every other
@@ -250,7 +362,7 @@ func (nd *Node) EndRound() ([]Message, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nd.halted {
-		return nil, ErrHalted
+		return nil, &HaltedError{Player: nd.idx, Round: nd.round}
 	}
 	if nw.closedErr != nil {
 		return nil, nw.closedErr

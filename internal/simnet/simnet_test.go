@@ -3,10 +3,12 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func TestRoundDelivery(t *testing.T) {
@@ -365,4 +367,141 @@ func TestConcurrentNetworks(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestRoundLimitErrorDiagnosis(t *testing.T) {
+	// A runaway protocol must fail with a diagnosis naming the players that
+	// were still running (the halted one is innocent) and the traffic that
+	// was pending at the fatal boundary.
+	nw := New(3, WithMaxRounds(5))
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) {
+			_, err := nd.EndRound()
+			return nil, err // returns → halts after one round
+		},
+		func(nd *Node) (interface{}, error) {
+			for {
+				nd.Send(2, []byte("abc"))
+				if _, err := nd.EndRound(); err != nil {
+					return nil, err
+				}
+			}
+		},
+		func(nd *Node) (interface{}, error) {
+			for {
+				if _, err := nd.EndRound(); err != nil {
+					return nil, err
+				}
+			}
+		},
+	})
+	err := results[1].Err
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	var rle *RoundLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %T, want *RoundLimitError", err)
+	}
+	if rle.Limit != 5 {
+		t.Fatalf("Limit = %d, want 5", rle.Limit)
+	}
+	if len(rle.Active) != 2 || rle.Active[0] != 1 || rle.Active[1] != 2 {
+		t.Fatalf("Active = %v, want [1 2]", rle.Active)
+	}
+	if rle.StagedMsgs != 1 || rle.StagedBytes != 3 {
+		t.Fatalf("staged = %d msgs / %d bytes, want 1 / 3", rle.StagedMsgs, rle.StagedBytes)
+	}
+	msg := err.Error()
+	for _, want := range []string{"budget of 5 rounds", "players [1 2] still active", "1 msgs / 3 bytes staged"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestHaltedErrorDiagnosis(t *testing.T) {
+	nw := New(2)
+	nd := nw.Node(1)
+	nd.Halt()
+	_, err := nd.EndRound()
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	var he *HaltedError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %T, want *HaltedError", err)
+	}
+	if he.Player != 1 {
+		t.Fatalf("Player = %d, want 1", he.Player)
+	}
+	if !strings.Contains(err.Error(), "node 1 has halted") {
+		t.Fatalf("error %q does not name the node", err.Error())
+	}
+}
+
+func TestTracerEmitsNetworkEvents(t *testing.T) {
+	ring := obs.NewRing(0)
+	tr := obs.New(nil, ring)
+	nw := New(2, WithTracer(tr))
+	if nw.Tracer() != tr {
+		t.Fatal("Tracer() accessor does not return the installed tracer")
+	}
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) {
+			if nd.Tracer() != tr {
+				return nil, errors.New("node does not expose the network tracer")
+			}
+			nd.Send(1, []byte("hello"))
+			nd.Broadcast([]byte("hi"))
+			_, err := nd.EndRound()
+			return nil, err
+		},
+		func(nd *Node) (interface{}, error) {
+			msgs, err := nd.EndRound()
+			if err != nil {
+				return nil, err
+			}
+			if len(msgs) != 2 {
+				return nil, fmt.Errorf("got %d msgs, want 2", len(msgs))
+			}
+			return nil, nil
+		},
+	})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("player %d: %v", i, r.Err)
+		}
+	}
+	var sends, bcasts, delivers, rounds int
+	for _, e := range ring.Events() {
+		switch e.Type {
+		case obs.EvSend:
+			sends++
+			if e.From != 0 || e.To != 1 || e.Bytes != 5 || e.Round != 0 {
+				t.Fatalf("bad send event: %+v", e)
+			}
+		case obs.EvBroadcast:
+			bcasts++
+			if e.From != 0 || e.Bytes != 2 {
+				t.Fatalf("bad broadcast event: %+v", e)
+			}
+		case obs.EvDeliver:
+			delivers++
+			if e.From != 0 || e.Round != 0 {
+				t.Fatalf("bad deliver event: %+v", e)
+			}
+		case obs.EvRound:
+			rounds++
+			// 3 deliveries: the unicast to p1 plus the broadcast copy at
+			// every node (the ideal facility includes the sender).
+			if e.Round != 0 || e.Count != 3 || e.Bytes != 9 {
+				t.Fatalf("bad round event: %+v", e)
+			}
+		}
+	}
+	if sends != 1 || bcasts != 1 || delivers != 3 || rounds != 1 {
+		t.Fatalf("event counts send=%d bcast=%d deliver=%d round=%d, want 1/1/3/1",
+			sends, bcasts, delivers, rounds)
+	}
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/coin"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -114,6 +115,8 @@ func Deal(nd *simnet.Node, cfg Config, dealer int, secrets []gf2k.Element, rnd i
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "vss/deal")
+	defer func() { sp.End(nd.Round()) }()
 	if nd.N() != cfg.N {
 		return nil, fmt.Errorf("vss: network size %d != configured %d", nd.N(), cfg.N)
 	}
@@ -204,6 +207,8 @@ func Deal(nd *simnet.Node, cfg Config, dealer int, secrets []gf2k.Element, rnd i
 // elimination only when some are not.
 func (inst *Instance) Verify(nd *simnet.Node) (bool, error) {
 	cfg := inst.cfg
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "vss/verify")
+	defer func() { sp.End(nd.Round()) }()
 	r, err := cfg.Coins.Expose(nd)
 	if err != nil {
 		return false, fmt.Errorf("vss: expose challenge: %w", err)
@@ -254,6 +259,7 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	if complaints > cfg.T {
 		// More than t players claim not to hold shares: the dealer must be
 		// faulty (an honest dealer reaches all n−t honest players).
+		nd.Tracer().DealerDisqualified(nd.Index(), inst.dealer, nd.Round())
 		return false, nil
 	}
 	// Up to t faulty players total; `complaints` of them are already
@@ -261,6 +267,7 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	budget := cfg.T - complaints
 	_, err = bw.Decode(cfg.Field, xs, ys, cfg.T, budget, cfg.Counters)
 	if err != nil {
+		nd.Tracer().DealerDisqualified(nd.Index(), inst.dealer, nd.Round())
 		return false, nil // includes bw.ErrNoCodeword: reject
 	}
 	return true, nil
@@ -289,6 +296,8 @@ func (inst *Instance) combination(r gf2k.Element) gf2k.Element {
 // domain plus n·(t+1) multiplications of agreement checking.
 func (inst *Instance) Reconstruct(nd *simnet.Node, j int) (gf2k.Element, error) {
 	cfg := inst.cfg
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "vss/reconstruct")
+	defer func() { sp.End(nd.Round()) }()
 	var my gf2k.Element
 	if j >= 0 && j < len(inst.Shares) {
 		my = inst.Shares[j]
