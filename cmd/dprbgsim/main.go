@@ -7,6 +7,12 @@
 //
 //	dprbgsim -n 13 -t 2 -k 32 -coins 200 -batch 32 -crash 2,9 -v
 //
+// Fault injection (shared vocabulary with internal/adversary):
+//
+//	-crash 2,9                        players 2 and 9 crash at start
+//	-faults 'crash:2; garbage@40:9'   full spec — crash, crash-after@R,
+//	                                  silent[@R], garbage[@R], replay[@R]
+//
 // Observability:
 //
 //	-trace coins.jsonl   write the full protocol trace as JSONL (replayable
@@ -26,7 +32,6 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,7 +56,7 @@ type config struct {
 	coins    int
 	batch    int
 	seed     int
-	crashed  map[int]bool
+	faults   adversary.Spec
 	rngSeed  int64
 	verbose  bool
 	useTCP   bool
@@ -73,7 +78,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		coins    = fs.Int("coins", 100, "shared coins to generate")
 		batch    = fs.Int("batch", 16, "Coin-Gen batch size M")
 		seed     = fs.Int("seed", 8, "initial trusted-dealer seed coins")
-		crash    = fs.String("crash", "", "comma-separated player indices that crash at start")
+		crash    = fs.String("crash", "", "comma-separated player indices that crash at start (alias for -faults 'crash:...')")
+		faults   = fs.String("faults", "", "fault spec 'behaviour[@param]:idx,idx;...' (behaviours: crash, crash-after@R, silent[@R], garbage[@R], replay[@R])")
 		rngSeed  = fs.Int64("rngseed", time.Now().UnixNano(), "PRNG seed (reproducibility)")
 		verbose  = fs.Bool("v", false, "print every coin")
 		useTCP   = fs.Bool("tcp", false, "carry every protocol message over TCP loopback sockets")
@@ -113,31 +119,27 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 			*seed, core.DefaultThreshold)
 	}
 
-	crashed := map[int]bool{}
+	// -crash is sugar for the crash behaviour of the full -faults spec; both
+	// feed the same parser so every flag error reads identically.
+	spec := *faults
 	if *crash != "" {
-		for _, s := range strings.Split(*crash, ",") {
-			s = strings.TrimSpace(s)
-			idx, err := strconv.Atoi(s)
-			if err != nil {
-				return nil, fmt.Errorf("bad -crash entry %q: not an integer", s)
-			}
-			if idx < 0 || idx >= *n {
-				return nil, fmt.Errorf("bad -crash entry %d: player indices range over [0, %d)", idx, *n)
-			}
-			if crashed[idx] {
-				return nil, fmt.Errorf("duplicate -crash entry %d", idx)
-			}
-			crashed[idx] = true
+		if spec != "" {
+			spec += "; "
 		}
+		spec += "crash:" + *crash
 	}
-	if len(crashed) > *t {
-		return nil, fmt.Errorf("%d crashed players exceed the fault bound -t %d", len(crashed), *t)
+	parsed, err := adversary.ParseSpec(spec, *n, *rngSeed)
+	if err != nil {
+		return nil, err
+	}
+	if len(parsed) > *t {
+		return nil, fmt.Errorf("%d faulty players exceed the fault bound -t %d", len(parsed), *t)
 	}
 
 	return &config{
 		n: *n, t: *t, k: *k,
 		coins: *coins, batch: *batch, seed: *seed,
-		crashed: crashed, rngSeed: *rngSeed,
+		faults: parsed, rngSeed: *rngSeed,
 		verbose: *verbose, useTCP: *useTCP,
 		trace: *trace, timeline: *timeline, pprof: *pprofA,
 	}, nil
@@ -224,8 +226,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(stderr, "dprbgsim: n=%d t=%d k=%d batch=%d seed=%d crashed=%v rngseed=%d tcp=%v\n",
-		cfg.n, cfg.t, cfg.k, cfg.batch, cfg.seed, keys(cfg.crashed), cfg.rngSeed, cfg.useTCP)
+	fmt.Fprintf(stderr, "dprbgsim: n=%d t=%d k=%d batch=%d seed=%d faults=[%s] rngseed=%d tcp=%v\n",
+		cfg.n, cfg.t, cfg.k, cfg.batch, cfg.seed, describeFaults(cfg.faults), cfg.rngSeed, cfg.useTCP)
 
 	opts := []simnet.Option{simnet.WithCounters(&ctr)}
 	if tracer != nil {
@@ -243,8 +245,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fns := make([]simnet.PlayerFunc, cfg.n)
 	for i := 0; i < cfg.n; i++ {
-		if cfg.crashed[i] {
-			fns[i] = adversary.Crash()
+		if f, ok := cfg.faults[i]; ok {
+			fns[i] = f.Fn
 			continue
 		}
 		i := i
@@ -275,7 +277,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var ref []gf2k.Element
 	var refIdx int
 	for i, r := range results {
-		if cfg.crashed[i] {
+		// Faulty players are outside the unanimity/error contract: some stop
+		// with an error by design (e.g. silent players hit the round budget).
+		if _, faulty := cfg.faults[i]; faulty {
 			continue
 		}
 		if r.Err != nil {
@@ -338,17 +342,12 @@ func max1(v int) float64 {
 	return float64(v)
 }
 
-func keys(m map[int]bool) []int {
-	var out []int
-	for v := range m {
-		out = append(out, v)
+// describeFaults renders the parsed spec back as "idx:behaviour" pairs in
+// index order for the startup banner.
+func describeFaults(sp adversary.Spec) string {
+	parts := make([]string, 0, len(sp))
+	for _, i := range sp.Indices() {
+		parts = append(parts, fmt.Sprintf("%d:%s", i, sp[i].Name))
 	}
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
-	return out
+	return strings.Join(parts, " ")
 }

@@ -30,8 +30,14 @@ func TestRunFlagValidation(t *testing.T) {
 		{"crash not a number", []string{"-crash", "x"}, "not an integer"},
 		{"crash out of range", []string{"-crash", "7"}, "range over [0, 7)"},
 		{"crash negative", []string{"-crash", "-1"}, "range over [0, 7)"},
-		{"crash duplicate", []string{"-crash", "0,0"}, "duplicate -crash entry 0"},
+		{"crash duplicate", []string{"-crash", "0,0"}, "duplicate entry for player 0"},
 		{"too many crashed", []string{"-n", "13", "-t", "2", "-crash", "0,1,2"}, "exceed the fault bound"},
+		{"faults unknown behaviour", []string{"-faults", "teleport:1"}, "unknown behaviour"},
+		{"faults missing indices", []string{"-faults", "crash"}, "lacks a ':<indices>' part"},
+		{"faults missing param", []string{"-faults", "crash-after:1"}, "requires a parameter"},
+		{"faults bad param", []string{"-faults", "silent@-3:1"}, "not a non-negative integer"},
+		{"faults and crash collide", []string{"-faults", "silent:2", "-crash", "2"}, "duplicate entry for player 2"},
+		{"faults over bound", []string{"-faults", "crash:1", "-crash", "2"}, "exceed the fault bound"},
 		{"positional junk", []string{"extra"}, "unexpected positional arguments"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
@@ -105,6 +111,26 @@ func TestRunHappyPath(t *testing.T) {
 		if !seen[want] {
 			t.Fatalf("trace has no %v event", want)
 		}
+	}
+}
+
+// TestRunFaultSpec drives the full -faults vocabulary end to end: a garbage
+// spammer is a live Byzantine player (not just an absent one), and the
+// honest majority must still deliver unanimous coins around it.
+func TestRunFaultSpec(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-n", "7", "-t", "1", "-k", "16", "-coins", "8", "-batch", "8",
+		"-rngseed", "5", "-faults", "garbage@200:3",
+	}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, errb.String())
+	}
+	if !strings.Contains(out.String(), "coins delivered:   8 (all honest players unanimous)") {
+		t.Fatalf("missing unanimity line in output:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "faults=[3:garbage@200]") {
+		t.Fatalf("banner does not name the fault spec:\n%s", errb.String())
 	}
 }
 

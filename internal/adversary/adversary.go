@@ -1,12 +1,25 @@
-// Package adversary collects reusable Byzantine player behaviours for
-// tests, experiments and examples. Each constructor returns a
-// simnet.PlayerFunc that can be dropped in place of an honest player's
-// protocol code. Protocol-specific attacks (wrong-degree dealers,
-// equivocating γ announcers, leader griefers) live next to the protocols
-// they attack; the strategies here are protocol-agnostic.
+// Package adversary collects reusable Byzantine behaviours for tests,
+// experiments and examples, in three tiers:
+//
+//   - Protocol-agnostic player faults (this file): constructors returning a
+//     simnet.PlayerFunc — crash, omission, garbage, replay — dropped in
+//     place of an honest player's protocol code.
+//   - Protocol-aware attacks (attacks.go): players that speak a protocol's
+//     wire format well enough to cheat inside it — wrong-degree and
+//     inconsistent VSS dealers, lying verifiers, phase-king griefers, a
+//     deviant Coin-Gen dealer.
+//   - Message-level strategies (strategy.go): a composable, seeded
+//     simnet.Interceptor that binds tamper/drop/duplicate/misdeliver
+//     effects to senders, receivers and rounds, for attacks on traffic the
+//     corrupted sender's code never sees (equivocation, selective
+//     delivery).
+//
+// ParseSpec (spec.go) maps a textual fault assignment to these
+// constructors, giving the CLI and the test tree one shared vocabulary.
 package adversary
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/simnet"
@@ -36,12 +49,16 @@ func CrashAfter(rounds int) simnet.PlayerFunc {
 
 // Silent returns a player that stays in lockstep forever but never sends a
 // message — an omission fault that, unlike Crash, keeps consuming rounds.
-// It runs until the network errors out (protocol end).
+// It runs until the network errors out (protocol end); that terminating
+// error is surfaced with the node's context rather than swallowed, so
+// orchestrators that treat any player error as fatal must exempt their
+// designated faulty players (as cmd/dprbgsim and the conformance suite do).
 func Silent() simnet.PlayerFunc {
 	return func(nd *simnet.Node) (interface{}, error) {
 		for {
 			if _, err := nd.EndRound(); err != nil {
-				return nil, nil //nolint:nilerr // expected shutdown path
+				return nil, fmt.Errorf("adversary: silent player %d stopped at round %d: %w",
+					nd.Index(), nd.Round(), err)
 			}
 		}
 	}

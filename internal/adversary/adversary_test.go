@@ -1,6 +1,8 @@
 package adversary
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/simnet"
@@ -114,10 +116,23 @@ func TestReplayerEchoes(t *testing.T) {
 	}
 }
 
-func TestSilentStopsOnNetworkError(t *testing.T) {
+// TestSilentSurfacesNetworkError pins that Silent reports the error that
+// ended its run — with the node index and round for context, and with the
+// underlying network sentinel still matchable via errors.Is — instead of
+// masking a possible protocol bug as a clean exit.
+func TestSilentSurfacesNetworkError(t *testing.T) {
 	nw := simnet.New(1, simnet.WithMaxRounds(5))
 	results := simnet.Run(nw, []simnet.PlayerFunc{Silent()})
-	if results[0].Err != nil {
-		t.Fatalf("Silent should swallow the shutdown error, got %v", results[0].Err)
+	err := results[0].Err
+	if err == nil {
+		t.Fatal("Silent returned nil after the network shut down; the shutdown error was swallowed")
+	}
+	if !errors.Is(err, simnet.ErrMaxRounds) {
+		t.Fatalf("error does not unwrap to the network cause: %v", err)
+	}
+	for _, want := range []string{"silent player 0", "round"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q lacks node context %q", err, want)
+		}
 	}
 }

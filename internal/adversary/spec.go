@@ -1,0 +1,134 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// Fault is one player's assigned misbehaviour, resolved from a spec entry.
+type Fault struct {
+	// Name is the behaviour's spec name, with its parameter when one was
+	// given (e.g. "silent@200") — used for reporting.
+	Name string
+	// Fn is the player function implementing the behaviour.
+	Fn simnet.PlayerFunc
+}
+
+// Spec maps player indices to their assigned faults.
+type Spec map[int]Fault
+
+// Indices returns the faulty player indices in ascending order.
+func (s Spec) Indices() []int {
+	out := make([]int, 0, len(s))
+	for i := range s {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ParseSpec parses a textual fault assignment into player behaviours,
+// giving CLIs and tests one shared vocabulary. The grammar is
+//
+//	spec    = entry *( ";" entry )
+//	entry   = name [ "@" param ] ":" index *( "," index )
+//
+// for example "crash:2,9;silent@200:4;garbage@16:5". Behaviours:
+//
+//	crash          halt immediately (Crash)
+//	crash-after@R  participate silently for R rounds, then halt (CrashAfter)
+//	silent         stay in lockstep, send nothing, until the network ends
+//	               (Silent); with @R, fall silent for R rounds then halt
+//	               (SilentFor)
+//	garbage@R      spam per-receiver random junk for R rounds, default 1000
+//	               (GarbageSpammer)
+//	replay@R       echo previous-round traffic back for R rounds, default
+//	               1000 (Replayer)
+//
+// Indices must lie in [0, n) and no player may be assigned twice. Seeded
+// behaviours derive their randomness from `seed` and the player index, so a
+// (spec, seed) pair is fully reproducible.
+func ParseSpec(spec string, n int, seed int64) (Spec, error) {
+	out := Spec{}
+	if strings.TrimSpace(spec) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		head, idxList, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("adversary: spec entry %q lacks a ':<indices>' part", entry)
+		}
+		name, paramStr, hasParam := strings.Cut(strings.TrimSpace(head), "@")
+		name = strings.TrimSpace(name)
+		param := -1
+		if hasParam {
+			p, err := strconv.Atoi(strings.TrimSpace(paramStr))
+			if err != nil || p < 0 {
+				return nil, fmt.Errorf("adversary: spec entry %q: parameter %q is not a non-negative integer", entry, paramStr)
+			}
+			param = p
+		}
+		for _, is := range strings.Split(idxList, ",") {
+			is = strings.TrimSpace(is)
+			idx, err := strconv.Atoi(is)
+			if err != nil {
+				return nil, fmt.Errorf("adversary: spec entry %q: index %q is not an integer", entry, is)
+			}
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("adversary: spec entry %q: index %d outside range over [0, %d)", entry, idx, n)
+			}
+			if prev, dup := out[idx]; dup {
+				return nil, fmt.Errorf("adversary: duplicate entry for player %d (%s and %s)", idx, prev.Name, head)
+			}
+			fn, err := faultFor(name, param, hasParam, seed+int64(idx))
+			if err != nil {
+				return nil, fmt.Errorf("adversary: spec entry %q: %w", entry, err)
+			}
+			out[idx] = Fault{Name: strings.TrimSpace(head), Fn: fn}
+		}
+	}
+	return out, nil
+}
+
+func faultFor(name string, param int, hasParam bool, seed int64) (simnet.PlayerFunc, error) {
+	needParam := func() error {
+		if !hasParam {
+			return fmt.Errorf("behaviour %q requires a parameter (e.g. %s@3)", name, name)
+		}
+		return nil
+	}
+	withDefault := func(def int) int {
+		if hasParam {
+			return param
+		}
+		return def
+	}
+	switch name {
+	case "crash":
+		return Crash(), nil
+	case "crash-after":
+		if err := needParam(); err != nil {
+			return nil, err
+		}
+		return CrashAfter(param), nil
+	case "silent":
+		if hasParam {
+			return SilentFor(param, nil), nil
+		}
+		return Silent(), nil
+	case "garbage":
+		return GarbageSpammer(seed, withDefault(1000), 32), nil
+	case "replay":
+		return Replayer(withDefault(1000)), nil
+	default:
+		return nil, fmt.Errorf("unknown behaviour %q (want crash, crash-after, silent, garbage or replay)", name)
+	}
+}

@@ -1,0 +1,188 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/simnet"
+)
+
+// Match selects the staged message copies a rule applies to. Zero-valued
+// fields match everything, so Match{} covers all traffic.
+type Match struct {
+	// Senders restricts the rule to messages from these players (any sender
+	// when empty). Only messages from corrupted players should normally be
+	// matched: intercepting an honest player's traffic models that player
+	// being corrupted too, and counts against the fault bound t.
+	Senders []int
+	// Receivers restricts the rule to copies addressed to these players
+	// (any recipient when empty).
+	Receivers []int
+	// Round restricts the rule to rounds for which the predicate holds
+	// (all rounds when nil). Rounds are the network's 0-based staging
+	// rounds; see RoundIs and RoundIn for the common predicates.
+	Round func(round int) bool
+	// Kind restricts the rule to one delivery kind (both when zero).
+	Kind simnet.Kind
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (m Match) covers(d simnet.Deliverable) bool {
+	if len(m.Senders) > 0 && !containsInt(m.Senders, d.From) {
+		return false
+	}
+	if len(m.Receivers) > 0 && !containsInt(m.Receivers, d.To) {
+		return false
+	}
+	if m.Round != nil && !m.Round(d.Round) {
+		return false
+	}
+	if m.Kind != 0 && m.Kind != d.Kind {
+		return false
+	}
+	return true
+}
+
+// RoundIs returns a predicate matching exactly round r.
+func RoundIs(r int) func(int) bool {
+	return func(round int) bool { return round == r }
+}
+
+// RoundIn returns a predicate matching rounds in [lo, hi] inclusive.
+func RoundIn(lo, hi int) func(int) bool {
+	return func(round int) bool { return round >= lo && round <= hi }
+}
+
+// Effect rewrites one matched message copy. It receives the strategy's
+// seeded rng (interception is serialized under the network lock, so
+// unguarded use is deterministic) and returns the copies to deliver instead:
+// nil drops the copy, several results duplicate it. Effects must not mutate
+// d.Payload in place — other copies of the same message share its backing
+// array.
+type Effect func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable
+
+// Strategy is a composable message-level adversary: an ordered rule list
+// binding Effects to the traffic they corrupt. The first matching rule wins;
+// unmatched copies pass through unchanged. Build one with NewStrategy and
+// chain On calls, then install it on the network WithInterceptor.
+type Strategy struct {
+	rng   *rand.Rand
+	rules []struct {
+		m Match
+		e Effect
+	}
+}
+
+// NewStrategy returns an empty strategy whose effects draw randomness from
+// the given seed, so a (seed, rule set) pair replays the identical attack.
+func NewStrategy(seed int64) *Strategy {
+	return &Strategy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// On appends a rule applying e to copies covered by m, returning the
+// strategy for chaining.
+func (s *Strategy) On(m Match, e Effect) *Strategy {
+	s.rules = append(s.rules, struct {
+		m Match
+		e Effect
+	}{m, e})
+	return s
+}
+
+// Intercept implements simnet.Interceptor.
+func (s *Strategy) Intercept(d simnet.Deliverable) []simnet.Deliverable {
+	for _, r := range s.rules {
+		if r.m.covers(d) {
+			return r.e(s.rng, d)
+		}
+	}
+	return d.Pass()
+}
+
+// Drop returns an effect that discards every matched copy — selective
+// delivery when bound to particular receivers, full omission otherwise.
+func Drop() Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		return nil
+	}
+}
+
+// Tamper returns an effect replacing the payload with f(to, payload). The
+// original slice is passed read-only; f receives a private copy it may
+// mutate and return. Returning a per-recipient variant is equivocation.
+func Tamper(f func(to int, payload []byte) []byte) Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		cp := append([]byte(nil), d.Payload...)
+		d.Payload = f(d.To, cp)
+		return d.Pass()
+	}
+}
+
+// Garble returns an effect replacing the payload with random junk of random
+// length up to maxLen — a syntactically hostile tamper.
+func Garble(maxLen int) Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		junk := make([]byte, rng.Intn(maxLen+1))
+		rng.Read(junk)
+		d.Payload = junk
+		return d.Pass()
+	}
+}
+
+// Duplicate returns an effect delivering the copy `times` times in total.
+func Duplicate(times int) Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		out := make([]simnet.Deliverable, times)
+		for i := range out {
+			out[i] = d
+		}
+		return out
+	}
+}
+
+// Redirect returns an effect misdelivering the copy to player `to` instead
+// of its addressee (the sender identity stays authenticated).
+func Redirect(to int) Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		d.To = to
+		return d.Pass()
+	}
+}
+
+// FlipByte returns an effect XORing `mask` into the payload byte at
+// `offset` (copies shorter than offset+1 pass unchanged). Because XOR by a
+// *constant* is invisible to linear checks over GF(2^k), mask may depend on
+// the recipient; see PerRecipientFlip.
+func FlipByte(offset int, mask byte) Effect {
+	return Tamper(func(to int, p []byte) []byte {
+		if offset < len(p) {
+			p[offset] ^= mask
+		}
+		return p
+	})
+}
+
+// PerRecipientFlip returns an effect XORing a fresh pseudo-random nonzero
+// mask into the payload byte at `offset` of every matched copy. A constant
+// flip shifts every share by the same field element and a recipient-id flip
+// deviates *linearly* in the evaluation point — both survive polynomial
+// consistency checks, because the corrupted points still lie on a shifted
+// degree-t curve. Independent random masks per copy break that structure
+// and are the canonical share-corruption attack.
+func PerRecipientFlip(offset int) Effect {
+	return func(rng *rand.Rand, d simnet.Deliverable) []simnet.Deliverable {
+		cp := append([]byte(nil), d.Payload...)
+		if offset < len(cp) {
+			cp[offset] ^= byte(1 + rng.Intn(255))
+		}
+		d.Payload = cp
+		return d.Pass()
+	}
+}

@@ -1,0 +1,122 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/simnet"
+)
+
+// BAOutcome is the result of one Byzantine-agreement conformance scenario.
+type BAOutcome struct {
+	Env             *env
+	Corrupt, Honest []int
+	// Inputs[i] is player i's BA input; Decisions the honest outputs.
+	Inputs    []byte
+	Decisions map[int]byte
+	// Unanimous is the honest players' common input when they all agree
+	// (validity applies), or 0xFF when inputs are mixed.
+	Unanimous byte
+}
+
+// baAttacker is the corrupted player in every BA scenario. Index 0 is the
+// king of phase 0, the strongest position for a single fault.
+const baAttacker = 0
+
+// RunBA executes one phase-king BA conformance scenario. Variant selects
+// the honest input pattern: "ones", "zeros" or "mixed" (player index mod 2).
+func RunBA(sc Scenario) (*BAOutcome, error) {
+	out := &BAOutcome{Decisions: map[int]byte{}}
+	inputs := make([]byte, sc.N)
+	switch sc.Variant {
+	case "ones":
+		for i := range inputs {
+			inputs[i] = 1
+		}
+	case "zeros":
+		// all zero already
+	case "mixed":
+		for i := range inputs {
+			inputs[i] = byte(i & 1)
+		}
+	default:
+		return nil, fmt.Errorf("conformance: unknown ba input variant %q", sc.Variant)
+	}
+	out.Inputs = inputs
+
+	var ic simnet.Interceptor
+	switch sc.Attack {
+	case "honest", "griefer-king", "crash":
+	case "vote-equivocator":
+		// The attacker's code is honest; the message layer rewrites its
+		// one-byte votes per recipient.
+		out.Corrupt = []int{baAttacker}
+		ic = adversary.VoteEquivocator(baAttacker)
+	default:
+		return nil, fmt.Errorf("conformance: unknown ba attack %q", sc.Attack)
+	}
+
+	e, err := newEnv(sc, ic, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Env = e
+
+	fns := make([]simnet.PlayerFunc, sc.N)
+	for i := range fns {
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			return ba.PhaseKing{T: sc.T}.Run(nd, inputs[nd.Index()])
+		}
+	}
+	switch sc.Attack {
+	case "griefer-king":
+		out.Corrupt = []int{baAttacker}
+		fns[baAttacker] = adversary.PhaseKingGriefer(sc.T, e.attackSeed(baAttacker))
+	case "crash":
+		out.Corrupt = []int{baAttacker}
+		fns[baAttacker] = adversary.Crash()
+	}
+
+	out.Honest = honestSet(sc.N, out.Corrupt)
+	out.Unanimous = 0xFF
+	agree := true
+	for _, i := range out.Honest[1:] {
+		if inputs[i] != inputs[out.Honest[0]] {
+			agree = false
+		}
+	}
+	if agree {
+		out.Unanimous = inputs[out.Honest[0]]
+	}
+	results := simnet.Run(e.nw, fns)
+	if err := checkHonest(e, results, out.Honest); err != nil {
+		return nil, err
+	}
+	for _, i := range out.Honest {
+		d, ok := results[i].Value.(byte)
+		if !ok {
+			return nil, e.failf("player %d returned %T, want byte", i, results[i].Value)
+		}
+		out.Decisions[i] = d
+	}
+	return out, nil
+}
+
+// Check asserts BA's agreement and validity properties: all honest players
+// decide the same bit, and when the honest inputs were unanimous the
+// decision is that input regardless of the adversary.
+func (o *BAOutcome) Check() error {
+	e := o.Env
+	ref := o.Decisions[o.Honest[0]]
+	for _, i := range o.Honest {
+		if o.Decisions[i] != ref {
+			return e.failf("agreement violated: player %d decided %d, player %d decided %d",
+				o.Honest[0], ref, i, o.Decisions[i])
+		}
+	}
+	if o.Unanimous != 0xFF && ref != o.Unanimous {
+		return e.failf("validity violated: unanimous honest input %d, decision %d", o.Unanimous, ref)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/coingen"
+	"repro/internal/gf2k"
+	"repro/internal/simnet"
+)
+
+// Coin-Gen round layout from a fresh network (used to bind message-level
+// attacks to their phase): round 0 is the Bit-Gen dealing, round 1 the
+// challenge expose, round 2 the γ exchange; grade-cast and the leader loop
+// follow.
+const (
+	cgDealRound  = 0
+	cgGammaRound = 2
+)
+
+// cgAttacker is the corrupted player in every Coin-Gen scenario.
+const cgAttacker = 2
+
+// cgPlayer is one honest player's output: the Coin-Gen result plus the
+// exposed values of all M generated coins.
+type cgPlayer struct {
+	Res   *coingen.Result
+	Coins []gf2k.Element
+}
+
+// CoinGenOutcome is the result of one Coin-Gen conformance scenario.
+type CoinGenOutcome struct {
+	Env             *env
+	Corrupt, Honest []int
+	// ExpectExcluded is set when the attack must get the attacker expelled
+	// from the agreed clique.
+	ExpectExcluded bool
+	// Players[i] is honest player i's output.
+	Players map[int]cgPlayer
+}
+
+// RunCoinGen executes one Coin-Gen conformance scenario: every player runs
+// Fig. 5 end to end and then exposes all M fresh coins (Fig. 6), so the
+// suite can assert unanimity of the *opened* values, not just of the sealed
+// batches.
+func RunCoinGen(sc Scenario) (*CoinGenOutcome, error) {
+	out := &CoinGenOutcome{Players: map[int]cgPlayer{}}
+
+	var ic simnet.Interceptor
+	switch sc.Attack {
+	case "honest", "crash", "silent", "wrong-degree-dealer", "coin-share-liar":
+	case "deal-corrupt":
+		// The attacker's code is honest; the message layer hands every
+		// recipient a randomly perturbed share vector, so its dealing is
+		// inconsistent and the consistency graph must expel it.
+		out.Corrupt, out.ExpectExcluded = []int{cgAttacker}, true
+		ic = adversary.DealCorruptor(cgAttacker, cgDealRound)
+	case "gamma-equivocate":
+		// Each recipient sees a different coordinate of the attacker's γ
+		// vector perturbed; the clique machinery must still converge.
+		out.Corrupt = []int{cgAttacker}
+		ic = adversary.GammaEquivocator(gf2k.MustNew(32), cgAttacker, cgGammaRound)
+	default:
+		return nil, fmt.Errorf("conformance: unknown coingen attack %q", sc.Attack)
+	}
+
+	// 8 seed coins: 1 challenge + up to 7 leader attempts.
+	e, err := newEnv(sc, ic, 8)
+	if err != nil {
+		return nil, err
+	}
+	out.Env = e
+
+	cfgFor := func(i int) coingen.Config {
+		return coingen.Config{Field: e.field, N: sc.N, T: sc.T, M: sc.M, Seed: e.seeds[i]}
+	}
+	honest := func(i int) simnet.PlayerFunc {
+		return func(nd *simnet.Node) (interface{}, error) {
+			res, err := coingen.Run(nd, cfgFor(nd.Index()), e.playerRand(nd.Index()))
+			if err != nil {
+				return nil, err
+			}
+			p := cgPlayer{Res: res}
+			for res.Batch.Remaining() > 0 {
+				c, err := res.Batch.Expose(nd)
+				if err != nil {
+					return nil, err
+				}
+				p.Coins = append(p.Coins, c)
+			}
+			return p, nil
+		}
+	}
+	fns := make([]simnet.PlayerFunc, sc.N)
+	for i := range fns {
+		fns[i] = honest(i)
+	}
+	switch sc.Attack {
+	case "crash":
+		out.Corrupt, out.ExpectExcluded = []int{cgAttacker}, true
+		fns[cgAttacker] = adversary.Crash()
+	case "silent":
+		out.Corrupt, out.ExpectExcluded = []int{cgAttacker}, true
+		fns[cgAttacker] = adversary.SilentFor(1024, nil)
+	case "wrong-degree-dealer":
+		out.Corrupt, out.ExpectExcluded = []int{cgAttacker}, true
+		fns[cgAttacker] = adversary.CoinGenWrongDegreeDealer(
+			e.field, sc.N, sc.T, sc.M, e.seeds[cgAttacker], e.attackSeed(cgAttacker))
+	case "coin-share-liar":
+		// Honest code over a corrupted seed batch: every sealed-coin share
+		// the attacker transmits during exposure rounds is wrong, and the
+		// Berlekamp–Welch budget must absorb it without perturbing the
+		// challenge or any leader draw.
+		out.Corrupt = []int{cgAttacker}
+		liar := e.seeds[cgAttacker]
+		for h := range liar.Shares {
+			liar.Shares[h] = e.field.Add(liar.Shares[h], 1)
+		}
+		fns[cgAttacker] = honest(cgAttacker)
+	}
+
+	out.Honest = honestSet(sc.N, out.Corrupt)
+	results := simnet.Run(e.nw, fns)
+	if err := checkHonest(e, results, out.Honest); err != nil {
+		return nil, err
+	}
+	for _, i := range out.Honest {
+		p, ok := results[i].Value.(cgPlayer)
+		if !ok {
+			return nil, e.failf("honest player %d returned %T, want cgPlayer", i, results[i].Value)
+		}
+		out.Players[i] = p
+	}
+	return out, nil
+}
+
+// Check asserts the paper's Coin-Gen properties:
+//
+//  1. Clique agreement: all honest players output the identical clique, of
+//     size ≥ n−2t; attacks that make the attacker's dealing invalid get it
+//     expelled at every honest player.
+//  2. Structural agreement: same attempt count and seed consumption.
+//  3. Coin unanimity: all M opened coins are identical across honest
+//     players (the sealed batches describe one polynomial per coin).
+func (o *CoinGenOutcome) Check() error {
+	e := o.Env
+	ref := o.Players[o.Honest[0]]
+	if len(ref.Coins) != e.sc.M {
+		return e.failf("player %d opened %d coins, want %d", o.Honest[0], len(ref.Coins), e.sc.M)
+	}
+	if len(ref.Res.Clique) < e.sc.N-2*e.sc.T {
+		return e.failf("clique size %d < n−2t = %d", len(ref.Res.Clique), e.sc.N-2*e.sc.T)
+	}
+	for _, i := range o.Honest {
+		p := o.Players[i]
+		if len(p.Res.Clique) != len(ref.Res.Clique) {
+			return e.failf("clique size differs: player %d has %d, player %d has %d",
+				i, len(p.Res.Clique), o.Honest[0], len(ref.Res.Clique))
+		}
+		for c := range ref.Res.Clique {
+			if p.Res.Clique[c] != ref.Res.Clique[c] {
+				return e.failf("clique differs at player %d: %v vs %v", i, p.Res.Clique, ref.Res.Clique)
+			}
+		}
+		if o.ExpectExcluded {
+			for _, member := range p.Res.Clique {
+				if member == cgAttacker {
+					return e.failf("player %d kept cheating dealer %d in the clique", i, cgAttacker)
+				}
+			}
+		}
+		if p.Res.Attempts != ref.Res.Attempts || p.Res.SeedConsumed != ref.Res.SeedConsumed {
+			return e.failf("player %d structure (attempts %d, seed %d) != player %d (attempts %d, seed %d)",
+				i, p.Res.Attempts, p.Res.SeedConsumed, o.Honest[0], ref.Res.Attempts, ref.Res.SeedConsumed)
+		}
+		for h := range ref.Coins {
+			if p.Coins[h] != ref.Coins[h] {
+				return e.failf("coin %d: player %d opened %#x, player %d opened %#x",
+					h, i, p.Coins[h], o.Honest[0], ref.Coins[h])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// goldenTranscript runs the honest Coin-Gen scenario once and returns its
+// full obs trace as canonicalised JSONL. The tracer is built with obs.New(nil,
+// ...) — no cost counters — so events carry no scheduler-dependent snapshots,
+// and obs.CanonicalOrder removes the remaining schedule artefacts (global Seq
+// and span-ID assignment order).
+func goldenTranscript(t *testing.T, sc Scenario) []byte {
+	t.Helper()
+	o, err := RunCoinGen(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Check(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	for _, e := range obs.CanonicalOrder(o.Env.ring.Events()) {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Env.ring.Dropped() != 0 {
+		t.Fatalf("trace ring dropped %d events; raise the ring capacity", o.Env.ring.Dropped())
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTranscriptDeterminism pins the reproducibility contract at the
+// trace level: two fixed-seed Coin-Gen runs must emit byte-identical JSONL
+// transcripts after canonical ordering, even though goroutine scheduling
+// differs between runs. This is what makes `(seed, config)` in a bug report
+// sufficient to replay a failure message-for-message.
+func TestGoldenTranscriptDeterminism(t *testing.T) {
+	sc := Scenario{Protocol: "coingen", Attack: "honest", N: 7, T: 1, M: 2, Seed: 31}
+	first := goldenTranscript(t, sc)
+	second := goldenTranscript(t, sc)
+	if len(first) == 0 {
+		t.Fatal("transcript is empty — tracer not wired into the network")
+	}
+	if !bytes.Equal(first, second) {
+		line := 0
+		a, b := bytes.Split(first, []byte("\n")), bytes.Split(second, []byte("\n"))
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if !bytes.Equal(a[i], b[i]) {
+				line = i
+				break
+			}
+		}
+		t.Fatalf("transcripts differ at line %d:\n run 1: %s\n run 2: %s", line+1, a[line], b[line])
+	}
+	// The canonical transcript must survive a parse round-trip, so archived
+	// goldens stay loadable.
+	events, err := obs.ParseJSONL(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("round-trip lost all events")
+	}
+}
+
+// TestGoldenTranscriptUnderAttack extends the same guarantee to a run with
+// message-level fault injection: the interceptor is seeded, so even the
+// tampered byte streams replay identically.
+func TestGoldenTranscriptUnderAttack(t *testing.T) {
+	sc := Scenario{Protocol: "coingen", Attack: "deal-corrupt", N: 7, T: 1, M: 2, Seed: 32}
+	first := goldenTranscript(t, sc)
+	second := goldenTranscript(t, sc)
+	if !bytes.Equal(first, second) {
+		t.Fatal("attacked transcripts differ across identical (seed, config) runs")
+	}
+}

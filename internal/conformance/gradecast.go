@@ -1,0 +1,150 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/gradecast"
+	"repro/internal/simnet"
+)
+
+// GradeCastOutcome is the result of one Grade-Cast conformance scenario:
+// every player grade-casts a value in n simultaneous instances, with the
+// attack corrupting a subset of senders (in code or in the message layer).
+type GradeCastOutcome struct {
+	Env             *env
+	Corrupt, Honest []int
+	// Outputs[i][d] is honest player i's graded output for dealer d.
+	Outputs map[int][]gradecast.Output
+}
+
+// gcValue is the value player i honestly grade-casts.
+func gcValue(i int) []byte { return []byte{byte(0x40 + i)} }
+
+// gcAttacker is the corrupted sender in every Grade-Cast scenario. It is a
+// non-zero index so instance 0 always doubles as an honest control
+// instance.
+const gcAttacker = 1
+
+// RunGradeCast executes one Grade-Cast conformance scenario over the
+// 3-round RunAll ceremony (dissemination at round 0, echoes at rounds 1-2).
+func RunGradeCast(sc Scenario) (*GradeCastOutcome, error) {
+	out := &GradeCastOutcome{Outputs: map[int][]gradecast.Output{}}
+
+	var ic simnet.Interceptor
+	half := make([]int, 0, sc.N/2)
+	for i := 0; i < sc.N; i++ {
+		if i != gcAttacker && len(half) < sc.N/2 {
+			half = append(half, i)
+		}
+	}
+	switch sc.Attack {
+	case "honest", "silent-sender", "crash-sender":
+		// player-level; handled below
+	case "grade-split-half":
+		// Half the players see an alternative value: neither value reaches
+		// the n−t echo threshold, so the instance must degrade to grade 0
+		// everywhere rather than split.
+		out.Corrupt = []int{gcAttacker}
+		ic = adversary.GradeCastSplitter(gcAttacker, 0, half, []byte{0xEB})
+	case "grade-split-one":
+		// A single victim sees the alternative: the echo rounds must pull
+		// it back to the majority value with full confidence.
+		out.Corrupt = []int{gcAttacker}
+		ic = adversary.GradeCastSplitter(gcAttacker, 0, half[:1], []byte{0xEB})
+	case "echo-liar":
+		// Honest dissemination, garbled echoes.
+		out.Corrupt = []int{gcAttacker}
+		ic = adversary.GradeCastEchoLiar(gcAttacker, 0, sc.Seed)
+	default:
+		return nil, fmt.Errorf("conformance: unknown gradecast attack %q", sc.Attack)
+	}
+
+	e, err := newEnv(sc, ic, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Env = e
+
+	fns := make([]simnet.PlayerFunc, sc.N)
+	for i := range fns {
+		fns[i] = func(nd *simnet.Node) (interface{}, error) {
+			return gradecast.RunAll(nd, sc.T, gcValue(nd.Index()))
+		}
+	}
+	switch sc.Attack {
+	case "silent-sender":
+		out.Corrupt = []int{gcAttacker}
+		fns[gcAttacker] = adversary.SilentFor(3, nil)
+	case "crash-sender":
+		out.Corrupt = []int{gcAttacker}
+		fns[gcAttacker] = adversary.Crash()
+	}
+
+	out.Honest = honestSet(sc.N, out.Corrupt)
+	results := simnet.Run(e.nw, fns)
+	if err := checkHonest(e, results, out.Honest); err != nil {
+		return nil, err
+	}
+	for _, i := range out.Honest {
+		outs, ok := results[i].Value.([]gradecast.Output)
+		if !ok || len(outs) != sc.N {
+			return nil, e.failf("player %d returned %T (%d instances), want %d gradecast outputs",
+				i, results[i].Value, len(outs), sc.N)
+		}
+		out.Outputs[i] = outs
+	}
+	return out, nil
+}
+
+// Check asserts Grade-Cast's graded-consistency guarantees on every
+// instance:
+//
+//  1. Honest dealers: every honest player outputs (value, confidence 2).
+//  2. No 2-vs-0 split: if any honest player has confidence 2 for an
+//     instance, every honest player has confidence ≥ 1.
+//  3. Value agreement at positive grades: honest players with
+//     confidence ≥ 1 for the same instance hold the same value.
+func (o *GradeCastOutcome) Check() error {
+	e := o.Env
+	corrupt := map[int]bool{}
+	for _, i := range o.Corrupt {
+		corrupt[i] = true
+	}
+	for d := 0; d < e.sc.N; d++ {
+		if !corrupt[d] {
+			for _, i := range o.Honest {
+				got := o.Outputs[i][d]
+				if got.Confidence != 2 || !bytes.Equal(got.Value, gcValue(d)) {
+					return e.failf("honest dealer %d at player %d: got (%x, %d), want (%x, 2)",
+						d, i, got.Value, got.Confidence, gcValue(d))
+				}
+			}
+			continue
+		}
+		maxConf, minConf := 0, 2
+		var refVal []byte
+		for _, i := range o.Honest {
+			got := o.Outputs[i][d]
+			if got.Confidence > maxConf {
+				maxConf = got.Confidence
+			}
+			if got.Confidence < minConf {
+				minConf = got.Confidence
+			}
+			if got.Confidence >= 1 {
+				if refVal == nil {
+					refVal = got.Value
+				} else if !bytes.Equal(refVal, got.Value) {
+					return e.failf("instance %d: positive-grade values differ (%x vs %x)",
+						d, refVal, got.Value)
+				}
+			}
+		}
+		if maxConf == 2 && minConf == 0 {
+			return e.failf("instance %d: grades split 2-vs-0 across honest players", d)
+		}
+	}
+	return nil
+}

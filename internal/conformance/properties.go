@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/gf2k"
+	"repro/internal/poly"
+)
+
+// UnpredictabilityWitness checks the coin-unpredictability property from the
+// adversary's side: given the sealed-coin shares held by a coalition of at
+// most t players (ids are 0-based player indices, shares their values for
+// one coin), it constructively shows that for BOTH candidate openings v and
+// v+1 there is a degree-≤t polynomial consistent with everything the
+// coalition knows. Since a degree-t sharing is information-theoretically
+// determined only by t+1 points, the coalition's view fixes nothing about
+// the coin before Coin-Expose: any opening remains possible.
+//
+// exposed is the value the coin actually opened to; the witness confirms a
+// completion through (0, exposed) and through (0, exposed+1), and that the
+// two completions are distinct polynomials.
+func UnpredictabilityWitness(f gf2k.Field, t int, ids []int, shares []gf2k.Element, exposed gf2k.Element) error {
+	if len(ids) != len(shares) {
+		return fmt.Errorf("unpredictability: %d ids but %d shares", len(ids), len(shares))
+	}
+	if len(ids) > t {
+		return fmt.Errorf("unpredictability: coalition of %d exceeds fault bound t=%d", len(ids), t)
+	}
+	xs := make([]gf2k.Element, 0, len(ids)+1)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("unpredictability: duplicate coalition member %d", id)
+		}
+		seen[id] = true
+		x, err := f.ElementFromID(id + 1)
+		if err != nil {
+			return fmt.Errorf("unpredictability: member %d: %w", id, err)
+		}
+		xs = append(xs, x)
+	}
+	xs = append(xs, 0) // the secret sits at x = 0
+
+	var completions []poly.Poly
+	for _, v := range []gf2k.Element{exposed, f.Add(exposed, 1)} {
+		ys := append(append([]gf2k.Element{}, shares...), v)
+		p, err := poly.Interpolate(f, xs, ys, nil)
+		if err != nil {
+			return fmt.Errorf("unpredictability: no completion through secret %#x: %w", v, err)
+		}
+		if p.Degree() > t {
+			return fmt.Errorf("unpredictability: completion through %#x has degree %d > t=%d", v, p.Degree(), t)
+		}
+		for i, x := range xs[:len(ids)] {
+			if got := poly.Eval(f, p, x); got != shares[i] {
+				return fmt.Errorf("unpredictability: completion through %#x contradicts member %d's share", v, ids[i])
+			}
+		}
+		if got := poly.Eval(f, p, 0); got != v {
+			return fmt.Errorf("unpredictability: completion opens to %#x, want %#x", got, v)
+		}
+		completions = append(completions, p)
+	}
+	// The two completions open to different values, so they must be distinct
+	// sharings — the coalition's view cannot tell them apart.
+	a, b := completions[0], completions[1]
+	if a.Degree() == b.Degree() {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return fmt.Errorf("unpredictability: completions for both openings coincide")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/gf2k"
+	"repro/internal/simnet"
+	"repro/internal/vss"
+)
+
+// vssPlayer is one honest player's output from a VSS ceremony: the verdict
+// on the dealer and, when the dealer was accepted and the ceremony
+// proceeded to public reconstruction, the reconstructed secrets.
+type vssPlayer struct {
+	Verdict bool
+	Secrets []gf2k.Element
+}
+
+// VSSOutcome is the result of one VSS (or Batch-VSS) conformance scenario.
+type VSSOutcome struct {
+	Env *env
+	// Corrupt lists the players running adversarial code; Honest the rest.
+	Corrupt, Honest []int
+	// DealerCheated records whether the scenario's dealer deviated in a way
+	// the paper requires verification to catch (wrong degree, equivocation,
+	// silence, inconsistency beyond the error budget).
+	DealerCheated bool
+	// Dealt holds the secrets an honest dealer committed to (nil when the
+	// dealer is corrupt — a cheating dealer defines no canonical secret
+	// unless accepted, in which case reconstruction unanimity still holds).
+	Dealt []gf2k.Element
+	// Players[i] is honest player i's output.
+	Players map[int]vssPlayer
+}
+
+// vssDealer is the dealer index for every VSS scenario.
+const vssDealer = 0
+
+// RunVSS executes one VSS conformance scenario: all players run the
+// deal → verify → (reconstruct if accepted) ceremony for M secrets, with
+// the scenario's attack substituted at the corrupted players. Batch-VSS is
+// the same runner with M > 1 (Fig. 3 degenerates to Fig. 2 at M = 1).
+func RunVSS(sc Scenario) (*VSSOutcome, error) {
+	out := &VSSOutcome{Players: map[int]vssPlayer{}}
+	e, err := newEnv(sc, nil, 2)
+	if err != nil {
+		return nil, err
+	}
+	out.Env = e
+
+	cfgFor := func(i int) vss.Config {
+		return vss.Config{Field: e.field, N: sc.N, T: sc.T, Coins: e.seeds[i]}
+	}
+	// The secrets an honest dealer shares, drawn from the dealer's private
+	// randomness.
+	dealerRnd := e.playerRand(vssDealer)
+	secrets := make([]gf2k.Element, sc.M)
+	for j := range secrets {
+		s, err := e.field.Rand(dealerRnd)
+		if err != nil {
+			return nil, err
+		}
+		secrets[j] = s
+	}
+
+	honest := func(i int) simnet.PlayerFunc {
+		return func(nd *simnet.Node) (interface{}, error) {
+			var deal []gf2k.Element
+			if nd.Index() == vssDealer {
+				deal = secrets
+			}
+			inst, err := vss.Deal(nd, cfgFor(nd.Index()), vssDealer, deal, e.playerRand(nd.Index()))
+			if err != nil {
+				return nil, err
+			}
+			ok, err := inst.Verify(nd)
+			if err != nil || !ok {
+				return vssPlayer{Verdict: ok}, err
+			}
+			p := vssPlayer{Verdict: true}
+			for j := 0; j < sc.M; j++ {
+				v, err := inst.Reconstruct(nd, j)
+				if err != nil {
+					return nil, fmt.Errorf("reconstruct secret %d: %w", j, err)
+				}
+				p.Secrets = append(p.Secrets, v)
+			}
+			return p, nil
+		}
+	}
+
+	fns := make([]simnet.PlayerFunc, sc.N)
+	for i := range fns {
+		fns[i] = honest(i)
+	}
+	// Verifier attacks corrupt the last t players; dealer attacks corrupt
+	// the dealer. The honest dealer's secrets are reported only when the
+	// dealer stays honest.
+	lastT := make([]int, 0, sc.T)
+	for i := sc.N - sc.T; i < sc.N; i++ {
+		lastT = append(lastT, i)
+	}
+	dealerHonest := true
+	switch sc.Attack {
+	case "honest":
+		// control run: no corruption
+	case "wrong-degree-dealer":
+		out.Corrupt, dealerHonest, out.DealerCheated = []int{vssDealer}, false, true
+		fns[vssDealer] = adversary.VSSWrongDegreeDealer(cfgFor(vssDealer), sc.M, e.attackSeed(vssDealer))
+	case "equivocal-dealer":
+		out.Corrupt, dealerHonest, out.DealerCheated = []int{vssDealer}, false, true
+		fns[vssDealer] = adversary.VSSEquivocalDealer(cfgFor(vssDealer), sc.M, e.attackSeed(vssDealer))
+	case "silent-dealer":
+		out.Corrupt, dealerHonest, out.DealerCheated = []int{vssDealer}, false, true
+		fns[vssDealer] = adversary.VSSSilentDealer(cfgFor(vssDealer), e.attackSeed(vssDealer))
+	case "inconsistent-dealer-tolerated":
+		// t victims: within the Berlekamp–Welch budget, so the dealing is
+		// still a well-defined degree-t sharing and must be accepted.
+		out.Corrupt, dealerHonest, out.DealerCheated = []int{vssDealer}, false, false
+		victims := honestSet(sc.N, []int{vssDealer})[:sc.T]
+		fns[vssDealer] = adversary.VSSInconsistentDealer(cfgFor(vssDealer), sc.M, victims, e.attackSeed(vssDealer))
+	case "inconsistent-dealer-overwhelming":
+		// 2t victims: more lies than the budget absorbs — reject.
+		out.Corrupt, dealerHonest, out.DealerCheated = []int{vssDealer}, false, true
+		victims := honestSet(sc.N, []int{vssDealer})[:2*sc.T]
+		fns[vssDealer] = adversary.VSSInconsistentDealer(cfgFor(vssDealer), sc.M, victims, e.attackSeed(vssDealer))
+	case "false-complainer":
+		out.Corrupt = lastT
+		for _, i := range lastT {
+			fns[i] = adversary.VSSFalseComplainer(cfgFor(i), vssDealer)
+		}
+	case "delta-liar":
+		out.Corrupt = lastT
+		for _, i := range lastT {
+			fns[i] = adversary.VSSDeltaLiar(cfgFor(i), vssDealer, e.attackSeed(i))
+		}
+	case "garbage-verifier":
+		// Junk unicast in every ceremony round reads as complaints/noise.
+		out.Corrupt = lastT
+		for _, i := range lastT {
+			fns[i] = adversary.GarbageSpammer(e.attackSeed(i), 3, 24)
+		}
+	case "crash-verifier":
+		out.Corrupt = lastT
+		for _, i := range lastT {
+			fns[i] = adversary.Crash()
+		}
+	default:
+		return nil, fmt.Errorf("conformance: unknown vss attack %q", sc.Attack)
+	}
+	if dealerHonest {
+		out.Dealt = secrets
+	}
+
+	out.Honest = honestSet(sc.N, out.Corrupt)
+	results := simnet.Run(e.nw, fns)
+	if err := checkHonest(e, results, out.Honest); err != nil {
+		return nil, err
+	}
+	for _, i := range out.Honest {
+		p, ok := results[i].Value.(vssPlayer)
+		if !ok {
+			return nil, e.failf("honest player %d returned %T, want vssPlayer", i, results[i].Value)
+		}
+		out.Players[i] = p
+	}
+	return out, nil
+}
+
+// Check asserts the paper's VSS properties on the outcome:
+//
+//  1. Verdict unanimity: all honest players return the same accept/reject
+//     decision (Fig. 3's check is over broadcasts, so views agree).
+//  2. Exactness: the dealer is rejected iff it cheated — honest dealers are
+//     never disqualified, cheating ones always are.
+//  3. Reconstruction: when accepted, all honest players reconstruct
+//     identical secrets; when the dealer was honest they equal the dealt
+//     ones.
+func (o *VSSOutcome) Check() error {
+	e := o.Env
+	ref, refSet := vssPlayer{}, false
+	for _, i := range o.Honest {
+		p := o.Players[i]
+		if !refSet {
+			ref, refSet = p, true
+			continue
+		}
+		if p.Verdict != ref.Verdict {
+			return e.failf("verdict split: player %d says %v, player %d says %v",
+				o.Honest[0], ref.Verdict, i, p.Verdict)
+		}
+	}
+	if want := !o.DealerCheated; ref.Verdict != want {
+		return e.failf("verdict = %v, want %v (dealer cheated: %v)", ref.Verdict, want, o.DealerCheated)
+	}
+	if !ref.Verdict {
+		return nil
+	}
+	for _, i := range o.Honest {
+		p := o.Players[i]
+		if len(p.Secrets) != e.sc.M {
+			return e.failf("player %d reconstructed %d secrets, want %d", i, len(p.Secrets), e.sc.M)
+		}
+		for j, v := range p.Secrets {
+			if v != ref.Secrets[j] {
+				return e.failf("secret %d: player %d got %#x, player %d got %#x",
+					j, i, v, o.Honest[0], ref.Secrets[j])
+			}
+			if o.Dealt != nil && v != o.Dealt[j] {
+				return e.failf("secret %d reconstructed as %#x, dealt %#x", j, v, o.Dealt[j])
+			}
+		}
+	}
+	return nil
+}

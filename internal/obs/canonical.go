@@ -1,0 +1,63 @@
+package obs
+
+import "sort"
+
+// CanonicalOrder returns a copy of the event stream in a scheduler-
+// independent order with renumbered sequence and span identifiers.
+//
+// The Tracer assigns Seq and span IDs in global emission order, which
+// interleaves concurrent players nondeterministically — two runs of the
+// same seeded protocol emit the same per-player event sequences but a
+// different global shuffle of them. CanonicalOrder undoes the shuffle:
+// events are stably sorted by (round, player, original Seq) — network-level
+// events (player −1) ordered after the players of the same round — then Seq
+// is renumbered 1..len and span/parent IDs are remapped in first-appearance
+// order. Because each player's Round is non-decreasing and the stable sort
+// preserves its per-player emission order within a round, the result is a
+// pure function of the players' local histories. Two runs of a
+// deterministic protocol therefore canonicalize to identical streams —
+// the invariant the conformance suite's golden-transcript test pins.
+//
+// Cost snapshots are preserved as-is; traces meant for byte comparison
+// should come from a tracer without counters attached (obs.New(nil, sink)),
+// since counter diffs measure shared state across concurrent players.
+func CanonicalOrder(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	playerKey := func(p int) int {
+		if p < 0 {
+			return int(^uint(0) >> 1) // network-level events sort last in their round
+		}
+		return p
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Round != out[b].Round {
+			return out[a].Round < out[b].Round
+		}
+		if pa, pb := playerKey(out[a].Player), playerKey(out[b].Player); pa != pb {
+			return pa < pb
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	spanID := make(map[uint64]uint64)
+	var nextSpan uint64
+	remap := func(id uint64) uint64 {
+		if id == 0 {
+			return 0
+		}
+		if v, ok := spanID[id]; ok {
+			return v
+		}
+		nextSpan++
+		spanID[id] = nextSpan
+		return nextSpan
+	}
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+		// A span's begin event precedes any reference to it in canonical
+		// order (same player, earlier or equal round), so remapping in
+		// scan order assigns IDs by first appearance.
+		out[i].Span = remap(out[i].Span)
+		out[i].Parent = remap(out[i].Parent)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCanonicalOrderUndoesScheduleShuffle builds two interleavings of the
+// same per-player histories — as two schedules of the same run would emit
+// them — and checks they canonicalize to the identical stream.
+func TestCanonicalOrderUndoesScheduleShuffle(t *testing.T) {
+	// Player 0: a span over rounds 0-1 containing a send.
+	// Player 1: a send in round 0, a span begin/end in round 1.
+	// Network: one round boundary per round.
+	emit := func(order []int) []Event {
+		// Per-source event lists; span IDs mimic global assignment order by
+		// giving the two runs different raw IDs.
+		p0 := []Event{
+			{Type: EvSpanBegin, Player: 0, Round: 0, Kind: KindPhase, Name: "deal"},
+			{Type: EvSend, Player: 0, Round: 0, From: 0, To: 1, Bytes: 4},
+			{Type: EvSpanEnd, Player: 0, Round: 1},
+		}
+		p1 := []Event{
+			{Type: EvSend, Player: 1, Round: 0, From: 1, To: 0, Bytes: 4},
+			{Type: EvSpanBegin, Player: 1, Round: 1, Kind: KindPhase, Name: "verify"},
+			{Type: EvSpanEnd, Player: 1, Round: 1},
+		}
+		net := []Event{
+			{Type: EvRound, Player: -1, Round: 0, Count: 2},
+			{Type: EvRound, Player: -1, Round: 1, Count: 0},
+		}
+		// Assign span IDs in interleaving order, the way the Tracer would.
+		var stream []Event
+		var nextSpan uint64
+		idx := map[int]int{}
+		open := map[int]uint64{}
+		sources := map[int][]Event{0: p0, 1: p1, -1: net}
+		for _, src := range order {
+			e := sources[src][idx[src]]
+			idx[src]++
+			switch e.Type {
+			case EvSpanBegin:
+				nextSpan++
+				open[e.Player] = nextSpan
+				e.Span = nextSpan
+			case EvSpanEnd:
+				e.Span = open[e.Player]
+			}
+			stream = append(stream, e)
+			stream[len(stream)-1].Seq = uint64(len(stream))
+		}
+		return stream
+	}
+	// Two schedules: player 0 first vs player 1 first (round events at the
+	// boundaries in both).
+	a := emit([]int{0, 0, 1, -1, 0, 1, 1, -1})
+	b := emit([]int{1, 0, 0, -1, 1, 1, 0, -1})
+	ca, cb := CanonicalOrder(a), CanonicalOrder(b)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("canonical streams differ:\n%+v\nvs\n%+v", ca, cb)
+	}
+	// Canonical order is round-major, players before network events.
+	wantOrder := []struct {
+		round, player int
+	}{{0, 0}, {0, 0}, {0, 1}, {0, -1}, {1, 0}, {1, 1}, {1, 1}, {1, -1}}
+	for i, w := range wantOrder {
+		if ca[i].Round != w.round || ca[i].Player != w.player {
+			t.Fatalf("canonical[%d] = round %d player %d, want round %d player %d",
+				i, ca[i].Round, ca[i].Player, w.round, w.player)
+		}
+	}
+	// Seq renumbered densely; span IDs remapped by first appearance.
+	for i, e := range ca {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("canonical[%d].Seq = %d", i, e.Seq)
+		}
+	}
+	if ca[0].Span != 1 {
+		t.Fatalf("first span not renumbered to 1: %d", ca[0].Span)
+	}
+}
+
+// TestCanonicalOrderPreservesInput pins that the input slice is not
+// modified.
+func TestCanonicalOrderPreservesInput(t *testing.T) {
+	in := []Event{
+		{Seq: 9, Type: EvSend, Player: 1, Round: 0},
+		{Seq: 10, Type: EvSend, Player: 0, Round: 0},
+	}
+	orig := append([]Event(nil), in...)
+	_ = CanonicalOrder(in)
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatalf("input mutated: %+v", in)
+	}
+}

@@ -1,0 +1,197 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// interceptRound runs one round on a 3-node network with the given
+// interceptor: node 0 sends p0 to 1 and 2, node 1 broadcasts b1, node 2 is
+// silent. It returns each node's delivered messages.
+func interceptRound(t *testing.T, ic Interceptor) [][]Message {
+	t.Helper()
+	nw := New(3, WithInterceptor(ic))
+	results := Run(nw, []PlayerFunc{
+		func(nd *Node) (interface{}, error) {
+			nd.Send(1, []byte{0xA1})
+			nd.Send(2, []byte{0xA2})
+			msgs, err := nd.EndRound()
+			return msgs, err
+		},
+		func(nd *Node) (interface{}, error) {
+			nd.Broadcast([]byte{0xB0})
+			msgs, err := nd.EndRound()
+			return msgs, err
+		},
+		func(nd *Node) (interface{}, error) {
+			msgs, err := nd.EndRound()
+			return msgs, err
+		},
+	})
+	out := make([][]Message, 3)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("node %d: %v", i, r.Err)
+		}
+		out[i], _ = r.Value.([]Message)
+	}
+	return out
+}
+
+func payloads(msgs []Message) [][]byte {
+	out := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.Payload
+	}
+	return out
+}
+
+func TestInterceptorPassThrough(t *testing.T) {
+	var seen []Deliverable
+	ic := InterceptorFunc(func(d Deliverable) []Deliverable {
+		seen = append(seen, d)
+		return d.Pass()
+	})
+	got := interceptRound(t, ic)
+	// Delivery must match an interceptor-free network exactly.
+	want := interceptRound(t, nil)
+	for i := range want {
+		if !reflect.DeepEqual(payloads(got[i]), payloads(want[i])) {
+			t.Fatalf("node %d delivery changed under pass-through: %v vs %v",
+				i, payloads(got[i]), payloads(want[i]))
+		}
+	}
+	// The interceptor saw every copy (2 unicasts + 3 broadcast copies) in
+	// deterministic (recipient, sender) order, all in round 0.
+	var order []string
+	for _, d := range seen {
+		if d.Round != 0 {
+			t.Fatalf("deliverable has round %d, want 0", d.Round)
+		}
+		order = append(order, fmt.Sprintf("%d<-%d", d.To, d.From))
+	}
+	wantOrder := []string{"0<-1", "1<-0", "1<-1", "2<-0", "2<-1"}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("interception order = %v, want %v", order, wantOrder)
+	}
+}
+
+func TestInterceptorDropTamperDuplicateMisdeliver(t *testing.T) {
+	ic := InterceptorFunc(func(d Deliverable) []Deliverable {
+		switch {
+		case d.Kind == Broadcast && d.To == 0:
+			return nil // drop node 1's broadcast copy for node 0
+		case d.From == 0 && d.To == 1:
+			// Tamper: fresh slice, original payload untouched.
+			return []Deliverable{{To: 1, Payload: []byte{0xEE}}}
+		case d.From == 0 && d.To == 2:
+			// Duplicate and misdeliver: node 0 also gets a copy, plus one
+			// addressed off-network that must vanish.
+			return []Deliverable{d, {To: 0, Payload: d.Payload}, {To: 99, Payload: d.Payload}}
+		}
+		return d.Pass()
+	})
+	got := interceptRound(t, ic)
+
+	// Node 0: broadcast copy dropped, but received the misdelivered 0xA2
+	// (From forced back to the true sender, 0).
+	if len(got[0]) != 1 || got[0][0].From != 0 || !bytes.Equal(got[0][0].Payload, []byte{0xA2}) {
+		t.Fatalf("node 0 delivery = %+v, want one 0xA2 from 0", got[0])
+	}
+	// Node 1: tampered unicast + intact broadcast.
+	if want := [][]byte{{0xEE}, {0xB0}}; !reflect.DeepEqual(payloads(got[1]), want) {
+		t.Fatalf("node 1 delivery = %v, want %v", payloads(got[1]), want)
+	}
+	if got[1][0].From != 0 || got[1][0].Kind != Unicast {
+		t.Fatalf("tampered copy lost sender metadata: %+v", got[1][0])
+	}
+	// Node 2: untouched.
+	if want := [][]byte{{0xA2}, {0xB0}}; !reflect.DeepEqual(payloads(got[2]), want) {
+		t.Fatalf("node 2 delivery = %v, want %v", payloads(got[2]), want)
+	}
+}
+
+// TestInterceptorCannotForgeSender pins the authenticated-channel rule: an
+// interceptor rewriting From (or Kind) is overridden by the router.
+func TestInterceptorCannotForgeSender(t *testing.T) {
+	ic := InterceptorFunc(func(d Deliverable) []Deliverable {
+		d.From = 2
+		d.Kind = Broadcast
+		return d.Pass()
+	})
+	got := interceptRound(t, ic)
+	for i, msgs := range got {
+		for _, m := range msgs {
+			if m.From == 2 {
+				t.Fatalf("node %d received a forged message from 2: %+v", i, m)
+			}
+			if m.Kind == Broadcast && !bytes.Equal(m.Payload, []byte{0xB0}) {
+				t.Fatalf("node %d: unicast relabelled as broadcast: %+v", i, m)
+			}
+		}
+	}
+}
+
+// TestInterceptorDeterministicAcrossRuns pins that an interceptor keeping
+// seeded state sees the identical deliverable stream on every run, so a
+// (seed, config) pair reproduces the attack exactly.
+func TestInterceptorDeterministicAcrossRuns(t *testing.T) {
+	trace := func() []string {
+		var log []string
+		ic := InterceptorFunc(func(d Deliverable) []Deliverable {
+			log = append(log, fmt.Sprintf("r%d %d->%d k%d %x", d.Round, d.From, d.To, d.Kind, d.Payload))
+			return d.Pass()
+		})
+		nw := New(4, WithInterceptor(ic))
+		fns := make([]PlayerFunc, 4)
+		for i := range fns {
+			fns[i] = func(nd *Node) (interface{}, error) {
+				for r := 0; r < 3; r++ {
+					nd.SendAll([]byte{byte(nd.Index()), byte(r)})
+					if _, err := nd.EndRound(); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			}
+		}
+		for _, r := range Run(nw, fns) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+		return log
+	}
+	if a, b := trace(), trace(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("interception stream differs across identical runs:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestNilInterceptorZeroOverhead pins the honest fast path: a round on a
+// network built without an interceptor allocates exactly as much as one
+// built with WithInterceptor(nil), and the absolute per-round allocation
+// count stays small — the hook must cost nothing when disabled.
+func TestNilInterceptorZeroOverhead(t *testing.T) {
+	measure := func(nw *Network) float64 {
+		nd := nw.Node(0)
+		payload := []byte{1}
+		return testing.AllocsPerRun(500, func() {
+			nd.Send(0, payload)
+			if _, err := nd.EndRound(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := measure(New(1))
+	withNil := measure(New(1, WithInterceptor(nil)))
+	if plain != withNil {
+		t.Fatalf("nil interceptor changed round cost: %v allocs vs %v", withNil, plain)
+	}
+	// The boundary commit allocates the fresh staging table and the staged
+	// slice; anything beyond a handful means the nil path grew a hidden cost.
+	if plain > 4 {
+		t.Fatalf("honest round allocates %v times, want <= 4", plain)
+	}
+}

@@ -13,7 +13,11 @@
 // Byzantine players are ordinary goroutines running adversarial code; they
 // may send arbitrary (including inconsistent) messages, stay silent, or halt
 // (crash). The ideal Broadcast facility enforces non-equivocation by
-// construction, matching the paper's broadcast-channel assumption.
+// construction, matching the paper's broadcast-channel assumption. Message-
+// level attacks by corrupted senders — tampering, dropping, duplicating or
+// misdelivering staged traffic — are modelled by an Interceptor installed
+// WithInterceptor, which rewrites each staged message at the round boundary
+// without breaking lockstep delivery.
 package simnet
 
 import (
@@ -104,12 +108,63 @@ type Message struct {
 	seq uint64 // global staging order, for deterministic delivery
 }
 
+// Deliverable is one staged message copy as presented to an Interceptor at
+// the round boundary: the copy of From's message addressed to To.
+type Deliverable struct {
+	// Round is the 0-based round the message was staged in (the round the
+	// boundary is completing).
+	Round int
+	// From is the sender. The channels are authenticated (§2), so an
+	// interceptor cannot forge it: every copy it emits keeps this sender.
+	From int
+	// To is the recipient of this copy. Broadcast messages appear once per
+	// recipient, so a per-copy rewrite of a Broadcast models a corrupted
+	// sender equivocating *around* the ideal facility — the facility itself
+	// stays non-equivocating for honest senders with no interceptor rule.
+	To int
+	// Kind records how the message was sent; like From, it is preserved on
+	// every emitted copy.
+	Kind Kind
+	// Payload is the staged body. Copies of the same message share the
+	// backing array, so interceptors must treat it as read-only and return
+	// fresh slices for tampered copies.
+	Payload []byte
+}
+
+// Pass returns the deliverable unchanged as a one-element slice — the
+// identity result for interceptors that leave a message alone.
+func (d Deliverable) Pass() []Deliverable { return []Deliverable{d} }
+
+// Interceptor is the message-level adversary hook. At each round boundary
+// the network presents every staged message copy, in deterministic order
+// (recipient, then sender, then staging order), and delivers whatever the
+// interceptor returns instead: an empty slice drops the copy, multiple
+// results duplicate it, and a result with a different To misdelivers it
+// (results addressed outside [0, n) are silently dropped). From and Kind are
+// preserved regardless of what the interceptor sets them to. Lockstep
+// semantics are unaffected: interception happens inside the boundary commit,
+// so every player still observes the same round structure.
+//
+// Intercept is always called with the network lock held, from one goroutine
+// at a time, so implementations may keep unguarded state (e.g. a seeded
+// *rand.Rand) and stay deterministic.
+type Interceptor interface {
+	Intercept(d Deliverable) []Deliverable
+}
+
+// InterceptorFunc adapts a function to the Interceptor interface.
+type InterceptorFunc func(d Deliverable) []Deliverable
+
+// Intercept calls f.
+func (f InterceptorFunc) Intercept(d Deliverable) []Deliverable { return f(d) }
+
 // Network is a synchronous network of n nodes.
 type Network struct {
 	n         int
 	maxRounds int
 	ctr       *metrics.Counters
 	tracer    *obs.Tracer
+	icept     Interceptor
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -147,6 +202,13 @@ func WithMaxRounds(r int) Option {
 // default) keeps the zero-cost path: no locking, no allocation.
 func WithTracer(tr *obs.Tracer) Option {
 	return func(nw *Network) { nw.tracer = tr }
+}
+
+// WithInterceptor installs a message-level adversary (see Interceptor). A
+// nil interceptor (the default) keeps the honest fast path: the boundary
+// commit performs no extra work and no extra allocation.
+func WithInterceptor(ic Interceptor) Option {
+	return func(nw *Network) { nw.icept = ic }
 }
 
 // New creates a network of n nodes, all active.
@@ -200,9 +262,52 @@ func (nw *Network) activeIndicesLocked() []int {
 	return out
 }
 
+// interceptStagingLocked rewrites the staged traffic through the installed
+// Interceptor. Messages are presented in deterministic order — recipient,
+// then (sender, staging order) — and the copies the interceptor returns are
+// restaged with fresh sequence numbers in emission order, so a fixed seed
+// reproduces the identical post-attack delivery. Caller holds nw.mu.
+func (nw *Network) interceptStagingLocked() {
+	out := make([][]Message, nw.n)
+	for to := 0; to < nw.n; to++ {
+		msgs := nw.staging[to]
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].From != msgs[b].From {
+				return msgs[a].From < msgs[b].From
+			}
+			return msgs[a].seq < msgs[b].seq
+		})
+		for _, m := range msgs {
+			res := nw.icept.Intercept(Deliverable{
+				Round:   nw.round,
+				From:    m.From,
+				To:      to,
+				Kind:    m.Kind,
+				Payload: m.Payload,
+			})
+			for _, d := range res {
+				if d.To < 0 || d.To >= nw.n {
+					continue // misdelivery off the network is a drop
+				}
+				out[d.To] = append(out[d.To], Message{
+					From:    m.From, // authenticated channel: sender is not forgeable
+					Kind:    m.Kind,
+					Payload: d.Payload,
+					seq:     nw.seq,
+				})
+				nw.seq++
+			}
+		}
+	}
+	nw.staging = out
+}
+
 // commitLocked delivers all staged messages and advances the round.
 // Caller holds nw.mu.
 func (nw *Network) commitLocked() {
+	if nw.icept != nil {
+		nw.interceptStagingLocked()
+	}
 	for i := range nw.staging {
 		msgs := nw.staging[i]
 		sort.Slice(msgs, func(a, b int) bool {

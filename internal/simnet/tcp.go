@@ -43,42 +43,68 @@ type tcpTransport struct {
 
 // NewTCP creates a network of n nodes whose messages travel over real TCP
 // loopback connections. Call Close when done to release sockets.
+//
+// Mesh setup runs in three steps — listen, accept (in background), dial —
+// so each failure mode (port exhaustion, refused dial, bad hello) surfaces
+// from its own stage with the sockets opened so far released.
 func NewTCP(n int, opts ...Option) (*Network, error) {
 	nw := New(n, opts...)
 	tr := &tcpTransport{n: n}
 	nw.tcp = tr
 	nw.tcpDone = make([]int, n)
 
-	tr.conns = make([][]net.Conn, n)
-	for i := range tr.conns {
-		tr.conns[i] = make([]net.Conn, n)
+	if err := tr.listenAll(); err != nil {
+		tr.close()
+		return nil, err
 	}
-	tr.lns = make([]net.Listener, n)
-	for i := 0; i < n; i++ {
+	accepted := tr.acceptAll(nw)
+	if err := tr.dialAll(); err != nil {
+		tr.close()
+		return nil, err
+	}
+	if err := <-accepted; err != nil {
+		tr.close()
+		return nil, err
+	}
+	return nw, nil
+}
+
+// listenAll opens one loopback listener per node.
+func (tr *tcpTransport) listenAll() error {
+	tr.conns = make([][]net.Conn, tr.n)
+	for i := range tr.conns {
+		tr.conns[i] = make([]net.Conn, tr.n)
+	}
+	tr.lns = make([]net.Listener, tr.n)
+	for i := 0; i < tr.n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			tr.close()
-			return nil, fmt.Errorf("simnet: listen: %w", err)
+			return fmt.Errorf("simnet: listen: %w", err)
 		}
 		tr.lns[i] = ln
 	}
+	return nil
+}
 
-	// Accept side: every node accepts n−1 connections, identified by a
-	// hello frame.
+// acceptAll starts the accept side: every node accepts n−1 connections,
+// each identified by a hello frame, and hands them to reader goroutines.
+// The returned channel yields the first accept error (or nil) once every
+// node has its full incoming fan-in.
+func (tr *tcpTransport) acceptAll(nw *Network) <-chan error {
 	var acceptWG sync.WaitGroup
-	acceptErr := make([]error, n)
-	for i := 0; i < n; i++ {
+	acceptErr := make([]error, tr.n)
+	for i := 0; i < tr.n; i++ {
 		acceptWG.Add(1)
 		go func(i int) {
 			defer acceptWG.Done()
-			for c := 0; c < n-1; c++ {
+			for c := 0; c < tr.n-1; c++ {
 				conn, err := tr.lns[i].Accept()
 				if err != nil {
 					acceptErr[i] = err
 					return
 				}
 				from, err := readHello(conn)
-				if err != nil || from < 0 || from >= n {
+				if err != nil || from < 0 || from >= tr.n {
 					acceptErr[i] = fmt.Errorf("simnet: bad hello: %v", err)
 					conn.Close()
 					return
@@ -88,32 +114,39 @@ func NewTCP(n int, opts ...Option) (*Network, error) {
 			}
 		}(i)
 	}
-	// Dial side.
-	for from := 0; from < n; from++ {
-		for to := 0; to < n; to++ {
+	done := make(chan error, 1)
+	go func() {
+		acceptWG.Wait()
+		for _, err := range acceptErr {
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+// dialAll completes the mesh: every node dials every other node's listener
+// and introduces itself with a hello frame.
+func (tr *tcpTransport) dialAll() error {
+	for from := 0; from < tr.n; from++ {
+		for to := 0; to < tr.n; to++ {
 			if from == to {
 				continue
 			}
 			conn, err := net.Dial("tcp", tr.lns[to].Addr().String())
 			if err != nil {
-				tr.close()
-				return nil, fmt.Errorf("simnet: dial: %w", err)
-			}
-			if err := writeHello(conn, from); err != nil {
-				tr.close()
-				return nil, err
+				return fmt.Errorf("simnet: dial %d→%d: %w", from, to, err)
 			}
 			tr.conns[from][to] = conn
+			if err := writeHello(conn, from); err != nil {
+				return err
+			}
 		}
 	}
-	acceptWG.Wait()
-	for _, err := range acceptErr {
-		if err != nil {
-			tr.close()
-			return nil, err
-		}
-	}
-	return nw, nil
+	return nil
 }
 
 // Close shuts down the TCP mesh (no-op for in-memory networks). Safe to

@@ -1,0 +1,137 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestTCPDialRefused pins the dial-stage failure mode: when a peer's
+// listener is gone before the mesh is complete, dialAll reports which edge
+// failed and the already-opened sockets are released by close.
+func TestTCPDialRefused(t *testing.T) {
+	tr := &tcpTransport{n: 3}
+	if err := tr.listenAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.close()
+	// Node 1 disappears before anyone dials it.
+	if err := tr.lns[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.dialAll()
+	if err == nil {
+		t.Fatal("dialAll succeeded with a closed peer listener")
+	}
+	if !strings.Contains(err.Error(), "dial 0→1") {
+		t.Fatalf("error does not name the failing edge: %v", err)
+	}
+}
+
+// TestTCPMidRoundPeerDisconnect kills one player's outgoing sockets while a
+// multi-round protocol is in flight. The severed player must fail its next
+// EndRound with a send error, and — because Run halts it — the surviving
+// players must keep exchanging messages to completion rather than deadlock
+// on the round barrier.
+func TestTCPMidRoundPeerDisconnect(t *testing.T) {
+	const n, rounds, cutAfter = 3, 6, 2
+	nw, err := NewTCP(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	fns := make([]PlayerFunc, n)
+	for i := range fns {
+		i := i
+		fns[i] = func(nd *Node) (interface{}, error) {
+			got := 0
+			for r := 0; r < rounds; r++ {
+				if i == 0 && r == cutAfter {
+					for _, c := range nw.tcp.conns[0] {
+						if c != nil {
+							c.Close()
+						}
+					}
+				}
+				nd.SendAll([]byte{byte(0x50 + i), byte(r)})
+				msgs, err := nd.EndRound()
+				if err != nil {
+					return got, err
+				}
+				got += len(msgs)
+			}
+			return got, nil
+		}
+	}
+	results := Run(nw, fns)
+
+	if results[0].Err == nil {
+		t.Fatal("player 0 completed despite severed sockets")
+	}
+	if !strings.Contains(results[0].Err.Error(), "simnet: send to") &&
+		!strings.Contains(results[0].Err.Error(), "simnet: done marker to") {
+		t.Fatalf("player 0 failed with an unrelated error: %v", results[0].Err)
+	}
+	for i := 1; i < n; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("surviving player %d failed: %v", i, results[i].Err)
+		}
+		// Survivors hear everyone while player 0 lives and each other
+		// afterwards; either way they complete all rounds with traffic.
+		if got := results[i].Value.(int); got < rounds*(n-2) {
+			t.Fatalf("surviving player %d delivered only %d messages over %d rounds", i, got, rounds)
+		}
+	}
+}
+
+// TestReadFrameRejectsOversizedLength checks the framing guard: a length
+// field beyond the 16 MiB cap must be rejected before any allocation.
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		var hdr [9]byte
+		hdr[0] = frameData
+		binary.LittleEndian.PutUint32(hdr[5:], 1<<24+1)
+		client.Write(hdr[:])
+	}()
+	_, _, _, err := readFrame(server)
+	if err == nil || !strings.Contains(err.Error(), "oversized frame") {
+		t.Fatalf("readFrame error = %v, want oversized-frame rejection", err)
+	}
+}
+
+// TestReadFrameTruncatedPayload checks that a frame whose connection dies
+// mid-payload surfaces the underlying read error instead of short data.
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		var hdr [9]byte
+		hdr[0] = frameData
+		binary.LittleEndian.PutUint32(hdr[5:], 64)
+		client.Write(hdr[:])
+		client.Write([]byte{1, 2, 3}) // 3 of 64 promised bytes
+		client.Close()
+	}()
+	_, _, _, err := readFrame(server)
+	if err == nil {
+		t.Fatal("readFrame succeeded on truncated payload")
+	}
+}
+
+// TestReadHelloRejectsNonHello checks the handshake guard: the first frame
+// on an inbound connection must be a hello, not protocol data.
+func TestReadHelloRejectsNonHello(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go writeFrame(client, frameData, 0, []byte{0xAA})
+	_, err := readHello(server)
+	if err == nil || !strings.Contains(err.Error(), "expected hello") {
+		t.Fatalf("readHello error = %v, want hello rejection", err)
+	}
+}

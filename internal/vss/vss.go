@@ -222,9 +222,9 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	cfg := inst.cfg
 	if inst.received {
 		delta := inst.combination(r)
-		nd.Broadcast(append([]byte{deltaFlag}, cfg.Field.AppendElement(nil, delta)...))
+		nd.Broadcast(append([]byte{WireDelta}, cfg.Field.AppendElement(nil, delta)...))
 	} else {
-		nd.Broadcast([]byte{complaintFlag})
+		nd.Broadcast([]byte{WireComplaint})
 	}
 	msgs, err := nd.EndRound()
 	if err != nil {
@@ -241,7 +241,7 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	var xs, ys []gf2k.Element
 	for from := 0; from < cfg.N; from++ {
 		payload, ok := first[from]
-		if !ok || len(payload) == 0 || payload[0] != deltaFlag {
+		if !ok || len(payload) == 0 || payload[0] != WireDelta {
 			continue
 		}
 		v, rest, err := cfg.Field.ReadElement(payload[1:])
@@ -273,10 +273,16 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	return true, nil
 }
 
-// Wire flags for the verification broadcast.
+// Wire flags for the verification broadcast, exported so adversarial
+// harnesses (internal/adversary, internal/conformance) can speak — and
+// deliberately abuse — the protocol's wire format.
 const (
-	deltaFlag     = 0x00 // followed by one field element
-	complaintFlag = 0x01 // "I never received shares from the dealer"
+	// WireDelta prefixes a well-formed δ broadcast: the flag byte followed
+	// by exactly one field element.
+	WireDelta = 0x00
+	// WireComplaint is the share-less complaint broadcast ("I never
+	// received shares from the dealer").
+	WireComplaint = 0x01
 )
 
 // combination computes δ_i = γ_i + Σ_{j=1..M} r^j·α_i,j in Horner form
