@@ -1,0 +1,306 @@
+// Command beacond serves shared randomness over HTTP from an in-process
+// D-PRBG cluster — the deployable face of internal/beacon.
+//
+// On first start it seeds the cluster with a one-time trusted-dealer batch
+// (the paper's only trusted step); on SIGTERM/SIGINT it shuts down
+// gracefully and persists every player's sealed store under -data, and a
+// restart resumes from those files without the dealer ever being consulted
+// again (§1.2's "the new seed is stored until the next execution of the
+// application").
+//
+// Usage:
+//
+//	beacond -addr :8433 -n 7 -t 1 -k 32 -data /var/lib/beacond
+//
+// Endpoints:
+//
+//	GET /v1/coin        one shared coin (an element of GF(2^k))
+//	GET /v1/bits?n=128  n shared random bits, hex-encoded LSB-first
+//	GET /v1/modulo?m=6  a shared value in [1, m] (the paper's leader draw)
+//	GET /v1/healthz     liveness plus a stats summary
+//	GET /debug/vars     expvar metrics, including the beacon Stats snapshot
+//
+// Overload responses use 429 (queue full or rate-limited); a clean
+// shutdown answers in-flight requests before persisting.
+package main
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/beacon"
+	"repro/internal/core"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// config is the validated flag set of one invocation.
+type config struct {
+	addr         string
+	n, t, k      int
+	batch        int
+	threshold    int
+	highWater    int
+	seedCoins    int
+	queue        int
+	rate         float64
+	burst        int
+	data         string
+	insecureRand bool
+	rngSeed      int64
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("beacond", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c config
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8433", "HTTP listen address")
+	fs.IntVar(&c.n, "n", 7, "number of players (n ≥ 6t+1)")
+	fs.IntVar(&c.t, "t", 1, "Byzantine fault bound")
+	fs.IntVar(&c.k, "k", 32, "coin field GF(2^k), 2 ≤ k ≤ 64")
+	fs.IntVar(&c.batch, "batch", 96, "Coin-Gen batch size M")
+	fs.IntVar(&c.threshold, "threshold", core.DefaultThreshold, "blocking refill threshold")
+	fs.IntVar(&c.highWater, "highwater", 64, "proactive refill high-water mark (0 disables the pipeline)")
+	fs.IntVar(&c.seedCoins, "seed-coins", 0, "one-time trusted-dealer seed size (default: batch)")
+	fs.IntVar(&c.queue, "queue", 256, "request queue depth (backpressure bound)")
+	fs.Float64Var(&c.rate, "rate", 0, "token-bucket rate limit in requests/s (0 disables)")
+	fs.IntVar(&c.burst, "burst", 0, "token-bucket burst (default 1 when -rate is set)")
+	fs.StringVar(&c.data, "data", "", "state directory for persisted stores (empty: no persistence)")
+	fs.BoolVar(&c.insecureRand, "insecure-rand", false, "use seeded math/rand instead of crypto/rand (reproducible demos ONLY)")
+	fs.Int64Var(&c.rngSeed, "rng-seed", 1, "seed for -insecure-rand")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("beacond: unexpected arguments %v", fs.Args())
+	}
+	return &c, nil
+}
+
+func (c *config) beaconConfig(ctr *metrics.Counters) (beacon.Config, error) {
+	field, err := gf2k.New(c.k)
+	if err != nil {
+		return beacon.Config{}, err
+	}
+	cfg := beacon.Config{
+		Core: core.Config{
+			Field:     field,
+			N:         c.n,
+			T:         c.t,
+			BatchSize: c.batch,
+			Threshold: c.threshold,
+			HighWater: c.highWater,
+		},
+		SeedCoins:  c.seedCoins,
+		QueueDepth: c.queue,
+		Rate:       c.rate,
+		Burst:      c.burst,
+		Counters:   ctr,
+	}
+	if c.insecureRand {
+		var salt atomic.Int64
+		seed := c.rngSeed
+		cfg.Rand = func(i int) io.Reader {
+			return rand.New(rand.NewSource(seed + int64(i)*1009 + salt.Add(1)*1_000_003))
+		}
+	} else {
+		cfg.Rand = func(int) io.Reader { return cryptorand.Reader }
+	}
+	return cfg, cfg.Validate()
+}
+
+// liveService lets the expvar callback — registered once per process, while
+// tests start several servers — always reflect the current service.
+var liveService atomic.Pointer[beacon.Service]
+
+var publishOnce = func() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			expvar.Publish("beacon", expvar.Func(func() any {
+				if s := liveService.Load(); s != nil {
+					return s.Stats()
+				}
+				return nil
+			}))
+		}
+	}
+}()
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	c, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	ctr := &metrics.Counters{}
+	cfg, err := c.beaconConfig(ctr)
+	if err != nil {
+		return err
+	}
+
+	var svc *beacon.Service
+	switch {
+	case c.data != "" && beacon.HaveStores(c.data):
+		stores, err := beacon.LoadStores(c.data, c.n)
+		if err != nil {
+			return err
+		}
+		if svc, err = beacon.Resume(cfg, stores); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "beacond: resumed %d players from %s (%d coins; trusted dealer not consulted)\n",
+			c.n, c.data, svc.Stats().Remaining)
+	default:
+		if svc, err = beacon.New(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "beacond: fresh start, one-time trusted-dealer seed of %d coins\n",
+			svc.Stats().Remaining)
+	}
+	liveService.Store(svc)
+	publishOnce()
+
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newMux(svc, c.k)}
+	fmt.Fprintf(stdout, "beacond: listening on http://%s\n", ln.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "beacond: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(stderr, "beacond: http shutdown: %v\n", err)
+	}
+	if err := svc.Close(shutCtx); err != nil {
+		return fmt.Errorf("beacond: close service: %w", err)
+	}
+	if c.data != "" {
+		if err := svc.Persist(c.data); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "beacond: persisted %d player stores to %s (%d coins)\n",
+			c.n, c.data, svc.Stats().Remaining)
+	}
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "beacond: served %d draws (%d coins), %d refills (%d pipelined, %d blocking), %d blocked draws\n",
+		st.Draws, st.CoinsDelivered, st.Refills, st.PipelinedRefills, st.BlockingRefills, st.BlockedDraws)
+	return nil
+}
+
+func newMux(svc *beacon.Service, k int) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/coin", func(w http.ResponseWriter, r *http.Request) {
+		e, err := svc.Draw(r.Context())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"coin": fmt.Sprintf("0x%0*x", (k+3)/4, uint64(e)), "k": k})
+	})
+	mux.HandleFunc("GET /v1/bits", func(w http.ResponseWriter, r *http.Request) {
+		var n int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n); err != nil {
+			http.Error(w, "beacond: missing or malformed ?n= bit count", http.StatusBadRequest)
+			return
+		}
+		bits, err := svc.DrawBits(r.Context(), n)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"bits": hex.EncodeToString(bits), "n": n})
+	})
+	mux.HandleFunc("GET /v1/modulo", func(w http.ResponseWriter, r *http.Request) {
+		var m int
+		if _, err := fmt.Sscanf(r.URL.Query().Get("m"), "%d", &m); err != nil {
+			http.Error(w, "beacond: missing or malformed ?m= modulus", http.StatusBadRequest)
+			return
+		}
+		v, err := svc.DrawMod(r.Context(), m)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"value": v, "m": m})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		writeJSON(w, map[string]any{
+			"status":    "ok",
+			"remaining": st.Remaining,
+			"queue":     st.QueueDepth,
+			"refilling": st.RefillInFlight,
+			"resumed":   st.Resumed,
+		})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// writeErr maps service errors onto HTTP status codes: overload conditions
+// are retryable 429s, validation failures 400s, shutdown 503.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, beacon.ErrOverloaded), errors.Is(err, beacon.ErrRateLimited):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, beacon.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), 499) // client closed request
+	default:
+		var status = http.StatusInternalServerError
+		if isValidation(err) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+	}
+}
+
+// isValidation distinguishes argument errors (bad bit counts, bad moduli)
+// from internal protocol failures.
+func isValidation(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "outside") || strings.Contains(s, "invalid modulus")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a goroutine-safe writer the daemon under test logs into.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+type daemon struct {
+	url    string
+	out    *syncBuf
+	done   chan error
+	cancel context.CancelFunc
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startDaemon runs the daemon in-process on an ephemeral port and waits
+// until it announces its listen address.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &daemon{out: &syncBuf{}, done: make(chan error, 1), cancel: cancel}
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { d.done <- run(ctx, args, d.out, d.out) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(d.out.String()); m != nil {
+			d.url = m[1]
+			break
+		}
+		select {
+		case err := <-d.done:
+			t.Fatalf("daemon exited before listening: %v\noutput:\n%s", err, d.out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", d.out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Cleanup(func() { d.cancel(); <-d.done })
+	return d
+}
+
+// stop sends the shutdown signal (the SIGTERM code path) and returns the
+// accumulated output after a clean exit.
+func (d *daemon) stop(t *testing.T) string {
+	t.Helper()
+	d.cancel()
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\noutput:\n%s", err, d.out.String())
+		}
+		d.done <- nil // keep the cleanup drain happy
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not shut down; output:\n%s", d.out.String())
+	}
+	return d.out.String()
+}
+
+// getJSON fetches path and decodes the JSON body (on any status).
+func getJSON(t *testing.T, base, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode, body
+}
+
+// beaconVars reads the beacon Stats snapshot out of /debug/vars.
+func beaconVars(t *testing.T, base string) map[string]any {
+	t.Helper()
+	status, body := getJSON(t, base, "/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", status)
+	}
+	st, ok := body["beacon"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars has no beacon stats: %v", body)
+	}
+	return st
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-k", "99"},                       // unsupported field degree
+		{"-n", "3", "-t", "1"},             // violates n ≥ 6t+1
+		{"-highwater", "2"},                // below the default threshold
+		{"-batch", "4", "-threshold", "6"}, // refills could not make progress
+		{"stray-positional"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(context.Background(), args, &syncBuf{}, &syncBuf{}); err == nil {
+				t.Fatalf("args %v accepted", args)
+			}
+		})
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	d := startDaemon(t, "-n", "7", "-t", "1", "-k", "8",
+		"-batch", "24", "-threshold", "6", "-highwater", "16", "-insecure-rand")
+
+	status, body := getJSON(t, d.url, "/v1/coin")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/coin: status %d", status)
+	}
+	coin, _ := body["coin"].(string)
+	if !strings.HasPrefix(coin, "0x") || len(coin) != 4 { // 0x + 2 hex digits for k=8
+		t.Fatalf("/v1/coin returned %q", coin)
+	}
+
+	status, body = getJSON(t, d.url, "/v1/bits?n=16")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/bits: status %d", status)
+	}
+	if bits, _ := body["bits"].(string); len(bits) != 4 { // 16 bits = 2 bytes = 4 hex chars
+		t.Fatalf("/v1/bits?n=16 returned %q", body["bits"])
+	}
+	if status, _ := getJSON(t, d.url, "/v1/bits?n=0"); status != http.StatusBadRequest {
+		t.Fatalf("/v1/bits?n=0: status %d, want 400", status)
+	}
+	if status, _ := getJSON(t, d.url, "/v1/bits"); status != http.StatusBadRequest {
+		t.Fatalf("/v1/bits without n: status %d, want 400", status)
+	}
+
+	status, body = getJSON(t, d.url, "/v1/modulo?m=5")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/modulo: status %d", status)
+	}
+	if v, _ := body["value"].(float64); v < 1 || v > 5 {
+		t.Fatalf("/v1/modulo?m=5 returned %v", body["value"])
+	}
+	if status, _ := getJSON(t, d.url, "/v1/modulo?m=-2"); status != http.StatusBadRequest {
+		t.Fatalf("/v1/modulo?m=-2: status %d, want 400", status)
+	}
+
+	status, body = getJSON(t, d.url, "/v1/healthz")
+	if status != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("/v1/healthz: status %d body %v", status, body)
+	}
+	if vars := beaconVars(t, d.url); vars["CoinsDelivered"].(float64) < 3 {
+		t.Fatalf("expvar stats did not count the draws: %v", vars)
+	}
+	out := d.stop(t)
+	if !strings.Contains(out, "served") {
+		t.Fatalf("shutdown summary missing; output:\n%s", out)
+	}
+}
+
+// TestSoakPipelineAndResume is the subsystem's acceptance test: concurrent
+// paced clients drain more than three full batches through the HTTP API
+// with every refill pipelined — zero draws blocked on a Coin-Gen round —
+// then SIGTERM persists the stores and a restarted daemon resumes from
+// disk without a trusted-dealer re-seed.
+func TestSoakPipelineAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	dir := t.TempDir()
+	args := []string{"-n", "7", "-t", "1", "-k", "8",
+		"-batch", "96", "-threshold", "8", "-highwater", "72",
+		"-queue", "1024", "-data", dir, "-insecure-rand"}
+	d := startDaemon(t, args...)
+
+	// 4 clients, each pacing ~100 draws/s: the 64-coin high-water headroom
+	// buys each pipelined mint ~160 ms of wall clock, far beyond a
+	// Coin-Gen round even under the race detector.
+	const clients, perClient = 4, 80
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(d.url + "/v1/coin")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("draw %d: status %d", i, resp.StatusCode)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("soak client: %v", err)
+	}
+
+	vars := beaconVars(t, d.url)
+	if got := vars["CoinsDelivered"].(float64); got != clients*perClient {
+		t.Fatalf("CoinsDelivered=%v, want %d", got, clients*perClient)
+	}
+	if got := vars["PipelinedRefills"].(float64); got < 3 {
+		t.Fatalf("PipelinedRefills=%v after draining %d coins, want ≥ 3", got, clients*perClient)
+	}
+	if got := vars["BlockedDraws"].(float64); got != 0 {
+		t.Fatalf("BlockedDraws=%v, want 0 — a draw waited on a Coin-Gen round", got)
+	}
+	if got := vars["BlockingRefills"].(float64); got != 0 {
+		t.Fatalf("BlockingRefills=%v, want 0", got)
+	}
+
+	out := d.stop(t)
+	if !strings.Contains(out, "persisted 7 player stores") {
+		t.Fatalf("shutdown did not persist; output:\n%s", out)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("player-%03d.store", i))); err != nil {
+			t.Fatalf("missing persisted store: %v", err)
+		}
+	}
+
+	// Second session: must resume from disk, not from the dealer.
+	d2 := startDaemon(t, args...)
+	if !strings.Contains(d2.out.String(), "resumed 7 players") {
+		t.Fatalf("restart did not resume from disk; output:\n%s", d2.out.String())
+	}
+	status, body := getJSON(t, d2.url, "/v1/healthz")
+	if status != http.StatusOK || body["resumed"] != true {
+		t.Fatalf("resumed healthz: status %d body %v", status, body)
+	}
+	for i := 0; i < 30; i++ { // drains into another refill, dealer-free
+		if status, _ := getJSON(t, d2.url, "/v1/coin"); status != http.StatusOK {
+			t.Fatalf("post-resume draw %d: status %d", i, status)
+		}
+	}
+	if out := d2.stop(t); !strings.Contains(out, "persisted 7 player stores") {
+		t.Fatalf("second shutdown did not persist; output:\n%s", out)
+	}
+}

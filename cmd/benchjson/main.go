@@ -8,6 +8,14 @@
 //	go run ./cmd/benchjson -out BENCH_2026-08-05.json
 //	go run ./cmd/benchjson -bench 'Interpolate' -benchtime 100x -out /dev/stdout
 //
+// With -merge, results are folded into an existing -out document instead of
+// replacing it: same-name entries are overwritten, new ones appended. This
+// lets a targeted run (e.g. the serving-path BeaconDrawThroughput series)
+// refresh its series without re-running every benchmark:
+//
+//	go run ./cmd/benchjson -bench 'BeaconDrawThroughput' -pkgs ./internal/beacon \
+//	    -benchtime 2000x -merge -out BENCH_2026-08-05.json
+//
 // The raw benchmark output is teed to stderr while it is parsed, so the
 // command is a drop-in replacement for `make bench`.
 package main
@@ -54,6 +62,7 @@ func main() {
 		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 100x)")
 		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
 		out       = flag.String("out", "", "output JSON file (default stdout)")
+		merge     = flag.Bool("merge", false, "merge results by name into an existing -out file instead of replacing it")
 	)
 	flag.Parse()
 
@@ -87,6 +96,16 @@ func main() {
 		Command:   "go " + strings.Join(args, " "),
 		Results:   results,
 	}
+	if *merge && *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old Document
+			if err := json.Unmarshal(prev, &old); err != nil {
+				log.Fatalf("merge into %s: %v", *out, err)
+			}
+			doc.Results = mergeResults(old.Results, results)
+			doc.Command = old.Command + " ; " + doc.Command
+		}
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +118,28 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d results written to %s\n", len(results), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: %d results written to %s (%d from this run)\n",
+		len(doc.Results), *out, len(results))
+}
+
+// mergeResults overlays fresh results onto an existing series: entries with
+// the same benchmark name are replaced in place, new names are appended, and
+// untouched old entries survive.
+func mergeResults(old, fresh []Result) []Result {
+	idx := make(map[string]int, len(old))
+	out := append([]Result(nil), old...)
+	for i, r := range out {
+		idx[r.Name] = i
+	}
+	for _, r := range fresh {
+		if i, ok := idx[r.Name]; ok {
+			out[i] = r
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
 }
 
 // parseBench extracts benchmark lines of the form

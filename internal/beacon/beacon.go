@@ -1,0 +1,765 @@
+// Package beacon is the serving layer on top of the D-PRBG core: a
+// long-running randomness-beacon Service in the style of modern beacon
+// deployments (SoK: Decentralized Randomness Beacon Protocols; RandSolomon's
+// "RNG as a service" argument), built on the paper's bootstrap generator.
+//
+// A Service owns the whole n-player simnet cluster in one process: one
+// worker goroutine per player (the simnet round barrier requires every
+// active player to end each round) plus a single protocol executive that is
+// the only scheduler of protocol work. Clients never touch protocol state;
+// they enqueue draw requests into a bounded queue and the executive serves
+// them in lockstep sweeps across all players.
+//
+// The headline mechanism is the ahead-of-demand refill pipeline. The store
+// double-buffers batches: when the sealed-coin count falls below the
+// configured high-water mark (core.Config.HighWater), the executive
+// detaches a small seed from the tail of every player's store and starts a
+// Coin-Gen on a dedicated refill network, while the serving network keeps
+// exposing coins from the front. When the mint completes, the executive
+// absorbs the new batch (and any unspent seed) at a quiescent instant, so
+// the identical store mutation happens at every player. A draw therefore
+// almost never waits on a protocol round; Stats().BlockedDraws counts the
+// ones that did.
+//
+// Production ergonomics on the request path: context cancellation,
+// backpressure (bounded queue, ErrOverloaded), a token-bucket rate limiter
+// (ErrRateLimited), and a Stats snapshot. Shutdown is graceful: Close
+// absorbs any in-flight mint, serves the queued requests, stops the
+// cluster, and Persist writes every player's sealed store to disk via the
+// coin.Batch wire format — a restarted Service resumes from those files
+// without ever consulting the trusted dealer again (§1.2).
+package beacon
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/coin"
+	"repro/internal/core"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+var (
+	// ErrOverloaded is returned when the bounded request queue is full —
+	// the backpressure signal. Clients should retry after a delay.
+	ErrOverloaded = errors.New("beacon: request queue full")
+	// ErrRateLimited is returned when the token-bucket rate limiter has no
+	// token for the request.
+	ErrRateLimited = errors.New("beacon: rate limit exceeded")
+	// ErrClosed is returned for draws after Close has begun.
+	ErrClosed = errors.New("beacon: service closed")
+)
+
+// MaxDrawBits bounds a single DrawBits request so one client cannot occupy
+// the cluster for an unbounded number of exposure rounds.
+const MaxDrawBits = 4096
+
+// serveMaxRounds is the round budget for the long-lived serving network
+// and for refill networks: effectively unlimited (the default simnet
+// budget of 1e5 exists to catch diverging protocols under test, but a
+// beacon consumes one round per coin by design).
+const serveMaxRounds = 1 << 40
+
+// Config parameterizes a beacon Service.
+type Config struct {
+	// Core is the D-PRBG configuration (field, N, T, BatchSize, Threshold,
+	// HighWater). HighWater > 0 enables the ahead-of-demand refill
+	// pipeline; HighWater == 0 falls back to blocking refills on the
+	// serving network whenever the store reaches Threshold.
+	Core core.Config
+	// SeedCoins is the size of the one-time trusted-dealer seed used by
+	// New. Defaults to Core.BatchSize. Resume ignores it.
+	SeedCoins int
+	// SeedReserve is the number of coins detached from the store tail to
+	// fund each pipelined refill (the out-of-band Coin-Gen's challenge and
+	// leader draws). Defaults to the effective Core threshold.
+	SeedReserve int
+	// QueueDepth bounds the request queue; a full queue rejects with
+	// ErrOverloaded. Defaults to 256.
+	QueueDepth int
+	// MaxBatch caps how many coins one lockstep sweep exposes; queued
+	// requests are coalesced up to this budget. Defaults to 32.
+	MaxBatch int
+	// Rate and Burst configure the token-bucket rate limiter in requests
+	// per second. Rate == 0 disables limiting; Burst defaults to 1 when a
+	// rate is set.
+	Rate  float64
+	Burst int
+	// Counters, when non-nil, is attached to both networks, so
+	// Stats().Counters reports the protocol cost of serving.
+	Counters *metrics.Counters
+	// Tracer, when non-nil, instruments refill networks, so every
+	// pipelined Coin-Gen emits the usual per-phase spans (Batch-VSS,
+	// Grade-Cast, BA, Coin-Expose) for obs.PhaseSummary. The serving
+	// network is left untraced: its spans would interleave with refill
+	// spans of the same player and draw latency is tracked by Stats
+	// instead.
+	Tracer *obs.Tracer
+	// Rand supplies each player's private randomness (polynomial dealing
+	// in Coin-Gen). Defaults to crypto/rand for every player; tests
+	// substitute seeded readers for reproducibility.
+	Rand func(player int) io.Reader
+}
+
+func (c Config) withDefaults() Config {
+	if c.Core.Threshold == 0 {
+		c.Core.Threshold = core.DefaultThreshold
+	}
+	if c.SeedCoins == 0 {
+		c.SeedCoins = c.Core.BatchSize
+	}
+	if c.SeedReserve == 0 {
+		c.SeedReserve = c.Core.Threshold
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.Rate > 0 && c.Burst == 0 {
+		c.Burst = 1
+	}
+	if c.Rand == nil {
+		c.Rand = func(int) io.Reader { return cryptorand.Reader }
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("beacon: queue depth must be ≥ 1, got %d", c.QueueDepth)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("beacon: max batch must be ≥ 1, got %d", c.MaxBatch)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("beacon: negative rate %v", c.Rate)
+	}
+	if c.SeedReserve < 2 {
+		return fmt.Errorf("beacon: seed reserve must be ≥ 2 (a refill spends a challenge plus leader draws), got %d", c.SeedReserve)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the service's activity.
+type Stats struct {
+	// QueueDepth is the number of requests waiting in the bounded queue.
+	QueueDepth int
+	// Remaining is the number of sealed coins left in the store.
+	Remaining int
+	// CoinsDelivered and Draws count coins handed out and requests served.
+	CoinsDelivered int64
+	Draws          int64
+	// Refills counts absorbed Coin-Gen batches; PipelinedRefills ran
+	// ahead of demand on the refill network, BlockingRefills stalled the
+	// serving network.
+	Refills          int64
+	PipelinedRefills int64
+	BlockingRefills  int64
+	// BlockedDraws counts requests that had to wait on a Coin-Gen round
+	// (in-flight or blocking) before their coins could be exposed. With a
+	// well-tuned high-water mark this stays 0.
+	BlockedDraws int64
+	// Overloaded and RateLimited count rejected requests.
+	Overloaded  int64
+	RateLimited int64
+	// RefillInFlight reports whether a pipelined Coin-Gen is running now.
+	RefillInFlight bool
+	// Resumed reports whether the service was restored from persisted
+	// stores (no trusted dealer involved) rather than freshly seeded.
+	Resumed bool
+	// Counters is the protocol cost snapshot (zero unless Config.Counters
+	// was set).
+	Counters metrics.Snapshot
+}
+
+type opKind int
+
+const (
+	opExpose opKind = iota + 1
+	opRefill
+	opStop
+)
+
+type command struct {
+	op opKind
+	k  int // coins to expose for opExpose
+}
+
+type workerResult struct {
+	player int
+	vals   []gf2k.Element
+	err    error
+}
+
+type drawResult struct {
+	vals []gf2k.Element
+	err  error
+}
+
+type request struct {
+	ctx  context.Context
+	need int
+	resp chan drawResult
+}
+
+type refillOutcome struct {
+	seeds []*coin.Store      // detached seeds, possibly with leftover coins
+	mints []*core.MintResult // per-player minted batches
+	err   error
+}
+
+// Service is a running randomness beacon. Create with New or Resume; all
+// exported methods are safe for concurrent use.
+type Service struct {
+	cfg     Config
+	n       int
+	gens    []*core.Generator
+	nw      *simnet.Network
+	cmds    []chan command
+	results chan workerResult
+
+	reqs       chan *request
+	refillDone chan *refillOutcome
+	stop       chan struct{}
+	execDone   chan struct{}
+
+	limiter *tokenBucket
+	resumed bool
+
+	// Executive-owned state (no locking: only the exec goroutine touches
+	// these after Start).
+	refillInFlight bool
+	dead           error
+
+	// Stats mirrors, updated by the executive / request path.
+	remaining        atomic.Int64
+	coinsDelivered   atomic.Int64
+	draws            atomic.Int64
+	refills          atomic.Int64
+	pipelinedRefills atomic.Int64
+	blockingRefills  atomic.Int64
+	blockedDraws     atomic.Int64
+	overloaded       atomic.Int64
+	rateLimited      atomic.Int64
+	inFlight         atomic.Bool
+	closed           atomic.Bool
+}
+
+// New creates and starts a beacon from a fresh one-time trusted-dealer
+// seed of cfg.SeedCoins coins (the paper's Rabin-style setup, used once).
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gens, err := core.SetupTrusted(cfg.Core, cfg.SeedCoins, cfg.Rand(0))
+	if err != nil {
+		return nil, err
+	}
+	return start(cfg, gens, false)
+}
+
+// Resume creates and starts a beacon from one restored store per player
+// (see Persist / LoadStores). The trusted dealer is not consulted: the
+// restored seed funds every future refill, exactly the §1.2 storage
+// pattern.
+func Resume(cfg Config, stores []*coin.Store) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(stores) != cfg.Core.N {
+		return nil, fmt.Errorf("beacon: %d restored stores for %d players", len(stores), cfg.Core.N)
+	}
+	gens := make([]*core.Generator, cfg.Core.N)
+	for i, st := range stores {
+		g, err := core.NewFromStore(cfg.Core, st)
+		if err != nil {
+			return nil, fmt.Errorf("beacon: player %d: %w", i, err)
+		}
+		gens[i] = g
+	}
+	return start(cfg, gens, true)
+}
+
+func start(cfg Config, gens []*core.Generator, resumed bool) (*Service, error) {
+	n := cfg.Core.N
+	opts := []simnet.Option{simnet.WithMaxRounds(serveMaxRounds)}
+	if cfg.Counters != nil {
+		opts = append(opts, simnet.WithCounters(cfg.Counters))
+	}
+	s := &Service{
+		cfg:        cfg,
+		n:          n,
+		gens:       gens,
+		nw:         simnet.New(n, opts...),
+		cmds:       make([]chan command, n),
+		results:    make(chan workerResult, n),
+		reqs:       make(chan *request, cfg.QueueDepth),
+		refillDone: make(chan *refillOutcome, 1),
+		stop:       make(chan struct{}),
+		execDone:   make(chan struct{}),
+		resumed:    resumed,
+	}
+	if cfg.Rate > 0 {
+		s.limiter = newTokenBucket(cfg.Rate, cfg.Burst)
+	}
+	s.remaining.Store(int64(gens[0].Remaining()))
+	for i := 0; i < n; i++ {
+		s.cmds[i] = make(chan command)
+		go s.worker(i, s.nw.Node(i), cfg.Rand(i))
+	}
+	go s.exec()
+	return s, nil
+}
+
+// Resumed reports whether the service was restored from persisted stores.
+func (s *Service) Resumed() bool { return s.resumed }
+
+// Stats returns a snapshot of the service's activity.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		QueueDepth:       len(s.reqs),
+		Remaining:        int(s.remaining.Load()),
+		CoinsDelivered:   s.coinsDelivered.Load(),
+		Draws:            s.draws.Load(),
+		Refills:          s.refills.Load(),
+		PipelinedRefills: s.pipelinedRefills.Load(),
+		BlockingRefills:  s.blockingRefills.Load(),
+		BlockedDraws:     s.blockedDraws.Load(),
+		Overloaded:       s.overloaded.Load(),
+		RateLimited:      s.rateLimited.Load(),
+		RefillInFlight:   s.inFlight.Load(),
+		Resumed:          s.resumed,
+	}
+	if s.cfg.Counters != nil {
+		st.Counters = s.cfg.Counters.Snapshot()
+	}
+	return st
+}
+
+// Draw returns one shared coin: a uniform element of GF(2^k).
+func (s *Service) Draw(ctx context.Context) (gf2k.Element, error) {
+	vals, err := s.draw(ctx, 1)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// DrawBits returns nbits shared random bits packed LSB-first into
+// ⌈nbits/8⌉ bytes (unused high bits zero). Each drawn coin contributes its
+// full k bits: the coin F(0) is uniform over GF(2^k), so every bit of its
+// representation is an unbiased shared coin. nbits must be in
+// [1, MaxDrawBits].
+func (s *Service) DrawBits(ctx context.Context, nbits int) ([]byte, error) {
+	if nbits < 1 || nbits > MaxDrawBits {
+		return nil, fmt.Errorf("beacon: bit count %d outside [1,%d]", nbits, MaxDrawBits)
+	}
+	k := s.cfg.Core.Field.K()
+	vals, err := s.draw(ctx, (nbits+k-1)/k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, (nbits+7)/8)
+	for b := 0; b < nbits; b++ {
+		bit := (uint64(vals[b/k]) >> (b % k)) & 1
+		out[b/8] |= byte(bit << (b % 8))
+	}
+	return out, nil
+}
+
+// DrawMod returns a shared random value in [1, m], the 1-based reduction
+// Coin-Gen's own leader election uses (Fig. 5 step 9). As with
+// core.NextMod, values are exactly uniform only when m divides 2^k.
+func (s *Service) DrawMod(ctx context.Context, m int) (int, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("beacon: invalid modulus %d", m)
+	}
+	vals, err := s.draw(ctx, 1)
+	if err != nil {
+		return 0, err
+	}
+	l := int(uint64(vals[0]) % uint64(m))
+	if l == 0 {
+		l = m
+	}
+	return l, nil
+}
+
+// draw enqueues a request for `need` coins and waits for the executive.
+func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if s.limiter != nil && !s.limiter.allow() {
+		s.rateLimited.Add(1)
+		return nil, ErrRateLimited
+	}
+	req := &request{ctx: ctx, need: need, resp: make(chan drawResult, 1)}
+	select {
+	case s.reqs <- req:
+	default:
+		s.overloaded.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case r := <-req.resp:
+		return r.vals, r.err
+	case <-ctx.Done():
+		// The executive may still expose coins for this request; the
+		// buffered resp channel absorbs the late result.
+		return nil, ctx.Err()
+	case <-s.execDone:
+		select {
+		case r := <-req.resp:
+			return r.vals, r.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close shuts the service down gracefully: it stops accepting draws, waits
+// for any in-flight mint and absorbs it (so no detached seed coin is ever
+// lost), serves the requests already queued, and halts the cluster. After
+// Close returns nil the stores are quiescent and may be persisted.
+func (s *Service) Close(ctx context.Context) error {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+	select {
+	case <-s.execDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- protocol executive -------------------------------------------------------
+
+// exec is the dedicated protocol goroutine: the only scheduler of lockstep
+// work and the only mutator of the generators between commands.
+func (s *Service) exec() {
+	defer close(s.execDone)
+	for {
+		s.maybePipelineRefill()
+		select {
+		case req := <-s.reqs:
+			s.serve(req)
+		case out := <-s.refillDone:
+			s.absorbRefill(out)
+		case <-s.stop:
+			s.drainAndStop()
+			return
+		}
+	}
+}
+
+// serve coalesces queued requests up to the MaxBatch coin budget and
+// exposes their coins in one lockstep sweep.
+func (s *Service) serve(first *request) {
+	batch := make([]*request, 0, 8)
+	need := 0
+	add := func(r *request) bool {
+		if r.ctx.Err() != nil {
+			r.resp <- drawResult{err: r.ctx.Err()}
+			return false
+		}
+		batch = append(batch, r)
+		need += r.need
+		return true
+	}
+	add(first)
+	for need < s.cfg.MaxBatch {
+		select {
+		case r := <-s.reqs:
+			add(r)
+		default:
+			goto gathered
+		}
+	}
+gathered:
+	if len(batch) == 0 {
+		return
+	}
+	if err := s.ensure(need, len(batch)); err != nil {
+		for _, r := range batch {
+			r.resp <- drawResult{err: err}
+		}
+		return
+	}
+	vals, err := s.commandExpose(need)
+	if err != nil {
+		s.fail(err)
+		for _, r := range batch {
+			r.resp <- drawResult{err: err}
+		}
+		return
+	}
+	off := 0
+	for _, r := range batch {
+		r.resp <- drawResult{vals: vals[off : off+r.need]}
+		off += r.need
+		s.draws.Add(1)
+		s.coinsDelivered.Add(int64(r.need))
+	}
+}
+
+// ensure makes the store deep enough to expose `need` coins while keeping
+// the blocking-refill budget (Threshold) intact. It prefers waiting for an
+// in-flight mint, then starting one, and only as a last resort stalls the
+// serving network with a blocking Coin-Gen. Any draw that reaches this
+// slow path is accounted in BlockedDraws.
+func (s *Service) ensure(need, nreqs int) error {
+	if s.dead != nil {
+		return s.dead
+	}
+	blocked := false
+	for int(s.remaining.Load()) < need+s.cfg.Core.Threshold {
+		if !blocked {
+			blocked = true
+			s.blockedDraws.Add(int64(nreqs))
+		}
+		switch {
+		case s.refillInFlight:
+			s.absorbRefill(<-s.refillDone)
+		case s.canPipeline() && s.startPipelineRefill():
+			// A mint is now in flight; the next iteration waits for it.
+		default:
+			if err := s.commandRefill(); err != nil {
+				s.fail(err)
+				break
+			}
+			s.refills.Add(1)
+			s.blockingRefills.Add(1)
+		}
+		if s.dead != nil {
+			return s.dead
+		}
+	}
+	return nil
+}
+
+// canPipeline reports whether an out-of-band refill could be funded right
+// now without dropping the serving store below Threshold.
+func (s *Service) canPipeline() bool {
+	return s.cfg.Core.HighWater > 0 && !s.refillInFlight &&
+		int(s.remaining.Load())-s.cfg.SeedReserve >= s.cfg.Core.Threshold
+}
+
+// maybePipelineRefill starts an ahead-of-demand mint when the store has
+// fallen below the high-water mark.
+func (s *Service) maybePipelineRefill() {
+	if s.dead != nil || !s.canPipeline() || !s.gens[0].NeedsRefill() {
+		return
+	}
+	s.startPipelineRefill()
+}
+
+// startPipelineRefill detaches a seed from every player's store tail and
+// launches a Coin-Gen cluster on a dedicated network, reporting whether the
+// mint is now in flight. The serving path keeps exposing from the store
+// fronts while the mint runs.
+func (s *Service) startPipelineRefill() bool {
+	seeds := make([]*coin.Store, s.n)
+	for i, g := range s.gens {
+		st, err := g.DetachSeed(s.cfg.SeedReserve)
+		if err != nil {
+			// The stores are structurally identical, so a failure can only
+			// hit player 0 before anything was detached — but reabsorb
+			// defensively so no coin is ever stranded.
+			for j := 0; j < i; j++ {
+				for _, b := range seeds[j].Batches() {
+					s.gens[j].AbsorbBatch(b) //nolint:errcheck // reinsert of a just-detached batch
+				}
+			}
+			return false
+		}
+		seeds[i] = st
+	}
+	s.refillInFlight = true
+	s.inFlight.Store(true)
+	cfg := s.cfg
+	n := s.n
+	go func() {
+		opts := []simnet.Option{simnet.WithMaxRounds(serveMaxRounds)}
+		if cfg.Counters != nil {
+			opts = append(opts, simnet.WithCounters(cfg.Counters))
+		}
+		if cfg.Tracer != nil {
+			opts = append(opts, simnet.WithTracer(cfg.Tracer))
+		}
+		nwR := simnet.New(n, opts...)
+		fns := make([]simnet.PlayerFunc, n)
+		for i := 0; i < n; i++ {
+			i := i
+			fns[i] = func(nd *simnet.Node) (interface{}, error) {
+				return core.Mint(cfg.Core, nd, seeds[i], cfg.Rand(i))
+			}
+		}
+		out := &refillOutcome{seeds: seeds, mints: make([]*core.MintResult, n)}
+		for i, r := range simnet.Run(nwR, fns) {
+			if r.Err != nil {
+				out.err = fmt.Errorf("beacon: pipelined refill, player %d: %w", i, r.Err)
+				break
+			}
+			out.mints[i] = r.Value.(*core.MintResult)
+		}
+		s.refillDone <- out
+	}()
+	return true
+}
+
+// absorbRefill merges a completed mint back into every player's store:
+// first the unspent seed coins, then the fresh batch, in the same order at
+// every player.
+func (s *Service) absorbRefill(out *refillOutcome) {
+	s.refillInFlight = false
+	s.inFlight.Store(false)
+	for i, g := range s.gens {
+		for _, b := range out.seeds[i].Batches() {
+			if b.Remaining() == 0 {
+				continue
+			}
+			if err := g.AbsorbBatch(b); err != nil && out.err == nil {
+				out.err = fmt.Errorf("beacon: absorb leftover seed, player %d: %w", i, err)
+			}
+		}
+		if out.err == nil {
+			if err := g.Absorb(out.mints[i]); err != nil {
+				out.err = fmt.Errorf("beacon: absorb minted batch, player %d: %w", i, err)
+			}
+		}
+	}
+	s.syncRemaining()
+	if out.err != nil {
+		s.fail(out.err)
+		return
+	}
+	s.refills.Add(1)
+	s.pipelinedRefills.Add(1)
+}
+
+// fail moves the service into a terminal error state: subsequent draws
+// report the first error.
+func (s *Service) fail(err error) {
+	if s.dead == nil && err != nil {
+		s.dead = err
+	}
+}
+
+func (s *Service) syncRemaining() {
+	s.remaining.Store(int64(s.gens[0].Remaining()))
+}
+
+// drainAndStop completes shutdown: absorb an in-flight mint, serve the
+// queue, stop the workers.
+func (s *Service) drainAndStop() {
+	if s.refillInFlight {
+		s.absorbRefill(<-s.refillDone)
+	}
+	for {
+		select {
+		case req := <-s.reqs:
+			s.serve(req)
+		default:
+			for _, ch := range s.cmds {
+				ch <- command{op: opStop}
+			}
+			return
+		}
+	}
+}
+
+// --- lockstep commands --------------------------------------------------------
+
+// commandExpose has every worker expose k coins and returns player 0's
+// values after checking unanimity across the cluster.
+func (s *Service) commandExpose(k int) ([]gf2k.Element, error) {
+	res := s.broadcast(command{op: opExpose, k: k})
+	var vals []gf2k.Element
+	for _, r := range res {
+		if r.err != nil {
+			return nil, fmt.Errorf("beacon: expose, player %d: %w", r.player, r.err)
+		}
+		if r.player == 0 {
+			vals = r.vals
+		}
+	}
+	for _, r := range res {
+		for h := range r.vals {
+			if r.vals[h] != vals[h] {
+				return nil, fmt.Errorf("beacon: unanimity violated at player %d coin %d", r.player, h)
+			}
+		}
+	}
+	s.syncRemaining()
+	return vals, nil
+}
+
+// commandRefill runs a blocking Coin-Gen on the serving network.
+func (s *Service) commandRefill() error {
+	for _, r := range s.broadcast(command{op: opRefill}) {
+		if r.err != nil {
+			return fmt.Errorf("beacon: blocking refill, player %d: %w", r.player, r.err)
+		}
+	}
+	s.syncRemaining()
+	return nil
+}
+
+// broadcast sends cmd to every worker and collects all n results.
+func (s *Service) broadcast(cmd command) []workerResult {
+	for _, ch := range s.cmds {
+		ch <- cmd
+	}
+	out := make([]workerResult, 0, s.n)
+	for len(out) < s.n {
+		out = append(out, <-s.results)
+	}
+	return out
+}
+
+// worker is player i's protocol goroutine: it executes the executive's
+// commands on its node, in lockstep with the other n−1 workers.
+func (s *Service) worker(i int, nd *simnet.Node, rnd io.Reader) {
+	g := s.gens[i]
+	for cmd := range s.cmds[i] {
+		switch cmd.op {
+		case opExpose:
+			vals := make([]gf2k.Element, 0, cmd.k)
+			var err error
+			for j := 0; j < cmd.k; j++ {
+				// A dry store fails before consuming a round, so all
+				// workers stay at the same round even on this path.
+				v, e := g.Expose(nd)
+				if e != nil {
+					err = e
+					break
+				}
+				vals = append(vals, v)
+			}
+			s.results <- workerResult{player: i, vals: vals, err: err}
+		case opRefill:
+			s.results <- workerResult{player: i, err: g.Refill(nd, rnd)}
+		case opStop:
+			nd.Halt()
+			return
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package beacon
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+)
+
+var rndSalt atomic.Int64
+
+// testRand returns a per-player deterministic randomness source. Each call
+// for the same player yields a fresh stream (successive refills must not
+// deal identical polynomials), which is why the salt counter is mixed in.
+func testRand(base int64) func(int) io.Reader {
+	return func(i int) io.Reader {
+		return rand.New(rand.NewSource(base + int64(i)*1009 + rndSalt.Add(1)*1_000_003))
+	}
+}
+
+func testConfig(tb testing.TB, batch, threshold, highWater int) Config {
+	tb.Helper()
+	f, err := gf2k.New(8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Config{
+		Core: core.Config{
+			Field: f, N: 7, T: 1,
+			BatchSize: batch, Threshold: threshold, HighWater: highWater,
+		},
+		Rand: testRand(42),
+	}
+}
+
+func mustClose(tb testing.TB, s *Service) {
+	tb.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		tb.Fatalf("Close: %v", err)
+	}
+}
+
+// TestDrawStream drains several batches' worth of coins through a pipelined
+// service; every draw must succeed and the refill accounting must add up.
+func TestDrawStream(t *testing.T) {
+	s, err := New(testConfig(t, 24, 6, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	const draws = 60
+	for i := 0; i < draws; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.CoinsDelivered != draws || st.Draws != draws {
+		t.Fatalf("stats report %d coins / %d draws, want %d/%d",
+			st.CoinsDelivered, st.Draws, draws, draws)
+	}
+	if st.Refills < 2 {
+		t.Fatalf("draining %d coins from a %d-coin seed took only %d refills", draws, 24, st.Refills)
+	}
+	if st.Remaining < s.cfg.Core.Threshold {
+		t.Fatalf("store left with %d coins, below threshold %d", st.Remaining, s.cfg.Core.Threshold)
+	}
+}
+
+// TestPipelinedNoBlocking is the in-package soak: paced clients drain three
+// full batches while every refill runs ahead of demand — not one draw may
+// wait on a Coin-Gen round.
+func TestPipelinedNoBlocking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := testConfig(t, 96, 8, 72)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	// Pace the drain so the high-water headroom (72−8 = 64 coins) buys the
+	// out-of-band mint far more wall-clock time than a Coin-Gen needs.
+	const draws = 3 * 96
+	for i := 0; i < draws; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := s.Stats()
+	if st.BlockedDraws != 0 {
+		t.Fatalf("%d draws blocked on a Coin-Gen round; pipeline failed to stay ahead", st.BlockedDraws)
+	}
+	if st.BlockingRefills != 0 {
+		t.Fatalf("%d blocking refills despite the pipeline", st.BlockingRefills)
+	}
+	if st.PipelinedRefills < 3 {
+		t.Fatalf("only %d pipelined refills after draining %d coins", st.PipelinedRefills, draws)
+	}
+}
+
+// TestBlockingFallback disables the high-water mark; refills must fall back
+// to the blocking path on the serving network and still produce coins.
+func TestBlockingFallback(t *testing.T) {
+	s, err := New(testConfig(t, 24, 6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.BlockingRefills < 1 {
+		t.Fatalf("no blocking refills with the pipeline disabled (refills=%d)", st.Refills)
+	}
+	if st.PipelinedRefills != 0 {
+		t.Fatalf("%d pipelined refills with HighWater=0", st.PipelinedRefills)
+	}
+	if st.BlockedDraws == 0 {
+		t.Fatal("blocking refills must account their stalled draws in BlockedDraws")
+	}
+}
+
+// gatedReader blocks reads on the shared gate channel once armed — it
+// freezes Coin-Gen's polynomial dealing at a deterministic point so tests
+// can observe the service mid-refill. Unarmed (during trusted setup) it
+// passes straight through; the reads counter reports how many reads have
+// reached the gate.
+type gatedReader struct {
+	armed *atomic.Bool
+	gate  <-chan struct{}
+	reads *atomic.Int64
+	r     io.Reader
+}
+
+func (g *gatedReader) Read(p []byte) (int, error) {
+	if g.armed.Load() {
+		g.reads.Add(1)
+		<-g.gate
+	}
+	return g.r.Read(p)
+}
+
+// TestBackpressure fills the bounded queue while the executive is pinned
+// inside a blocking refill and checks the overflow request is rejected with
+// ErrOverloaded — then releases the refill and checks the queued requests
+// complete.
+func TestBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var armed atomic.Bool
+	var reads atomic.Int64
+	cfg := testConfig(t, 24, 6, 0)
+	cfg.SeedCoins = 8
+	cfg.QueueDepth = 1
+	base := cfg.Rand
+	cfg.Rand = func(i int) io.Reader {
+		return &gatedReader{armed: &armed, gate: gate, reads: &reads, r: base(i)}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	// Exposing coins reads no randomness, so the first two draws run free
+	// and drop the store to the threshold.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+	armed.Store(true)
+	// The third draw forces a blocking refill, which parks the workers on
+	// the gated reader with the executive waiting on them. Once a worker
+	// has reached the gate the executive is committed to the refill and
+	// can no longer drain the queue.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); s.Draw(ctx) }() //nolint:errcheck
+	waitFor(t, func() bool { return reads.Load() > 0 })
+	// Queue capacity is 1: park one more request in the buffer…
+	go func() { defer wg.Done(); s.Draw(ctx) }() //nolint:errcheck
+	waitFor(t, func() bool { return s.Stats().QueueDepth == 1 })
+	// …and the next must bounce immediately.
+	if _, err := s.Draw(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("draw on a full queue: err=%v, want ErrOverloaded", err)
+	}
+	if st := s.Stats(); st.Overloaded != 1 {
+		t.Fatalf("Overloaded=%d, want 1", st.Overloaded)
+	}
+	close(gate) // release the refill; the parked draws must now complete
+	wg.Wait()
+	if st := s.Stats(); st.CoinsDelivered != 4 {
+		t.Fatalf("CoinsDelivered=%d after the gate opened, want 4", st.CoinsDelivered)
+	}
+}
+
+func waitFor(tb testing.TB, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			tb.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRateLimiter checks the service-level token bucket: Burst requests
+// pass, the next is rejected with ErrRateLimited.
+func TestRateLimiter(t *testing.T) {
+	cfg := testConfig(t, 24, 6, 0)
+	cfg.Rate = 1e-6 // practically no refill during the test
+	cfg.Burst = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d within burst: %v", i, err)
+		}
+	}
+	if _, err := s.Draw(ctx); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("draw beyond burst: err=%v, want ErrRateLimited", err)
+	}
+	if st := s.Stats(); st.RateLimited != 1 {
+		t.Fatalf("RateLimited=%d, want 1", st.RateLimited)
+	}
+}
+
+// TestTokenBucket unit-tests the limiter against a fake clock.
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	tb := newTokenBucket(10, 2) // 10 tokens/s, burst 2
+	tb.now = func() time.Time { return now }
+	tb.tokens = tb.burst
+	tb.last = now
+	if !tb.allow() || !tb.allow() {
+		t.Fatal("burst tokens rejected")
+	}
+	if tb.allow() {
+		t.Fatal("empty bucket allowed a request")
+	}
+	now = now.Add(100 * time.Millisecond) // exactly one token refilled
+	if !tb.allow() {
+		t.Fatal("refilled token rejected")
+	}
+	if tb.allow() {
+		t.Fatal("second request on one token allowed")
+	}
+	now = now.Add(time.Hour) // refill far beyond capacity
+	if !tb.allow() || !tb.allow() {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if tb.allow() {
+		t.Fatal("bucket exceeded burst capacity")
+	}
+}
+
+// TestContextCancellation: a pre-cancelled context must abort the draw.
+func TestContextCancellation(t *testing.T) {
+	s, err := New(testConfig(t, 24, 6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Draw(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("draw with cancelled context: err=%v, want context.Canceled", err)
+	}
+}
+
+// TestDrawBits checks packing: nbits random bits LSB-first, unused high
+// bits zero, argument validation.
+func TestDrawBits(t *testing.T) {
+	s, err := New(testConfig(t, 24, 6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	out, err := s.DrawBits(ctx, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("20 bits packed into %d bytes, want 3", len(out))
+	}
+	if out[2]&0xF0 != 0 {
+		t.Fatalf("unused high bits of last byte not zero: %#x", out[2])
+	}
+	for _, bad := range []int{0, -1, MaxDrawBits + 1} {
+		if _, err := s.DrawBits(ctx, bad); err == nil {
+			t.Fatalf("DrawBits(%d) accepted", bad)
+		}
+	}
+}
+
+// TestDrawMod checks the 1-based range and argument validation.
+func TestDrawMod(t *testing.T) {
+	s, err := New(testConfig(t, 64, 6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		l, err := s.DrawMod(ctx, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < 1 || l > 7 {
+			t.Fatalf("DrawMod(7) = %d outside [1,7]", l)
+		}
+	}
+	if _, err := s.DrawMod(ctx, 0); err == nil {
+		t.Fatal("DrawMod(0) accepted")
+	}
+}
+
+// TestPersistResume is the §1.2 restart story: shut the beacon down, write
+// every player's store, load it back, and keep serving — the trusted dealer
+// must never be involved again.
+func TestPersistResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, 24, 6, 16)
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 30; i++ { // crosses at least one refill
+		if _, err := s1.Draw(ctx); err != nil {
+			t.Fatalf("session 1 draw %d: %v", i, err)
+		}
+	}
+	if err := s1.Persist(dir); err == nil {
+		t.Fatal("Persist on a live service accepted")
+	}
+	mustClose(t, s1)
+	if err := s1.Persist(dir); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	left := s1.Stats().Remaining
+	if !HaveStores(dir) {
+		t.Fatal("HaveStores sees no stores after Persist")
+	}
+	if _, err := s1.Draw(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatal("draw after Close must report ErrClosed")
+	}
+
+	stores, err := LoadStores(dir, cfg.Core.N)
+	if err != nil {
+		t.Fatalf("LoadStores: %v", err)
+	}
+	s2, err := Resume(cfg, stores)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	defer mustClose(t, s2)
+	if !s2.Resumed() || !s2.Stats().Resumed {
+		t.Fatal("resumed service does not report Resumed")
+	}
+	if got := s2.Stats().Remaining; got != left {
+		t.Fatalf("resumed store holds %d coins, persisted %d", got, left)
+	}
+	for i := 0; i < 30; i++ { // refills again, funded purely by the restored seed
+		if _, err := s2.Draw(ctx); err != nil {
+			t.Fatalf("session 2 draw %d: %v", i, err)
+		}
+	}
+	if s2.Stats().Refills < 1 {
+		t.Fatal("resumed service never refilled; not self-sufficient")
+	}
+}
+
+// TestResumeValidation: mismatched store count must be rejected.
+func TestResumeValidation(t *testing.T) {
+	cfg := testConfig(t, 24, 6, 0)
+	if _, err := Resume(cfg, nil); err == nil {
+		t.Fatal("Resume with no stores accepted")
+	}
+}
+
+// TestLoadStoresMissing: a fresh state directory distinguishes itself via
+// os.ErrNotExist.
+func TestLoadStoresMissing(t *testing.T) {
+	dir := t.TempDir()
+	if HaveStores(dir) {
+		t.Fatal("HaveStores true for an empty directory")
+	}
+	if _, err := LoadStores(dir, 7); err == nil {
+		t.Fatal("LoadStores on an empty directory accepted")
+	}
+}
+
+// TestConfigValidate covers the service-level configuration checks.
+func TestConfigValidate(t *testing.T) {
+	valid := testConfig(t, 24, 6, 16)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"valid", func(*Config) {}, true},
+		{"zero field", func(c *Config) { c.Core.Field = gf2k.Field{} }, false},
+		{"negative rate", func(c *Config) { c.Rate = -1 }, false},
+		{"seed reserve too small", func(c *Config) { c.SeedReserve = 1 }, false},
+		{"high water below threshold", func(c *Config) { c.Core.HighWater = 3 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+// TestStatsCounters: with Counters attached, serving draws must account
+// protocol traffic.
+func TestStatsCounters(t *testing.T) {
+	cfg := testConfig(t, 24, 6, 0)
+	cfg.Counters = &metrics.Counters{}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	if _, err := s.Draw(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Counters.Messages == 0 {
+		t.Fatal("no protocol messages accounted after a draw")
+	}
+}
+
+// TestConcurrentDraws hammers the service from many goroutines; with a
+// deep queue and no limiter every draw must succeed and deliver exactly
+// one coin each.
+func TestConcurrentDraws(t *testing.T) {
+	cfg := testConfig(t, 48, 6, 32)
+	cfg.QueueDepth = 128
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	const clients, each = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*each)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := s.Draw(context.Background()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent draw failed: %v", err)
+	}
+	if st := s.Stats(); st.CoinsDelivered != clients*each {
+		t.Fatalf("CoinsDelivered=%d, want %d", st.CoinsDelivered, clients*each)
+	}
+}

@@ -1,0 +1,44 @@
+package beacon
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchDraw measures the serving path end to end — queue, executive sweep,
+// lockstep exposure, refills — and reports the p99 draw latency alongside
+// the default ns/op. The pipelined/blocking pair quantifies the headline
+// claim of the subsystem: ahead-of-demand refills take Coin-Gen off the
+// draw path, collapsing the latency tail.
+func benchDraw(b *testing.B, highWater int) {
+	cfg := testConfig(b, 96, 8, highWater)
+	cfg.QueueDepth = 1024
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mustClose(b, s)
+	ctx := context.Background()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := s.Draw(ctx); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns/draw")
+	st := s.Stats()
+	b.ReportMetric(float64(st.Refills), "refills")
+	b.ReportMetric(float64(st.BlockedDraws), "blocked-draws")
+}
+
+func BenchmarkBeaconDrawThroughput(b *testing.B) {
+	b.Run("pipelined", func(b *testing.B) { benchDraw(b, 72) })
+	b.Run("blocking", func(b *testing.B) { benchDraw(b, 0) })
+}

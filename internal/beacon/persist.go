@@ -1,0 +1,97 @@
+package beacon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/coin"
+)
+
+// Store persistence: one file per player, written atomically
+// (temp-file + rename), holding that player's coin.Store in the
+// length-prefixed Batch wire format. In a real deployment each player
+// writes only its own file on its own machine; the simulated cluster
+// writes all n side by side. The share bytes are the players' secrets —
+// files are created 0600 and the directory 0700.
+
+// storeFile names player i's store file inside dir.
+func storeFile(dir string, player int) string {
+	return filepath.Join(dir, fmt.Sprintf("player-%03d.store", player))
+}
+
+// Persist writes every player's store under dir. Call only after Close
+// has returned: the stores must be quiescent. A restarted process resumes
+// with LoadStores + Resume, never re-running the trusted dealer.
+func (s *Service) Persist(dir string) error {
+	if !s.closed.Load() {
+		return fmt.Errorf("beacon: persist requires a closed service")
+	}
+	select {
+	case <-s.execDone:
+	default:
+		return fmt.Errorf("beacon: persist requires a closed service")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	for i, g := range s.gens {
+		enc, err := g.Store().MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("beacon: marshal player %d store: %w", i, err)
+		}
+		if err := writeAtomic(storeFile(dir, i), enc); err != nil {
+			return fmt.Errorf("beacon: persist player %d store: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadStores reads n persisted player stores from dir. It returns
+// os.ErrNotExist (wrapped) when no store files are present, so callers can
+// distinguish "fresh start" from genuine corruption.
+func LoadStores(dir string, n int) ([]*coin.Store, error) {
+	stores := make([]*coin.Store, n)
+	for i := 0; i < n; i++ {
+		data, err := os.ReadFile(storeFile(dir, i))
+		if err != nil {
+			return nil, fmt.Errorf("beacon: load player %d store: %w", i, err)
+		}
+		st, err := coin.UnmarshalStore(data)
+		if err != nil {
+			return nil, fmt.Errorf("beacon: load player %d store: %w", i, err)
+		}
+		stores[i] = st
+	}
+	return stores, nil
+}
+
+// HaveStores reports whether dir contains a persisted store for player 0
+// (and hence, for an uncorrupted state directory, for every player).
+func HaveStores(dir string) bool {
+	_, err := os.Stat(storeFile(dir, 0))
+	return err == nil
+}
+
+// writeAtomic writes data to path via a temp file and rename, so a crash
+// mid-write never leaves a truncated store behind.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,45 @@
+package beacon
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled continuously at `rate` tokens per second. allow spends
+// one token if available.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	tb := &tokenBucket{
+		rate:  rate,
+		burst: float64(burst),
+		now:   time.Now,
+	}
+	tb.tokens = tb.burst
+	tb.last = tb.now()
+	return tb
+}
+
+func (tb *tokenBucket) allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}

@@ -103,6 +103,31 @@ func (b *Batch) Validate() error {
 	return nil
 }
 
+// Split removes the last `count` unexposed coins from the batch into a new
+// batch with the same field, fault bound, reconstruction set and silence
+// flag, and a fresh cursor at 0. The receiver keeps the older coins (and
+// its cursor); the two halves share the backing share array but cover
+// disjoint index ranges. All honest players splitting their structurally
+// identical batches with the same count obtain structurally identical
+// halves, so a split tail can fund an out-of-band Coin-Gen while the head
+// keeps serving exposures.
+func (b *Batch) Split(count int) (*Batch, error) {
+	if count < 1 || count > b.Remaining() {
+		return nil, fmt.Errorf("coin: cannot split %d of %d remaining coins", count, b.Remaining())
+	}
+	cut := len(b.Shares) - count
+	nb := &Batch{
+		Field:    b.Field,
+		T:        b.T,
+		S:        b.S,
+		Shares:   b.Shares[cut:],
+		Silent:   b.Silent,
+		Counters: b.Counters,
+	}
+	b.Shares = b.Shares[:cut]
+	return nb, nil
+}
+
 // Expose reveals the next sealed coin (Fig. 6): members of S send their
 // combined share β_i to everyone, and every player interpolates a polynomial
 // through the received shares with the Berlekamp–Welch decoder, outputting

@@ -44,3 +44,43 @@ func FuzzUnmarshalBatch(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUnmarshalStore: the store decoder (the beacon's on-disk restart
+// format) must never panic, and everything it accepts must re-marshal to
+// the same bytes — a restored-then-persisted store is a fixed point.
+func FuzzUnmarshalStore(f *testing.F) {
+	field := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(2))
+	st := &Store{}
+	for s := 0; s < 2; s++ {
+		batches, _, err := DealTrusted(field, 4, 1, 2, rng)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := st.Add(batches[0]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	good, err := st.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte(storeMagic))
+	f.Add(append([]byte{}, good[:len(good)-1]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalStore(data)
+		if err != nil {
+			return
+		}
+		re, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted store fails to re-marshal: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatal("accepted store encoding is not canonical")
+		}
+	})
+}

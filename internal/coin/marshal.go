@@ -15,9 +15,15 @@ import (
 // its own batch (the shares are that player's secrets — treat the bytes as
 // sensitive) and restores it in the next session.
 
-const batchMagic = "DPRBGv1\x00"
+const (
+	batchMagic = "DPRBGv1\x00"
+	storeMagic = "DPRBGs1\x00"
+)
 
-var errBadBatchEncoding = errors.New("coin: malformed batch encoding")
+var (
+	errBadBatchEncoding = errors.New("coin: malformed batch encoding")
+	errBadStoreEncoding = errors.New("coin: malformed store encoding")
+)
 
 // MarshalBinary serializes the batch, including the exposure cursor, so a
 // restored batch resumes exactly where it left off.
@@ -96,4 +102,63 @@ func UnmarshalBatch(data []byte) (*Batch, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// MarshalBinary serializes the whole store — every batch, in FIFO order,
+// each with its own cursor — as a sequence of length-prefixed Batch
+// encodings. This is the beacon's shutdown format: a restored store resumes
+// exposures exactly where it stopped, so the trusted dealer is never
+// consulted again (§1.2's "the new seed is stored until the next execution
+// of the application"). The Universe binding is configuration, not state,
+// and is not serialized; re-bind with BindUniverse after restoring.
+func (s *Store) MarshalBinary() ([]byte, error) {
+	buf := append([]byte(nil), storeMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.batches)))
+	for _, b := range s.batches {
+		enc, err := b.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
+		buf = append(buf, enc...)
+	}
+	return buf, nil
+}
+
+// UnmarshalStore restores a store serialized with Store.MarshalBinary. The
+// batches pass the same structural-compatibility checks Add enforces, so a
+// corrupted or mixed-up file fails here instead of desyncing exposures.
+func UnmarshalStore(data []byte) (*Store, error) {
+	if len(data) < len(storeMagic)+4 || string(data[:len(storeMagic)]) != storeMagic {
+		return nil, errBadStoreEncoding
+	}
+	data = data[len(storeMagic):]
+	count := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if count < 0 || count > 1<<16 {
+		return nil, errBadStoreEncoding
+	}
+	s := &Store{}
+	for i := 0; i < count; i++ {
+		if len(data) < 4 {
+			return nil, errBadStoreEncoding
+		}
+		bLen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if bLen < 0 || bLen > len(data) {
+			return nil, errBadStoreEncoding
+		}
+		b, err := UnmarshalBatch(data[:bLen])
+		if err != nil {
+			return nil, fmt.Errorf("coin: store batch %d: %w", i, err)
+		}
+		if err := s.Add(b); err != nil {
+			return nil, fmt.Errorf("coin: store batch %d: %w", i, err)
+		}
+		data = data[bLen:]
+	}
+	if len(data) != 0 {
+		return nil, errBadStoreEncoding
+	}
+	return s, nil
 }

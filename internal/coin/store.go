@@ -1,6 +1,8 @@
 package coin
 
 import (
+	"fmt"
+
 	"repro/internal/gf2k"
 	"repro/internal/simnet"
 )
@@ -13,14 +15,128 @@ import (
 // threshold (§1.2: "Once the number of remaining coins drops beneath a
 // certain level, a new batch is generated").
 type Store struct {
+	// Universe, when > 0, is the number of players in the deployment. Add
+	// rejects batches whose reconstruction set references a player outside
+	// [0, Universe). Zero leaves the universe unchecked (it is then bound
+	// by the first batch added after BindUniverse, or never).
+	Universe int
+
 	batches []*Batch
+
+	// Structural anchor, fixed by the first batch ever added (it survives
+	// batches being drained and popped): all later batches must agree, or
+	// exposures would desync across players.
+	bound  bool
+	fieldK int
+	fieldM uint64
+	t      int
 }
 
 var _ Source = (*Store)(nil)
 
-// Add appends a batch to the store.
-func (s *Store) Add(b *Batch) {
+// Add appends a batch to the store after checking it is structurally
+// compatible with the batches already (or previously) stored: same field
+// GF(2^k) with the same reduction polynomial, same fault bound t, and a
+// reconstruction set drawn from the same player-id universe. A mismatched
+// batch would not fail here but rounds later, as a desynchronized exposure
+// at whichever player accepted it, so the store refuses it up front.
+func (s *Store) Add(b *Batch) error {
+	if b == nil {
+		return fmt.Errorf("coin: Add of nil batch")
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if s.Universe > 0 {
+		for _, idx := range b.S {
+			if idx >= s.Universe {
+				return fmt.Errorf("coin: batch reconstruction set references player %d outside universe [0,%d)",
+					idx, s.Universe)
+			}
+		}
+	}
+	if s.bound {
+		if b.Field.K() != s.fieldK || b.Field.Modulus() != s.fieldM {
+			return fmt.Errorf("coin: batch field GF(2^%d) (modulus %#x) incompatible with store field GF(2^%d) (modulus %#x)",
+				b.Field.K(), b.Field.Modulus(), s.fieldK, s.fieldM)
+		}
+		if b.T != s.t {
+			return fmt.Errorf("coin: batch fault bound t=%d incompatible with store t=%d", b.T, s.t)
+		}
+	} else {
+		s.bound = true
+		s.fieldK = b.Field.K()
+		s.fieldM = b.Field.Modulus()
+		s.t = b.T
+	}
 	s.batches = append(s.batches, b)
+	return nil
+}
+
+// BindUniverse fixes the player-id universe to [0, n) and re-checks every
+// batch already stored against it — the entry point for stores restored
+// from disk, whose batches were accepted before the deployment size was
+// known.
+func (s *Store) BindUniverse(n int) error {
+	if n < 1 {
+		return fmt.Errorf("coin: invalid universe size %d", n)
+	}
+	for _, b := range s.batches {
+		for _, idx := range b.S {
+			if idx >= n {
+				return fmt.Errorf("coin: stored batch references player %d outside universe [0,%d)", idx, n)
+			}
+		}
+	}
+	s.Universe = n
+	return nil
+}
+
+// Batches returns the stored batches, oldest first. The slice is a copy but
+// the batches are shared; callers transferring them elsewhere (e.g. after an
+// out-of-band refill) must not keep exposing from this store.
+func (s *Store) Batches() []*Batch {
+	out := make([]*Batch, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
+// DetachTail removes the `count` newest sealed coins from the store into a
+// new standalone Store, leaving the oldest Remaining()−count coins behind.
+// The serving side keeps draining the front in FIFO order while the
+// detached tail funds an out-of-band Coin-Gen on a separate network — the
+// beacon's refill pipeline. Every honest player must detach the same count
+// at the same logical instant; the resulting split is then structurally
+// identical everywhere. count must leave at least one coin behind.
+func (s *Store) DetachTail(count int) (*Store, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("coin: cannot detach %d coins", count)
+	}
+	if rem := s.Remaining(); count >= rem {
+		return nil, fmt.Errorf("coin: cannot detach %d of %d remaining coins (at least one must stay)", count, rem)
+	}
+	out := &Store{Universe: s.Universe, bound: s.bound, fieldK: s.fieldK, fieldM: s.fieldM, t: s.t}
+	var detached []*Batch
+	for i := len(s.batches) - 1; i >= 0 && count > 0; i-- {
+		b := s.batches[i]
+		take := b.Remaining()
+		if take == 0 {
+			continue
+		}
+		if take > count {
+			take = count
+		}
+		nb, err := b.Split(take)
+		if err != nil {
+			return nil, err
+		}
+		// Prepend: we walk newest→oldest but the detached store must stay
+		// a FIFO (oldest first) like any other.
+		detached = append([]*Batch{nb}, detached...)
+		count -= take
+	}
+	out.batches = detached
+	return out, nil
 }
 
 // Remaining returns the total number of unexposed coins across all batches.

@@ -54,6 +54,13 @@ type Config struct {
 	// Defaults to DefaultThreshold. Must be ≤ BatchSize so refills make
 	// net progress.
 	Threshold int
+	// HighWater, when > 0, is the proactive refill trigger used by serving
+	// layers (internal/beacon): once Remaining() < HighWater, NeedsRefill
+	// reports true so an out-of-band Coin-Gen can be started while clients
+	// keep draining the current batch, long before the blocking Threshold
+	// is reached. Must be ≥ Threshold. Zero disables the high-water mark
+	// (NeedsRefill then falls back to Threshold).
+	HighWater int
 	// Agreement overrides the BA protocol used by Coin-Gen (optional).
 	Agreement ba.Protocol
 	// MaxAttempts bounds Coin-Gen leader retries (optional).
@@ -72,6 +79,9 @@ func (c Config) withDefaults() Config {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	c = c.withDefaults()
+	if c.Field.K() == 0 {
+		return errors.New("core: config has no field (Field is the zero value; construct one with gf2k.New)")
+	}
 	if c.N < 6*c.T+1 {
 		return fmt.Errorf("core: need n ≥ 6t+1, got n=%d t=%d", c.N, c.T)
 	}
@@ -84,6 +94,10 @@ func (c Config) Validate() error {
 	if c.BatchSize <= c.Threshold {
 		return fmt.Errorf("core: batch size %d must exceed threshold %d or refills cannot make progress",
 			c.BatchSize, c.Threshold)
+	}
+	if c.HighWater != 0 && c.HighWater < c.Threshold {
+		return fmt.Errorf("core: high-water mark %d below threshold %d would never fire ahead of demand",
+			c.HighWater, c.Threshold)
 	}
 	return nil
 }
@@ -126,9 +140,11 @@ func SetupTrusted(cfg Config, seedCoins int, rnd io.Reader) ([]*Generator, error
 	}
 	gens := make([]*Generator, cfg.N)
 	for i := range gens {
-		st := &coin.Store{}
+		st := &coin.Store{Universe: cfg.N}
 		batches[i].Counters = cfg.Counters
-		st.Add(batches[i])
+		if err := st.Add(batches[i]); err != nil {
+			return nil, err
+		}
 		gens[i] = &Generator{cfg: cfg, store: st}
 	}
 	return gens, nil
@@ -145,8 +161,32 @@ func NewFromBatch(cfg Config, b *coin.Batch) (*Generator, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	st := &coin.Store{}
-	st.Add(b)
+	st := &coin.Store{Universe: cfg.N}
+	if err := st.Add(b); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, store: st}, nil
+}
+
+// NewFromStore wraps a whole restored store (e.g. read back from disk via
+// coin.UnmarshalStore after a beacon shutdown) as a generator. The store
+// must hold at least 2 sealed coins — the minimum a refill needs to fund
+// its challenge and first leader draw — or the restored system could never
+// become self-sufficient and would need the trusted dealer again.
+func NewFromStore(cfg Config, st *coin.Store) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, errors.New("core: nil store")
+	}
+	if rem := st.Remaining(); rem < 2 {
+		return nil, fmt.Errorf("core: restored store holds %d coins; need ≥ 2 to fund a refill without a dealer", rem)
+	}
+	if err := st.BindUniverse(cfg.N); err != nil {
+		return nil, err
+	}
 	return &Generator{cfg: cfg, store: st}, nil
 }
 
@@ -155,6 +195,24 @@ func (g *Generator) Remaining() int { return g.store.Remaining() }
 
 // Stats returns a copy of the lifetime statistics.
 func (g *Generator) Stats() Stats { return g.stats }
+
+// Store returns the generator's coin store, for persistence (marshal every
+// batch at shutdown) and out-of-band refill plumbing. The store must only
+// be touched from the generator's protocol goroutine, or between protocol
+// operations by whoever schedules them.
+func (g *Generator) Store() *coin.Store { return g.store }
+
+// NeedsRefill reports whether the store has dropped below the proactive
+// high-water mark (or, with no high-water mark configured, below the
+// blocking threshold). Serving layers poll this to start an out-of-band
+// Coin-Gen before Next would ever have to block on one.
+func (g *Generator) NeedsRefill() bool {
+	hw := g.cfg.HighWater
+	if hw == 0 {
+		hw = g.cfg.Threshold
+	}
+	return g.store.Remaining() < hw
+}
 
 // Next returns the next shared coin, refilling first when the store has
 // dropped below the threshold. Every honest player obtains the same value.
@@ -195,6 +253,98 @@ func (g *Generator) NextMod(nd *simnet.Node, rnd io.Reader, m int) (int, error) 
 	return l, nil
 }
 
+// Expose reveals the next sealed coin with no refill check — the entry
+// point for serving layers (internal/beacon) that schedule refills
+// themselves, ahead of demand. When the store is dry it returns
+// coin.ErrExhausted without consuming a network round, so all honest
+// players stay in lockstep even on the error path.
+func (g *Generator) Expose(nd *simnet.Node) (gf2k.Element, error) {
+	e, err := g.store.Expose(nd)
+	if err != nil {
+		return 0, err
+	}
+	g.stats.CoinsDelivered++
+	return e, nil
+}
+
+// DetachSeed carves the `count` newest sealed coins out of the store as a
+// standalone seed for an out-of-band refill (core.Mint on a separate
+// network), leaving the older coins behind for the serving path to keep
+// draining. count must be ≥ 2 (a Coin-Gen spends one challenge coin plus at
+// least one leader draw) and must leave at least Threshold coins behind so
+// the serving path retains its own emergency refill budget.
+func (g *Generator) DetachSeed(count int) (*coin.Store, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("core: a detached seed of %d coins cannot fund a refill (need ≥ 2)", count)
+	}
+	if keep := g.store.Remaining() - count; keep < g.cfg.Threshold {
+		return nil, fmt.Errorf("core: detaching %d of %d coins would leave %d, below threshold %d",
+			count, g.store.Remaining(), keep, g.cfg.Threshold)
+	}
+	return g.store.DetachTail(count)
+}
+
+// MintResult is one player's outcome of an out-of-band Coin-Gen run.
+type MintResult struct {
+	// Batch holds the BatchSize new sealed coins.
+	Batch *coin.Batch
+	// Attempts is the number of leader-selection iterations used.
+	Attempts int
+	// SeedConsumed counts the sealed coins spent from the seed source.
+	SeedConsumed int
+}
+
+// Mint runs one Coin-Gen funded by the supplied seed source, returning the
+// minted batch without touching any Generator. This is the non-blocking
+// refill entry point: a serving layer detaches a seed (DetachSeed), runs
+// Mint for every player on a dedicated network while exposures continue on
+// the serving network, and later hands the results back with Absorb once
+// the serving side is quiescent.
+func Mint(cfg Config, nd *simnet.Node, seed coin.Source, rnd io.Reader) (*MintResult, error) {
+	cfg = cfg.withDefaults()
+	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindProtocol, "core/refill")
+	defer func() { sp.End(nd.Round()) }()
+	res, err := coingen.Run(nd, coingen.Config{
+		Field:       cfg.Field,
+		N:           cfg.N,
+		T:           cfg.T,
+		M:           cfg.BatchSize,
+		Seed:        seed,
+		Agreement:   cfg.Agreement,
+		MaxAttempts: cfg.MaxAttempts,
+		Counters:    cfg.Counters,
+	}, rnd)
+	if err != nil {
+		if errors.Is(err, coin.ErrExhausted) {
+			return nil, fmt.Errorf("core: seed ran dry mid-refill (threshold too low for the adversary's luck): %w", err)
+		}
+		return nil, err
+	}
+	return &MintResult{Batch: res.Batch, Attempts: res.Attempts, SeedConsumed: res.SeedConsumed}, nil
+}
+
+// Absorb appends an out-of-band minted batch to the store and accounts it
+// as a refill. Every honest player must absorb its matching result at the
+// same logical instant for exposures to stay in lockstep.
+func (g *Generator) Absorb(res *MintResult) error {
+	if res == nil || res.Batch == nil {
+		return errors.New("core: Absorb of nil mint result")
+	}
+	if err := g.store.Add(res.Batch); err != nil {
+		return err
+	}
+	g.stats.Batches++
+	g.stats.Attempts += res.Attempts
+	g.stats.SeedSpent += res.SeedConsumed
+	return nil
+}
+
+// AbsorbBatch appends a bare batch — leftover coins of a detached seed, or
+// a batch restored from disk — to the store without refill accounting.
+func (g *Generator) AbsorbBatch(b *coin.Batch) error {
+	return g.store.Add(b)
+}
+
 // maybeRefill runs Coin-Gen when the store is low. The trigger depends only
 // on state that is identical at every honest player, so all generators
 // refill in the same round.
@@ -205,32 +355,14 @@ func (g *Generator) maybeRefill(nd *simnet.Node, rnd io.Reader) error {
 	return g.Refill(nd, rnd)
 }
 
-// Refill unconditionally runs one Coin-Gen, adding a batch of BatchSize
-// sealed coins to the store. Exposed for applications that want to pre-mint
-// coins during idle periods instead of on demand.
+// Refill unconditionally runs one Coin-Gen funded by the generator's own
+// store, adding a batch of BatchSize sealed coins to it. Exposed for
+// applications that want to pre-mint coins during idle periods instead of
+// on demand; the blocking counterpart of Mint+Absorb.
 func (g *Generator) Refill(nd *simnet.Node, rnd io.Reader) error {
-	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindProtocol, "core/refill")
-	defer func() { sp.End(nd.Round()) }()
-	before := g.store.Remaining()
-	res, err := coingen.Run(nd, coingen.Config{
-		Field:       g.cfg.Field,
-		N:           g.cfg.N,
-		T:           g.cfg.T,
-		M:           g.cfg.BatchSize,
-		Seed:        g.store,
-		Agreement:   g.cfg.Agreement,
-		MaxAttempts: g.cfg.MaxAttempts,
-		Counters:    g.cfg.Counters,
-	}, rnd)
+	res, err := Mint(g.cfg, nd, g.store, rnd)
 	if err != nil {
-		if errors.Is(err, coin.ErrExhausted) {
-			return fmt.Errorf("core: seed ran dry mid-refill (threshold too low for the adversary's luck): %w", err)
-		}
 		return err
 	}
-	g.store.Add(res.Batch)
-	g.stats.Batches++
-	g.stats.Attempts += res.Attempts
-	g.stats.SeedSpent += before - (g.store.Remaining() - g.cfg.BatchSize)
-	return nil
+	return g.Absorb(res)
 }

@@ -173,10 +173,13 @@ func TestNextBitAndMod(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	f := gf2k.MustNew(16)
 	cases := []Config{
-		{Field: f, N: 6, T: 1, BatchSize: 8},               // n < 6t+1
-		{Field: f, N: 7, T: 1, BatchSize: 0},               // batch < 1
-		{Field: f, N: 7, T: 1, BatchSize: 8, Threshold: 1}, // threshold < 2
-		{Field: f, N: 7, T: 1, BatchSize: 4, Threshold: 4}, // batch ≤ threshold
+		{N: 7, T: 1, BatchSize: 8},                          // zero-value Field
+		{Field: f, N: 6, T: 1, BatchSize: 8},                // n < 6t+1
+		{Field: f, N: 7, T: 1, BatchSize: 0},                // batch < 1
+		{Field: f, N: 7, T: 1, BatchSize: 8, Threshold: 1},  // threshold < 2
+		{Field: f, N: 7, T: 1, BatchSize: 4, Threshold: 4},  // batch ≤ threshold
+		{Field: f, N: 7, T: 1, BatchSize: 8, HighWater: 3},  // high water < threshold
+		{Field: f, N: 7, T: 1, BatchSize: 16, HighWater: 2}, // high water < default threshold
 	}
 	for i, cfg := range cases {
 		if err := cfg.Validate(); err == nil {

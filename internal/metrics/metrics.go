@@ -119,6 +119,23 @@ func Diff(old, new Snapshot) Snapshot {
 	}
 }
 
+// Add returns the member-wise sum s+o, for aggregating per-phase or
+// per-run snapshots into a combined cost.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		FieldAdds:      s.FieldAdds + o.FieldAdds,
+		FieldMuls:      s.FieldMuls + o.FieldMuls,
+		FieldInvs:      s.FieldInvs + o.FieldInvs,
+		Interpolations: s.Interpolations + o.Interpolations,
+		Messages:       s.Messages + o.Messages,
+		Bytes:          s.Bytes + o.Bytes,
+		Broadcasts:     s.Broadcasts + o.Broadcasts,
+		Rounds:         s.Rounds + o.Rounds,
+		DomainHits:     s.DomainHits + o.DomainHits,
+		DomainMisses:   s.DomainMisses + o.DomainMisses,
+	}
+}
+
 // PerUnit divides every measure by units, rounding toward zero. It reports
 // amortized costs; units must be positive.
 func (s Snapshot) PerUnit(units int64) Snapshot {

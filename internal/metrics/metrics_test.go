@@ -52,6 +52,19 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+func TestSnapshotAdd(t *testing.T) {
+	a := Snapshot{FieldAdds: 1, Messages: 10, Bytes: 100, DomainHits: 3}
+	b := Snapshot{FieldAdds: 2, Messages: 5, Rounds: 7, DomainMisses: 4}
+	sum := a.Add(b)
+	if sum.FieldAdds != 3 || sum.Messages != 15 || sum.Bytes != 100 ||
+		sum.Rounds != 7 || sum.DomainHits != 3 || sum.DomainMisses != 4 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if (Snapshot{}).Add(Snapshot{}) != (Snapshot{}) {
+		t.Fatal("zero + zero != zero")
+	}
+}
+
 func TestPerUnit(t *testing.T) {
 	s := Snapshot{Bytes: 100, Messages: 10}
 	u := s.PerUnit(10)

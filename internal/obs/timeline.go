@@ -133,26 +133,11 @@ func AggregatePhases(events []Event, player int, rename map[string]string) []Pha
 			continue
 		}
 		acc := &out[i]
-		acc.Cost = addSnapshots(acc.Cost, r.Cost)
+		acc.Cost = acc.Cost.Add(r.Cost)
 		// Rounds accumulate by summing each occurrence's consumption.
 		acc.EndRound = acc.BeginRound + acc.Rounds() + r.Rounds()
 	}
 	return out
-}
-
-func addSnapshots(a, b metrics.Snapshot) metrics.Snapshot {
-	return metrics.Snapshot{
-		FieldAdds:      a.FieldAdds + b.FieldAdds,
-		FieldMuls:      a.FieldMuls + b.FieldMuls,
-		FieldInvs:      a.FieldInvs + b.FieldInvs,
-		Interpolations: a.Interpolations + b.Interpolations,
-		Messages:       a.Messages + b.Messages,
-		Bytes:          a.Bytes + b.Bytes,
-		Broadcasts:     a.Broadcasts + b.Broadcasts,
-		Rounds:         a.Rounds + b.Rounds,
-		DomainHits:     a.DomainHits + b.DomainHits,
-		DomainMisses:   a.DomainMisses + b.DomainMisses,
-	}
 }
 
 // Timeline renders a human-readable per-round account of an event
