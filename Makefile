@@ -1,13 +1,15 @@
 # Developer entry points. `make check` is the gate every PR must pass:
-# build, vet, and the full test suite with the race detector on (the simnet
-# lockstep runs one goroutine per player, so -race exercises real
-# cross-goroutine traffic, including the shared interpolation-domain cache).
+# gofmt, build, vet, and the full test suite with the race detector on (the
+# simnet lockstep runs one goroutine per player and the parallel compute
+# pools fan out inside them, so -race exercises real cross-goroutine
+# traffic, including the shared interpolation-domain cache and per-index
+# result slots).
 
 GO ?= go
 
 .PHONY: check build vet test race bench experiments fmt-check
 
-check: build vet race
+check: fmt-check build vet race
 
 build:
 	$(GO) build ./...

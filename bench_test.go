@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/gf2big"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/rba"
 	"repro/internal/simnet"
@@ -616,4 +618,134 @@ func BenchmarkAblationChallengeReuse(b *testing.B) {
 	}
 	b.Run("shared-challenge", func(b *testing.B) { run(b, 1) })
 	b.Run("per-dealer-challenge", func(b *testing.B) { run(b, n) })
+}
+
+// --- Parallel intra-round compute (internal/parallel) ------------------------
+
+// BenchmarkCoinGenParallel measures ONE player's intra-round pure compute at
+// n=64 — the work internal/parallel fans out — at increasing pool widths.
+// A whole-cluster benchmark cannot show this speedup: at n=64 the simnet's
+// 64 player goroutines already saturate every core, so the dealer-level
+// parallelism inside one node is only visible on an isolated workload. The
+// workload is exactly the per-round hot path of Coin-Gen steps 3–4: the n
+// M-term γ Horner combinations, the n per-dealer Berlekamp–Welch decodes,
+// and the n² consistency-graph evaluations, on a fabricated honest view.
+//
+// GOMAXPROCS is pinned to the pool width per sub-benchmark, so width=8 vs
+// width=1 is a true 8-core-vs-serial wall-clock comparison on capable
+// hardware (single-core machines show parity, not speedup). Verdicts are
+// asserted identical at every width.
+func BenchmarkCoinGenParallel(b *testing.B) {
+	const (
+		n = 64
+		t = 10 // 6t+1 = 61 ≤ 64: the paper's Coin-Gen regime
+		m = 64
+	)
+	field := gf2k.MustNew(32)
+	rng := rand.New(rand.NewSource(99))
+	r, err := field.Rand(rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ids := make([]gf2k.Element, n)
+	for i := 0; i < n; i++ {
+		id, err := field.ElementFromID(i + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	// Fabricate player 0's post-deal state for an all-honest run: every
+	// dealer j dealt M random degree-≤t polynomials plus a mask.
+	sh := &bitgen.Shares{
+		Alpha:    make([][]gf2k.Element, n),
+		Mask:     make([]gf2k.Element, n),
+		Received: make([]bool, n),
+	}
+	// combined[j] = g_j + Σ_h r^{h+1}·f_{j,h} is dealer j's masked batch
+	// polynomial F_j; γ_{k,j} = F_j(id_k) fills the exchanged-γ matrix.
+	combined := make([]poly.Poly, n)
+	for j := 0; j < n; j++ {
+		comb := make(poly.Poly, t+1)
+		row := make([]gf2k.Element, m)
+		rPow := r
+		for h := 0; h <= m; h++ {
+			secret, err := field.Rand(rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := poly.Random(field, t, secret, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if h == m { // the mask polynomial g_j
+				for c := range comb {
+					comb[c] = field.Add(comb[c], p[c])
+				}
+				sh.Mask[j] = poly.Eval(field, p, ids[0])
+				break
+			}
+			for c := range comb {
+				comb[c] = field.Add(comb[c], field.Mul(rPow, p[c]))
+			}
+			rPow = field.Mul(rPow, r)
+			row[h] = poly.Eval(field, p, ids[0])
+		}
+		combined[j] = comb
+		sh.Alpha[j] = row
+		sh.Received[j] = true
+	}
+	view := &bitgen.View{
+		Challenge: r,
+		Outputs:   make([]bitgen.Output, n),
+		GammaOf:   make([][]gf2k.Element, n),
+		Has:       make([][]bool, n),
+	}
+	for k := 0; k < n; k++ {
+		view.GammaOf[k] = make([]gf2k.Element, n)
+		view.Has[k] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			view.GammaOf[k][j] = poly.Eval(field, combined[j], ids[k])
+			view.Has[k][j] = true
+		}
+	}
+
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, width := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d/width=%d", n, width), func(b *testing.B) {
+			runtime.GOMAXPROCS(width)
+			defer runtime.GOMAXPROCS(prevProcs)
+			var pool *parallel.Pool
+			if width > 1 {
+				pool = parallel.New(width)
+			}
+			bcfg := bitgen.Config{Field: field, N: n, T: t, M: m}
+			ccfg := coingen.Config{Field: field, N: n, T: t, M: m, Pool: pool}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gammas, _ := sh.Gammas(field, r, pool)
+				if gammas[0] != view.GammaOf[0][0] {
+					b.Fatal("fabricated shares disagree with fabricated view")
+				}
+				pool.ForEach(n, func(j int) {
+					view.Outputs[j] = view.Decode(bcfg, ids, j)
+				})
+				g, err := coingen.ConsistencyGraph(ccfg, view)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < n; j++ {
+					if !view.Outputs[j].OK {
+						b.Fatalf("width=%d: dealer %d failed to decode on honest data", width, j)
+					}
+					if j > 0 && !g.HasEdge(0, j) {
+						b.Fatalf("width=%d: edge {0,%d} missing from an all-honest graph", width, j)
+					}
+				}
+			}
+		})
+	}
 }

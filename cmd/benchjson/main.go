@@ -18,6 +18,19 @@
 //
 // The raw benchmark output is teed to stderr while it is parsed, so the
 // command is a drop-in replacement for `make bench`.
+//
+// With -compare, no benchmarks run: the command diffs a fresh results
+// document against a committed baseline and exits non-zero when any gated
+// series regressed beyond the tolerance — the CI bench-regression gate:
+//
+//	go run ./cmd/benchjson -bench 'Interpolate|BatchVSSScale' -out fresh.json
+//	go run ./cmd/benchjson -compare -baseline BENCH_2026-08-05.json \
+//	    -candidate fresh.json -tolerance 0.25 -series Interpolate,BatchVSS,BeaconDraw
+//
+// Only ns/op is gated (allocation counts are exact and caught by tests;
+// custom metrics are informational). Entries present in just one document
+// are reported but never fail the gate, so a targeted benchmark subset can
+// be compared against a full baseline.
 package main
 
 import (
@@ -63,8 +76,33 @@ func main() {
 		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
 		out       = flag.String("out", "", "output JSON file (default stdout)")
 		merge     = flag.Bool("merge", false, "merge results by name into an existing -out file instead of replacing it")
+		compare   = flag.Bool("compare", false, "compare -candidate against -baseline instead of running benchmarks")
+		baseline  = flag.String("baseline", "", "baseline JSON document for -compare")
+		candidate = flag.String("candidate", "", "fresh JSON document for -compare")
+		tolerance = flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare (0.25 = +25%)")
+		series    = flag.String("series", "", "comma-separated name substrings gated by -compare (empty = every common entry)")
 	)
 	flag.Parse()
+
+	if *compare {
+		if *baseline == "" || *candidate == "" {
+			log.Fatal("benchjson: -compare requires -baseline and -candidate")
+		}
+		base, err := readDocument(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cand, err := readDocument(*candidate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report := compareDocs(base, cand, splitSeries(*series), *tolerance)
+		fmt.Fprint(os.Stderr, report.String())
+		if len(report.Regressions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkgs}
 	if *benchtime != "" {
@@ -142,6 +180,149 @@ func mergeResults(old, fresh []Result) []Result {
 	return out
 }
 
+// trimProcs strips the "-N" GOMAXPROCS suffix go test appends to benchmark
+// names (absent when GOMAXPROCS=1), so documents recorded on machines with
+// different core counts — a laptop baseline vs a CI runner — compare by
+// stable names.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// readDocument loads a benchjson Document from disk.
+func readDocument(path string) (Document, error) {
+	var doc Document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, fmt.Errorf("benchjson: %w", err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("benchjson: parse %s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// splitSeries parses the -series flag: comma-separated, whitespace-trimmed
+// name substrings; empty input means "gate everything".
+func splitSeries(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// Delta is one compared benchmark: baseline and candidate ns/op plus the
+// relative change ((cand-base)/base; +0.30 = 30% slower).
+type Delta struct {
+	Name       string
+	Base, Cand float64
+	Change     float64
+}
+
+// Report is the outcome of compareDocs: gated entries that regressed beyond
+// tolerance, gated entries that passed, and names skipped because they were
+// present in only one document or carried no ns/op metric.
+type Report struct {
+	Tolerance   float64
+	Regressions []Delta
+	Passed      []Delta
+	Skipped     []string
+}
+
+// String renders the report as the CI log block: every comparison with its
+// relative change, then the verdict line.
+func (r Report) String() string {
+	var b strings.Builder
+	line := func(verdict string, d Delta) {
+		fmt.Fprintf(&b, "%-6s %-60s %12.1f -> %12.1f ns/op  %+.1f%%\n",
+			verdict, d.Name, d.Base, d.Cand, 100*d.Change)
+	}
+	for _, d := range r.Passed {
+		line("ok", d)
+	}
+	for _, d := range r.Regressions {
+		line("FAIL", d)
+	}
+	for _, name := range r.Skipped {
+		fmt.Fprintf(&b, "%-6s %s (no common ns/op)\n", "skip", name)
+	}
+	if len(r.Regressions) > 0 {
+		fmt.Fprintf(&b, "benchjson: %d series regressed beyond +%.0f%% tolerance\n",
+			len(r.Regressions), 100*r.Tolerance)
+	} else {
+		fmt.Fprintf(&b, "benchjson: %d series within +%.0f%% tolerance\n",
+			len(r.Passed), 100*r.Tolerance)
+	}
+	return b.String()
+}
+
+// matchesSeries reports whether a benchmark name belongs to one of the gated
+// series (substring match, so "Interpolate" covers every sub-benchmark of
+// BenchmarkInterpolate). An empty series list gates every name.
+func matchesSeries(name string, series []string) bool {
+	if len(series) == 0 {
+		return true
+	}
+	for _, s := range series {
+		if strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareDocs gates candidate against baseline: every gated name present in
+// both documents with an ns/op metric is compared, and a relative slowdown
+// above tolerance is a regression. One-sided names are skipped, not failed —
+// a targeted candidate run may legitimately cover a subset of the baseline,
+// and new benchmarks have no baseline yet. Speedups always pass (the
+// committed baseline is refreshed by PRs that improve it).
+func compareDocs(base, cand Document, series []string, tolerance float64) Report {
+	rep := Report{Tolerance: tolerance}
+	baseNS := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			baseNS[r.Name] = ns
+		}
+	}
+	seen := make(map[string]bool, len(cand.Results))
+	for _, r := range cand.Results {
+		if !matchesSeries(r.Name, series) {
+			continue
+		}
+		seen[r.Name] = true
+		ns, ok := r.Metrics["ns/op"]
+		bns, bok := baseNS[r.Name]
+		if !ok || ns <= 0 || !bok {
+			rep.Skipped = append(rep.Skipped, r.Name)
+			continue
+		}
+		d := Delta{Name: r.Name, Base: bns, Cand: ns, Change: (ns - bns) / bns}
+		if d.Change > tolerance {
+			rep.Regressions = append(rep.Regressions, d)
+		} else {
+			rep.Passed = append(rep.Passed, d)
+		}
+	}
+	for _, r := range base.Results {
+		if matchesSeries(r.Name, series) && !seen[r.Name] {
+			rep.Skipped = append(rep.Skipped, r.Name)
+		}
+	}
+	return rep
+}
+
 // parseBench extracts benchmark lines of the form
 //
 //	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
@@ -161,7 +342,7 @@ func parseBench(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue // e.g. "Benchmark...: some note" lines
 		}
-		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		res := Result{Name: trimProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: repro/internal/gf2k
+BenchmarkInterpolate/k=32/n=64-8   	    1000	   1234.5 ns/op	      56 B/op	       7 allocs/op
+BenchmarkBatchVSSScale/n=16-8      	     200	 987654 ns/op	  4096 B/op	      99 allocs/op
+BenchmarkBeaconDraw-8              	   50000	     321 ns/op	     18000 coins/s
+BenchmarkBroken: some note line
+PASS
+ok  	repro/internal/gf2k	2.345s
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkInterpolate/k=32/n=64" || r.Iterations != 1000 {
+		t.Fatalf("bad first result (GOMAXPROCS suffix must be stripped): %+v", r)
+	}
+	if r.Metrics["ns/op"] != 1234.5 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("bad metrics: %+v", r.Metrics)
+	}
+	if results[2].Metrics["coins/s"] != 18000 {
+		t.Fatalf("custom metric lost: %+v", results[2].Metrics)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":                "BenchmarkFoo",
+		"BenchmarkFoo-16":               "BenchmarkFoo",
+		"BenchmarkFoo":                  "BenchmarkFoo",
+		"BenchmarkFoo/n=64-4":           "BenchmarkFoo/n=64",
+		"BenchmarkFoo/shared-challenge": "BenchmarkFoo/shared-challenge",
+		"BenchmarkFoo/k=0064":           "BenchmarkFoo/k=0064",
+		"BenchmarkFoo-":                 "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Fatalf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	old := []Result{
+		{Name: "A", Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "B", Iterations: 1, Metrics: map[string]float64{"ns/op": 200}},
+	}
+	fresh := []Result{
+		{Name: "B", Iterations: 2, Metrics: map[string]float64{"ns/op": 150}},
+		{Name: "C", Iterations: 3, Metrics: map[string]float64{"ns/op": 300}},
+	}
+	got := mergeResults(old, fresh)
+	if len(got) != 3 {
+		t.Fatalf("merged %d results, want 3", len(got))
+	}
+	if got[0].Name != "A" || got[1].Name != "B" || got[2].Name != "C" {
+		t.Fatalf("merge order broken: %+v", got)
+	}
+	if got[1].Metrics["ns/op"] != 150 || got[1].Iterations != 2 {
+		t.Fatalf("same-name entry not overwritten: %+v", got[1])
+	}
+	if got[0].Metrics["ns/op"] != 100 {
+		t.Fatalf("untouched entry changed: %+v", got[0])
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	if got := splitSeries(""); got != nil {
+		t.Fatalf("splitSeries(\"\") = %v, want nil", got)
+	}
+	got := splitSeries(" Interpolate, BatchVSS ,,BeaconDraw ")
+	want := []string{"Interpolate", "BatchVSS", "BeaconDraw"}
+	if len(got) != len(want) {
+		t.Fatalf("splitSeries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitSeries = %v, want %v", got, want)
+		}
+	}
+}
+
+func doc(entries map[string]float64) Document {
+	var d Document
+	for name, ns := range entries {
+		m := map[string]float64{}
+		if ns > 0 {
+			m["ns/op"] = ns
+		}
+		d.Results = append(d.Results, Result{Name: name, Iterations: 1, Metrics: m})
+	}
+	return d
+}
+
+func TestCompareDocsFlagsRegression(t *testing.T) {
+	base := doc(map[string]float64{
+		"BenchmarkInterpolate/n=64-8": 1000,
+		"BenchmarkBatchVSSScale-8":    2000,
+		"BenchmarkBeaconDraw-8":       500,
+	})
+	cand := doc(map[string]float64{
+		"BenchmarkInterpolate/n=64-8": 1300, // +30%: regression at 25% tolerance
+		"BenchmarkBatchVSSScale-8":    2100, // +5%: within tolerance
+		"BenchmarkBeaconDraw-8":       400,  // faster: always passes
+	})
+	rep := compareDocs(base, cand, []string{"Interpolate", "BatchVSS", "BeaconDraw"}, 0.25)
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "BenchmarkInterpolate/n=64-8" {
+		t.Fatalf("regressions = %+v, want just Interpolate", rep.Regressions)
+	}
+	if len(rep.Passed) != 2 {
+		t.Fatalf("passed = %+v, want 2 entries", rep.Passed)
+	}
+	if got := rep.Regressions[0].Change; got < 0.29 || got > 0.31 {
+		t.Fatalf("regression change = %v, want ~0.30", got)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Fatalf("report does not mark the failure:\n%s", rep.String())
+	}
+}
+
+func TestCompareDocsExactlyAtToleranceIsNotRegression(t *testing.T) {
+	base := doc(map[string]float64{"BenchmarkInterpolate-8": 1000})
+	cand := doc(map[string]float64{"BenchmarkInterpolate-8": 1250})
+	rep := compareDocs(base, cand, nil, 0.25)
+	if len(rep.Regressions) != 0 || len(rep.Passed) != 1 {
+		t.Fatalf("+25%% at 0.25 tolerance must pass: %+v", rep)
+	}
+}
+
+func TestCompareDocsSkipsOneSidedEntries(t *testing.T) {
+	base := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 1000,
+		"BenchmarkOnlyInBase-8":  50,
+	})
+	cand := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 900,
+		"BenchmarkBrandNew-8":    75,
+	})
+	rep := compareDocs(base, cand, nil, 0.25)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("one-sided entries failed the gate: %+v", rep.Regressions)
+	}
+	if len(rep.Skipped) != 2 {
+		t.Fatalf("skipped = %v, want the two one-sided names", rep.Skipped)
+	}
+}
+
+func TestCompareDocsSeriesFilter(t *testing.T) {
+	base := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 1000,
+		"BenchmarkUnrelated-8":   100,
+	})
+	cand := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 1010,
+		"BenchmarkUnrelated-8":   900, // 9x slower, but not a gated series
+	})
+	rep := compareDocs(base, cand, []string{"Interpolate"}, 0.25)
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("ungated series failed the gate: %+v", rep.Regressions)
+	}
+	if len(rep.Passed) != 1 || rep.Passed[0].Name != "BenchmarkInterpolate-8" {
+		t.Fatalf("passed = %+v, want just Interpolate", rep.Passed)
+	}
+}
+
+func TestCompareDocsMissingNsOpSkipped(t *testing.T) {
+	base := doc(map[string]float64{"BenchmarkX-8": 1000})
+	cand := doc(map[string]float64{"BenchmarkX-8": 0}) // no ns/op metric
+	rep := compareDocs(base, cand, nil, 0.25)
+	if len(rep.Regressions) != 0 || len(rep.Skipped) != 1 {
+		t.Fatalf("entry without ns/op must be skipped: %+v", rep)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/simnet"
 )
 
@@ -106,6 +107,16 @@ type Config struct {
 	// in Coin-Gen). Defaults to crypto/rand for every player; tests
 	// substitute seeded readers for reproducibility.
 	Rand func(player int) io.Reader
+	// Parallelism bounds the total number of cores the service's
+	// pure-compute inner loops (Berlekamp–Welch decodes, γ combinations,
+	// consistency graphs) may borrow, across ALL players and both
+	// networks: one root parallel.Pool of this width is created and every
+	// node works through a Fork of it, so concurrent draws and a
+	// background refill compete for — rather than multiply — the budget.
+	// 0 (the default) runs everything inline on the node goroutines;
+	// values > 1 enable the pool; negative selects runtime.GOMAXPROCS(0).
+	// Results and transcripts are identical at every setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +140,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Rand == nil {
 		c.Rand = func(int) io.Reader { return cryptorand.Reader }
+	}
+	// The root pool is created once here so that New and Resume hand the
+	// same handle to every generator (and through them to every minted
+	// batch). Parallelism 0 or 1 leaves Core.Pool nil: fully serial.
+	if c.Core.Pool == nil && (c.Parallelism > 1 || c.Parallelism < 0) {
+		c.Core.Pool = parallel.New(c.Parallelism).WithCounters(c.Counters)
 	}
 	return c
 }
@@ -231,6 +248,10 @@ type Service struct {
 	nw      *simnet.Network
 	cmds    []chan command
 	results chan workerResult
+	// pools[i] is player i's fork of the root compute pool (nil when
+	// Parallelism is off). All forks share the root's capacity tokens, so
+	// the cluster never engages more than Parallelism cores at once.
+	pools []*parallel.Pool
 
 	reqs       chan *request
 	refillDone chan *refillOutcome
@@ -314,6 +335,10 @@ func start(cfg Config, gens []*core.Generator, resumed bool) (*Service, error) {
 		stop:       make(chan struct{}),
 		execDone:   make(chan struct{}),
 		resumed:    resumed,
+		pools:      make([]*parallel.Pool, n),
+	}
+	for i := range s.pools {
+		s.pools[i] = cfg.Core.Pool.Fork()
 	}
 	if cfg.Rate > 0 {
 		s.limiter = newTokenBucket(cfg.Rate, cfg.Burst)
@@ -608,8 +633,13 @@ func (s *Service) startPipelineRefill() bool {
 		fns := make([]simnet.PlayerFunc, n)
 		for i := 0; i < n; i++ {
 			i := i
+			// Each minting node computes on its own fork of the root pool:
+			// the refill cluster and the serving path compete for the same
+			// Parallelism-core budget instead of oversubscribing it.
+			coreCfg := cfg.Core
+			coreCfg.Pool = s.pools[i]
 			fns[i] = func(nd *simnet.Node) (interface{}, error) {
-				return core.Mint(cfg.Core, nd, seeds[i], cfg.Rand(i))
+				return core.Mint(coreCfg, nd, seeds[i], cfg.Rand(i))
 			}
 		}
 		out := &refillOutcome{seeds: seeds, mints: make([]*core.MintResult, n)}

@@ -78,6 +78,56 @@ func TestDrawStream(t *testing.T) {
 	}
 }
 
+// TestParallelismKnob drives a full service with the compute pool enabled.
+// Correctness is checked by the executive itself — every sweep asserts
+// cross-player unanimity, so a pool bug that desynced any player would fail
+// the draw — and the counters must show the pool genuinely fanned out.
+func TestParallelismKnob(t *testing.T) {
+	var c metrics.Counters
+	cfg := testConfig(t, 24, 6, 16)
+	cfg.Parallelism = 4
+	cfg.Counters = &c
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	if s.cfg.Core.Pool == nil {
+		t.Fatal("Parallelism > 1 did not install a compute pool")
+	}
+	ctx := context.Background()
+	const draws = 60 // forces several pipelined refills through the pool
+	for i := 0; i < draws; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d with pool: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.CoinsDelivered != draws {
+		t.Fatalf("delivered %d coins, want %d", st.CoinsDelivered, draws)
+	}
+	if got := c.Snapshot().ParallelTasks; got == 0 {
+		t.Fatal("ParallelTasks = 0: the pool was never engaged")
+	}
+}
+
+// TestParallelismOffLeavesPoolNil pins the default: 0 and 1 mean fully
+// serial, with no pool allocated at all.
+func TestParallelismOffLeavesPoolNil(t *testing.T) {
+	for _, p := range []int{0, 1} {
+		cfg := testConfig(t, 24, 6, 0)
+		cfg.Parallelism = p
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.cfg.Core.Pool != nil {
+			mustClose(t, s)
+			t.Fatalf("Parallelism=%d allocated a pool", p)
+		}
+		mustClose(t, s)
+	}
+}
+
 // TestPipelinedNoBlocking is the in-package soak: paced clients drain three
 // full batches while every refill runs ahead of demand — not one draw may
 // wait on a Coin-Gen round.

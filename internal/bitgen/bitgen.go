@@ -26,6 +26,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -38,6 +39,11 @@ type Config struct {
 	N, T, M int
 	// Counters, when non-nil, records costs.
 	Counters *metrics.Counters
+	// Pool, when non-nil, fans the per-dealer pure compute — share
+	// evaluation in DealAll, the n γ combinations, the n Berlekamp–Welch
+	// decodes of ExchangeGammas — out across idle cores. Verdicts and
+	// transcripts are identical at every width.
+	Pool *parallel.Pool
 }
 
 // Validate checks structural preconditions. Bit-Gen itself needs n ≥ 3t+1
@@ -101,26 +107,39 @@ func DealAll(nd *simnet.Node, cfg Config, rnd io.Reader) (*Shares, error) {
 		OwnPolys: polys,
 	}
 
+	// Evaluate all n share vectors first — (M+1)·n pure Horner evaluations
+	// fanned out per recipient — then send on the node goroutine in index
+	// order so the traffic schedule is width-invariant.
+	ids := make([]gf2k.Element, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		id, err := f.ElementFromID(i + 1)
 		if err != nil {
 			return nil, err
 		}
+		ids[i] = id
+	}
+	bufs := parallel.Map(cfg.Pool, cfg.N, func(i int) []byte {
 		if i == nd.Index() {
-			row := make([]gf2k.Element, cfg.M)
-			for h := 0; h < cfg.M; h++ {
-				row[h] = poly.Eval(f, polys[h], id)
-			}
-			sh.Alpha[i] = row
-			sh.Mask[i] = poly.Eval(f, polys[cfg.M], id)
-			sh.Received[i] = true
-			continue
+			return nil // own shares are kept below, not serialized
 		}
 		buf := make([]byte, 0, (cfg.M+1)*f.ByteLen())
 		for _, p := range polys {
-			buf = f.AppendElement(buf, poly.Eval(f, p, id))
+			buf = f.AppendElement(buf, poly.Eval(f, p, ids[i]))
 		}
-		nd.Send(i, buf)
+		return buf
+	})
+	for i := 0; i < cfg.N; i++ {
+		if i == nd.Index() {
+			row := make([]gf2k.Element, cfg.M)
+			for h := 0; h < cfg.M; h++ {
+				row[h] = poly.Eval(f, polys[h], ids[i])
+			}
+			sh.Alpha[i] = row
+			sh.Mask[i] = poly.Eval(f, polys[cfg.M], ids[i])
+			sh.Received[i] = true
+			continue
+		}
+		nd.Send(i, bufs[i])
 	}
 
 	msgs, err := nd.EndRound()
@@ -164,6 +183,21 @@ func (sh *Shares) Gamma(f gf2k.Field, j int, r gf2k.Element) (gf2k.Element, bool
 	return f.Add(acc, sh.Mask[j]), true
 }
 
+// Gammas computes this player's announcements for all n dealers under
+// challenge r — n independent M-term Horner combinations, fanned out across
+// the pool (nil runs inline). ok[j] is false where dealer j's dealing never
+// arrived. This is the γ half of one player's intra-round compute; the
+// parallel-speedup benchmark drives it directly.
+func (sh *Shares) Gammas(f gf2k.Field, r gf2k.Element, pl *parallel.Pool) (gammas []gf2k.Element, ok []bool) {
+	n := len(sh.Received)
+	gammas = make([]gf2k.Element, n)
+	ok = make([]bool, n)
+	pl.ForEach(n, func(j int) {
+		gammas[j], ok[j] = sh.Gamma(f, j, r)
+	})
+	return gammas, ok
+}
+
 // Output is the local verdict for one dealer's Bit-Gen instance
 // (Fig. 4 step 5).
 type Output struct {
@@ -196,13 +230,11 @@ func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*V
 	sp := nd.Tracer().Start(nd.Index(), nd.Round(), obs.KindPhase, "bitgen/gamma")
 	defer func() { sp.End(nd.Round()) }()
 
-	myGamma := make([]gf2k.Element, n)
-	myHas := make([]bool, n)
+	myGamma, myHas := sh.Gammas(f, r, cfg.Pool)
 	buf := make([]byte, 0, n*(1+f.ByteLen()))
 	for j := 0; j < n; j++ {
-		g, ok := sh.Gamma(f, j, r)
-		myGamma[j], myHas[j] = g, ok
-		if ok {
+		if myHas[j] {
+			g := myGamma[j]
 			buf = append(buf, 0)
 			buf = f.AppendElement(buf, g)
 		} else {
@@ -260,8 +292,15 @@ func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*V
 		}
 		ids[k] = id
 	}
+	// The n per-dealer decodes are independent pure compute — the dominant
+	// term of a player's round work — so they fan out across the pool.
+	// Each task writes only Outputs[j]; the tracer calls happen afterwards
+	// on the node goroutine in dealer index order, keeping the transcript
+	// byte-identical at every width.
+	cfg.Pool.ForEach(n, func(j int) {
+		v.Outputs[j] = v.Decode(cfg, ids, j)
+	})
 	for j := 0; j < n; j++ {
-		v.Outputs[j] = decodeInstance(cfg, v, ids, j)
 		if !v.Outputs[j].OK {
 			// Local verdict only (no broadcast channel here): dealer j's
 			// instance failed Fig. 4 step 5 in this player's view.
@@ -271,11 +310,17 @@ func ExchangeGammas(nd *simnet.Node, cfg Config, sh *Shares, r gf2k.Element) (*V
 	return v, nil
 }
 
-// decodeInstance applies Fig. 4 step 5 to dealer j: find F with deg ≤ t
-// agreeing with at least n−t of the announced γ's. Fault-free cost: one
-// interpolation over the cached t+1-prefix domain plus n·(t+1)
-// multiplications of agreement checking.
-func decodeInstance(cfg Config, v *View, ids []gf2k.Element, j int) Output {
+// Decode applies Fig. 4 step 5 to dealer j: find F with deg ≤ t agreeing
+// with at least n−t of the announced γ's. ids[k] must be the field element
+// of player k+1 (as produced by gf2k.Field.ElementFromID), in index order.
+// Fault-free cost: one interpolation over the cached t+1-prefix domain plus
+// n·(t+1) multiplications of agreement checking. It is exported — rather
+// than folded into ExchangeGammas — so benchmarks can drive one player's
+// decode workload on a fabricated view without a network.
+//
+// Decode is safe to call concurrently for distinct j; it never uses
+// cfg.Pool itself (the fan-out happens one level up, across dealers).
+func (v *View) Decode(cfg Config, ids []gf2k.Element, j int) Output {
 	f := cfg.Field
 	var xs, ys []gf2k.Element
 	for k := 0; k < cfg.N; k++ {

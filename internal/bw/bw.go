@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -42,6 +43,22 @@ type Result struct {
 // of Batch-VSS, Bit-Gen and Coin-Expose — pay no per-call inversions and
 // no Lagrange setup.
 func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *metrics.Counters) (Result, error) {
+	return DecodeWith(f, xs, ys, degree, maxErrors, ctr, nil)
+}
+
+// evalChunk is the fixed number of points one candidate-evaluation task
+// covers. Chunking by a constant — never by pool width — keeps the task
+// boundaries, and therefore the exact field-op schedule, identical at every
+// parallelism level.
+const evalChunk = 16
+
+// DecodeWith is Decode with an optional parallel.Pool: the candidate-
+// evaluation scan (testing the interpolant against all n points) and, on
+// the error path, the Berlekamp–Welch matrix construction and elimination
+// fan out across the pool's workers. A nil pool is the plain serial
+// Decode. Results are identical at every width: each task writes only its
+// own chunk/row and outputs are combined in index order.
+func DecodeWith(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *metrics.Counters, pl *parallel.Pool) (Result, error) {
 	n := len(xs)
 	if len(ys) != n {
 		return Result{}, fmt.Errorf("bw: %d xs vs %d ys", n, len(ys))
@@ -66,7 +83,7 @@ func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *met
 	if err != nil {
 		return Result{}, err
 	}
-	if idx := disagreements(f, p, xs, ys); len(idx) == 0 {
+	if idx := disagreements(f, p, xs, ys, pl); len(idx) == 0 {
 		return Result{Poly: p}, nil
 	}
 
@@ -74,11 +91,11 @@ func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *met
 		return Result{}, ErrNoCodeword
 	}
 
-	p, err = solve(f, xs, ys, degree, maxErrors, ctr)
+	p, err = solve(f, xs, ys, degree, maxErrors, ctr, pl)
 	if err != nil {
 		return Result{}, err
 	}
-	idx := disagreements(f, p, xs, ys)
+	idx := disagreements(f, p, xs, ys, pl)
 	if len(idx) > maxErrors {
 		return Result{}, ErrNoCodeword
 	}
@@ -88,15 +105,16 @@ func Decode(f gf2k.Field, xs, ys []gf2k.Element, degree, maxErrors int, ctr *met
 // solve runs the Berlekamp–Welch linear system at the full error bound e:
 // find E(x) = x^e + Σ_{j<e} E_j x^j and Q(x) of degree ≤ degree+e with
 // Q(x_i) = y_i·E(x_i) for all i, then return Q/E.
-func solve(f gf2k.Field, xs, ys []gf2k.Element, degree, e int, ctr *metrics.Counters) (poly.Poly, error) {
+func solve(f gf2k.Field, xs, ys []gf2k.Element, degree, e int, ctr *metrics.Counters, pl *parallel.Pool) (poly.Poly, error) {
 	n := len(xs)
 	qLen := degree + e + 1 // unknown coefficients of Q
 	unknowns := qLen + e   // plus the e non-leading coefficients of E
 
-	// Build the augmented matrix: one row per point.
+	// Build the augmented matrix: one row per point. Rows are independent,
+	// so they fan out across the pool; each task touches only its own row.
 	// Σ_j Q_j x^j  +  y·Σ_{j<e} E_j x^j  =  y·x^e.
 	m := newMatrix(n, unknowns)
-	for i := 0; i < n; i++ {
+	pl.ForEach(n, func(i int) {
 		xp := gf2k.Element(1)
 		for j := 0; j < qLen; j++ {
 			m.set(i, j, xp)
@@ -111,9 +129,9 @@ func solve(f gf2k.Field, xs, ys []gf2k.Element, degree, e int, ctr *metrics.Coun
 		}
 		// xp is now x^e.
 		m.setRHS(i, f.Mul(ys[i], xp))
-	}
+	})
 
-	sol, ok := m.solve(f)
+	sol, ok := m.solve(f, pl)
 	if !ok {
 		return nil, ErrNoCodeword
 	}
@@ -141,13 +159,37 @@ func solve(f gf2k.Field, xs, ys []gf2k.Element, degree, e int, ctr *metrics.Coun
 	return quot, nil
 }
 
-// disagreements returns indices where p(xs[i]) != ys[i].
-func disagreements(f gf2k.Field, p poly.Poly, xs, ys []gf2k.Element) []int {
-	var idx []int
-	for i := range xs {
-		if poly.Eval(f, p, xs[i]) != ys[i] {
-			idx = append(idx, i)
+// disagreements returns indices where p(xs[i]) != ys[i], in increasing
+// order. With a pool, the scan fans out in fixed-size chunks; each task
+// appends to its own chunk's list and the lists concatenate in chunk order,
+// so the result (and the per-point field-op schedule) is width-invariant.
+func disagreements(f gf2k.Field, p poly.Poly, xs, ys []gf2k.Element, pl *parallel.Pool) []int {
+	n := len(xs)
+	chunks := parallel.Chunks(n, evalChunk)
+	if chunks <= 1 || pl.Width() == 1 {
+		var idx []int
+		for i := range xs {
+			if poly.Eval(f, p, xs[i]) != ys[i] {
+				idx = append(idx, i)
+			}
 		}
+		return idx
+	}
+	perChunk := make([][]int, chunks)
+	pl.ForEach(chunks, func(c int) {
+		lo, hi := c*evalChunk, (c+1)*evalChunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if poly.Eval(f, p, xs[i]) != ys[i] {
+				perChunk[c] = append(perChunk[c], i)
+			}
+		}
+	})
+	var idx []int
+	for _, part := range perChunk {
+		idx = append(idx, part...)
 	}
 	return idx
 }
@@ -197,8 +239,10 @@ func (m *matrix) set(r, c int, v gf2k.Element) { m.a[r][c] = v }
 func (m *matrix) setRHS(r int, v gf2k.Element) { m.a[r][m.cols] = v }
 
 // solve performs Gaussian elimination and back-substitution, assigning zero
-// to free variables. It returns false if the system is inconsistent.
-func (m *matrix) solve(f gf2k.Field) ([]gf2k.Element, bool) {
+// to free variables. It returns false if the system is inconsistent. The
+// per-pivot row eliminations are independent of each other and fan out
+// across the pool; every width performs the identical field operations.
+func (m *matrix) solve(f gf2k.Field, pl *parallel.Pool) ([]gf2k.Element, bool) {
 	pivotCol := make([]int, 0, m.rows) // column of each pivot row
 	row := 0
 	for col := 0; col < m.cols && row < m.rows; col++ {
@@ -218,15 +262,16 @@ func (m *matrix) solve(f gf2k.Field) ([]gf2k.Element, bool) {
 		for c := col; c <= m.cols; c++ {
 			m.a[row][c] = f.Mul(m.a[row][c], inv)
 		}
-		for r := 0; r < m.rows; r++ {
+		pivot := m.a[row]
+		pl.ForEach(m.rows, func(r int) {
 			if r == row || m.a[r][col] == 0 {
-				continue
+				return
 			}
 			factor := m.a[r][col]
 			for c := col; c <= m.cols; c++ {
-				m.a[r][c] = f.Add(m.a[r][c], f.Mul(factor, m.a[row][c]))
+				m.a[r][c] = f.Add(m.a[r][c], f.Mul(factor, pivot[c]))
 			}
-		}
+		})
 		pivotCol = append(pivotCol, col)
 		row++
 	}

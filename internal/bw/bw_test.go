@@ -238,7 +238,7 @@ func TestMatrixSolveSingular(t *testing.T) {
 	m.setRHS(0, 1)
 	m.set(1, 0, 1)
 	m.setRHS(1, 2)
-	if _, ok := m.solve(f); ok {
+	if _, ok := m.solve(f, nil); ok {
 		t.Error("inconsistent system reported solvable")
 	}
 	// Underdetermined system: free variable gets zero.
@@ -246,7 +246,7 @@ func TestMatrixSolveSingular(t *testing.T) {
 	m.set(0, 0, 1)
 	m.set(0, 1, 1)
 	m.setRHS(0, 7)
-	sol, ok := m.solve(f)
+	sol, ok := m.solve(f, nil)
 	if !ok || sol[0] != 7 || sol[1] != 0 {
 		t.Errorf("underdetermined solve = %v ok=%v, want [7 0] true", sol, ok)
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -64,6 +65,11 @@ type Batch struct {
 	Silent bool
 	// Counters optionally records exposure costs.
 	Counters *metrics.Counters
+	// Pool, when non-nil, fans the exposure reconstruction (the
+	// Berlekamp–Welch scan over |S| shares) out across idle cores. Like
+	// Counters it is runtime-only state: never serialized, re-attached
+	// after UnmarshalBatch by the owner.
+	Pool *parallel.Pool
 
 	next int
 	// sids caches the field elements of the members of S. It is built
@@ -123,6 +129,7 @@ func (b *Batch) Split(count int) (*Batch, error) {
 		Shares:   b.Shares[cut:],
 		Silent:   b.Silent,
 		Counters: b.Counters,
+		Pool:     b.Pool,
 	}
 	b.Shares = b.Shares[:cut]
 	return nb, nil
@@ -226,7 +233,7 @@ func (b *Batch) exposeIndex(nd *simnet.Node, h int) (gf2k.Element, error) {
 	if maxErr < 0 {
 		maxErr = 0
 	}
-	res, err := bw.Decode(b.Field, xs, ys, b.T, maxErr, b.Counters)
+	res, err := bw.DecodeWith(b.Field, xs, ys, b.T, maxErr, b.Counters, b.Pool)
 	if err != nil {
 		return 0, fmt.Errorf("coin: expose coin %d: %w", h, err)
 	}

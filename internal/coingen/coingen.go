@@ -50,6 +50,7 @@ import (
 	"repro/internal/gradecast"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	MaxAttempts int
 	// Counters, when non-nil, records costs.
 	Counters *metrics.Counters
+	// Pool, when non-nil, fans the pure-compute phases — Bit-Gen dealing
+	// and decoding, the n² consistency-graph evaluations, the condition-iii
+	// checks, the batch share sums — out across idle cores, and is handed
+	// to the assembled coin.Batch for its exposure decodes. Verdicts and
+	// transcripts are identical at every width.
+	Pool *parallel.Pool
 }
 
 // Validate checks the paper's resilience requirement.
@@ -129,7 +136,7 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 	sp := tr.Start(nd.Index(), nd.Round(), obs.KindProtocol, "coingen")
 	defer func() { sp.End(nd.Round()) }()
 
-	bcfg := bitgen.Config{Field: cfg.Field, N: cfg.N, T: cfg.T, M: cfg.M, Counters: cfg.Counters}
+	bcfg := bitgen.Config{Field: cfg.Field, N: cfg.N, T: cfg.T, M: cfg.M, Counters: cfg.Counters, Pool: cfg.Pool}
 
 	// Steps 1–3: deal, expose the shared challenge, exchange γ's.
 	sh, err := bitgen.DealAll(nd, bcfg, rnd)
@@ -150,13 +157,9 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 	// Steps 4–5: consistency graph and clique (local computation, no
 	// rounds; the span isolates its field-op cost).
 	cliqueSpan := tr.Start(nd.Index(), nd.Round(), obs.KindPhase, "coingen/clique")
-	g := clique.NewGraph(cfg.N)
-	for j := 0; j < cfg.N; j++ {
-		for k := j + 1; k < cfg.N; k++ {
-			if view.Edge(cfg.Field, j, k) && view.Edge(cfg.Field, k, j) {
-				g.AddEdge(j, k)
-			}
-		}
+	g, err := ConsistencyGraph(cfg, view)
+	if err != nil {
+		return nil, err
 	}
 	myClique := clique.ApproxClique(g)
 	tr.CliqueFound(nd.Index(), len(myClique), nd.Round())
@@ -217,30 +220,75 @@ func Run(nd *simnet.Node, cfg Config, rnd io.Reader) (*Result, error) {
 	return nil, ErrTooManyAttempts
 }
 
+// ConsistencyGraph builds the undirected core G of Fig. 5 step 4 from one
+// player's view: vertices are dealers, with an edge {j,k} iff both directed
+// consistency relations hold (F_j decoded and γ_k lies on it, and vice
+// versa). The n² polynomial evaluations — the quadratic term of a player's
+// round work — fan out per dealer row across cfg.Pool; each task writes
+// only its own row of the directed relation, and the edges are then added
+// in (j,k) index order on the calling goroutine. Exported so benchmarks can
+// drive one player's graph workload on a fabricated view.
+func ConsistencyGraph(cfg Config, view *bitgen.View) (*clique.Graph, error) {
+	f := cfg.Field
+	n := cfg.N
+	ids := make([]gf2k.Element, n)
+	for k := 0; k < n; k++ {
+		id, err := f.ElementFromID(k + 1)
+		if err != nil {
+			return nil, err
+		}
+		ids[k] = id
+	}
+	directed := make([][]bool, n)
+	cfg.Pool.ForEach(n, func(j int) {
+		row := make([]bool, n)
+		if view.Outputs[j].OK {
+			for k := 0; k < n; k++ {
+				row[k] = view.Has[k][j] &&
+					poly.Eval(f, view.Outputs[j].F, ids[k]) == view.GammaOf[k][j]
+			}
+		}
+		directed[j] = row
+	})
+	g := clique.NewGraph(n)
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			if directed[j][k] && directed[k][j] {
+				g.AddEdge(j, k)
+			}
+		}
+	}
+	return g, nil
+}
+
 // conditionIII counts the members j of the candidate clique whose announced
 // γ's (in this player's view) satisfy every F_k of the candidate, k ∈ C_l —
 // Fig. 5 step 10 condition iii. Cost: at most |C_l|² degree-t Horner
 // evaluations, i.e. O(|C_l|²·t) multiplications; the member's field id is
-// computed once per member, not once per (member, dealer) pair.
+// computed once per member, not once per (member, dealer) pair. The
+// per-member checks are independent and fan out across cfg.Pool; each task
+// writes only its member's slot and the tally runs in member order.
 func conditionIII(cfg Config, view *bitgen.View, cand *cliqueMsg) int {
 	f := cfg.Field
-	count := 0
-	for _, j := range cand.members {
+	pass := make([]bool, len(cand.members))
+	cfg.Pool.ForEach(len(cand.members), func(mi int) {
+		j := cand.members[mi]
 		id, err := f.ElementFromID(j + 1)
 		if err != nil {
-			continue
+			return
 		}
-		ok := true
 		for idx, k := range cand.members {
 			if !view.Has[j][k] {
-				ok = false
-				break
+				return
 			}
 			if poly.Eval(f, cand.polys[idx], id) != view.GammaOf[j][k] {
-				ok = false
-				break
+				return
 			}
 		}
+		pass[mi] = true
+	})
+	count := 0
+	for _, ok := range pass {
 		if ok {
 			count++
 		}
@@ -252,6 +300,11 @@ func conditionIII(cfg Config, view *bitgen.View, cand *cliqueMsg) int {
 // combined share of coin h is Σ_{j∈C_l} α_i[j][h], and the player marks
 // itself silent unless it passes the objective self-check against the
 // agreed F's.
+// sumChunk is the fixed number of coin indexes one share-summing task
+// covers; constant (never width-dependent) so the add schedule is identical
+// at every parallelism level.
+const sumChunk = 64
+
 func assembleBatch(cfg Config, sh *bitgen.Shares, cand *cliqueMsg, self int, r gf2k.Element) *coin.Batch {
 	f := cfg.Field
 	shares := make([]gf2k.Element, cfg.M)
@@ -259,12 +312,27 @@ func assembleBatch(cfg Config, sh *bitgen.Shares, cand *cliqueMsg, self int, r g
 	for _, j := range cand.members {
 		if !sh.Received[j] {
 			complete = false
-			continue
-		}
-		for h := 0; h < cfg.M; h++ {
-			shares[h] = f.Add(shares[h], sh.Alpha[j][h])
 		}
 	}
+	// Coin h's combined share Σ_{j∈C_l} α_i[j][h] touches every member row
+	// at one column; distinct h are independent, so the M columns fan out
+	// in fixed-size chunks.
+	chunks := parallel.Chunks(cfg.M, sumChunk)
+	cfg.Pool.ForEach(chunks, func(c int) {
+		lo, hi := c*sumChunk, (c+1)*sumChunk
+		if hi > cfg.M {
+			hi = cfg.M
+		}
+		for _, j := range cand.members {
+			if !sh.Received[j] {
+				continue
+			}
+			row := sh.Alpha[j]
+			for h := lo; h < hi; h++ {
+				shares[h] = f.Add(shares[h], row[h])
+			}
+		}
+	})
 	return &coin.Batch{
 		Field:    cfg.Field,
 		T:        cfg.T,
@@ -272,6 +340,7 @@ func assembleBatch(cfg Config, sh *bitgen.Shares, cand *cliqueMsg, self int, r g
 		Shares:   shares,
 		Silent:   !complete || !selfCheck(cfg, sh, cand, self, r),
 		Counters: cfg.Counters,
+		Pool:     cfg.Pool,
 	}
 }
 

@@ -71,8 +71,9 @@ func RunCoinGen(sc Scenario) (*CoinGenOutcome, error) {
 	}
 	out.Env = e
 
+	pools := sc.pools()
 	cfgFor := func(i int) coingen.Config {
-		return coingen.Config{Field: e.field, N: sc.N, T: sc.T, M: sc.M, Seed: e.seeds[i]}
+		return coingen.Config{Field: e.field, N: sc.N, T: sc.T, M: sc.M, Seed: e.seeds[i], Pool: pools[i]}
 	}
 	honest := func(i int) simnet.PlayerFunc {
 		return func(nd *simnet.Node) (interface{}, error) {

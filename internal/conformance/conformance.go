@@ -20,13 +20,21 @@ package conformance
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/coin"
 	"repro/internal/gf2k"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/simnet"
 )
+
+// TraceDirEnv names the directory where failing scenarios dump their full
+// canonical timeline as JSONL (one file per scenario). CI sets it and
+// uploads the directory as a failure artifact; unset means no dump.
+const TraceDirEnv = "CONFORMANCE_TRACE_DIR"
 
 // Scenario names one conformance case: a protocol under a named attack at a
 // given size, fully reproducible from Seed.
@@ -44,6 +52,12 @@ type Scenario struct {
 	N, T, M int
 	// Seed derives every random choice in the scenario.
 	Seed int64
+	// Width, when > 1, runs every player's pure compute through a
+	// parallel.Pool of that width (per-player forks of one root, as a
+	// beacon deployment would). Verdicts and canonical transcripts must be
+	// byte-identical to the serial run — that invariance is itself part of
+	// the conformance contract.
+	Width int
 }
 
 // String renders the scenario as the subtest name — quoting it back into
@@ -59,7 +73,23 @@ func (s Scenario) String() string {
 		fmt.Fprintf(&b, ",m=%d", s.M)
 	}
 	fmt.Fprintf(&b, ",seed=%d", s.Seed)
+	if s.Width > 1 {
+		fmt.Fprintf(&b, ",w=%d", s.Width)
+	}
 	return b.String()
+}
+
+// pools returns one compute pool per player: nil (serial) for Width ≤ 1,
+// otherwise per-player forks sharing one root's capacity tokens.
+func (s Scenario) pools() []*parallel.Pool {
+	out := make([]*parallel.Pool, s.N)
+	if s.Width > 1 {
+		root := parallel.New(s.Width)
+		for i := range out {
+			out[i] = root.Fork()
+		}
+	}
+	return out
 }
 
 // env is the per-scenario test substrate: a traced network plus trusted
@@ -121,9 +151,37 @@ func (e *env) Diagnose(lastEvents int) string {
 }
 
 // failf wraps a property violation with the reproduction pair and trace
-// tail.
+// tail, and (when TraceDirEnv is set) dumps the full canonical timeline for
+// artifact upload.
 func (e *env) failf(format string, args ...interface{}) error {
+	e.dumpTrace()
 	return fmt.Errorf("%s: %s\n%s", e.sc, fmt.Sprintf(format, args...), e.Diagnose(60))
+}
+
+// dumpTrace writes the scenario's complete event stream — in canonical,
+// scheduler-independent order — as JSONL into $CONFORMANCE_TRACE_DIR. The
+// file name is the scenario name with path-hostile characters flattened, so
+// a CI artifact maps back to the failing subtest. Dump errors are swallowed:
+// the trace is diagnostics for an already-failing run, never a new failure.
+func (e *env) dumpTrace() {
+	dir := os.Getenv(TraceDirEnv)
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	name := strings.NewReplacer("/", "_", ",", "_", "=", "-", "+", "_").Replace(e.sc.String())
+	f, err := os.Create(filepath.Join(dir, name+".jsonl"))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sink := obs.NewJSONL(f)
+	for _, ev := range obs.CanonicalOrder(e.ring.Events()) {
+		sink.Emit(ev)
+	}
+	_ = sink.Flush()
 }
 
 // honestSet returns all indices not in corrupt, ascending.

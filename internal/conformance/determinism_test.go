@@ -80,3 +80,76 @@ func TestGoldenTranscriptUnderAttack(t *testing.T) {
 		t.Fatal("attacked transcripts differ across identical (seed, config) runs")
 	}
 }
+
+// TestGoldenTranscriptWidthInvariance pins the parallel engine's core
+// contract: a Coin-Gen run computing through width-8 parallel.Pools must
+// emit a canonical JSONL transcript byte-identical to the fully serial run
+// of the same (seed, config). Any task that sent a message, touched the
+// tracer, or reordered result consumption off the node goroutine would
+// break this equality.
+func TestGoldenTranscriptWidthInvariance(t *testing.T) {
+	base := Scenario{Protocol: "coingen", Attack: "honest", N: 13, T: 2, M: 4, Seed: 33}
+	serial := goldenTranscript(t, base)
+	wide := base
+	wide.Width = 8
+	parallel := goldenTranscript(t, wide)
+	if len(serial) == 0 {
+		t.Fatal("serial transcript is empty — tracer not wired into the network")
+	}
+	if !bytes.Equal(serial, parallel) {
+		a, b := bytes.Split(serial, []byte("\n")), bytes.Split(parallel, []byte("\n"))
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("width=1 and width=8 transcripts diverge at line %d:\n serial:  %s\n width=8: %s",
+					i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("width=8 transcript has %d lines, serial has %d", len(b), len(a))
+	}
+}
+
+// TestAdversarialVerdictsWidthInvariant re-runs every Coin-Gen attack at
+// width 8 and asserts the full conformance contract still holds — the
+// paper's verdicts (clique membership, attacker expulsion, coin unanimity)
+// must not depend on how many cores a player borrows.
+func TestAdversarialVerdictsWidthInvariant(t *testing.T) {
+	attacks := []string{"honest", "crash", "silent", "wrong-degree-dealer",
+		"coin-share-liar", "deal-corrupt", "gamma-equivocate"}
+	for _, a := range attacks {
+		sc := Scenario{Protocol: "coingen", Attack: a, N: 13, T: 2, M: 3, Seed: 34, Width: 8}
+		t.Run(sc.String(), func(t *testing.T) {
+			wide, err := RunCoinGen(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wide.Check(); err != nil {
+				t.Fatal(err)
+			}
+			// The serial run of the identical scenario must agree verdict
+			// for verdict: same clique, same attempt count, same coins.
+			serialSc := sc
+			serialSc.Width = 0
+			serial, err := RunCoinGen(serialSc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, wideRef := serial.Players[serial.Honest[0]], wide.Players[wide.Honest[0]]
+			if len(ref.Res.Clique) != len(wideRef.Res.Clique) {
+				t.Fatalf("clique size differs: serial %v vs width-8 %v", ref.Res.Clique, wideRef.Res.Clique)
+			}
+			for i := range ref.Res.Clique {
+				if ref.Res.Clique[i] != wideRef.Res.Clique[i] {
+					t.Fatalf("clique differs: serial %v vs width-8 %v", ref.Res.Clique, wideRef.Res.Clique)
+				}
+			}
+			if ref.Res.Attempts != wideRef.Res.Attempts {
+				t.Fatalf("attempts differ: serial %d vs width-8 %d", ref.Res.Attempts, wideRef.Res.Attempts)
+			}
+			for h := range ref.Coins {
+				if ref.Coins[h] != wideRef.Coins[h] {
+					t.Fatalf("coin %d differs: serial %#x vs width-8 %#x", h, ref.Coins[h], wideRef.Coins[h])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFailfDumpsCanonicalTrace pins the CI failure-artifact hook: with
+// CONFORMANCE_TRACE_DIR set, a property violation writes the scenario's full
+// canonical timeline as parseable JSONL named after the scenario.
+func TestFailfDumpsCanonicalTrace(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(TraceDirEnv, dir)
+
+	sc := Scenario{Protocol: "coingen", Attack: "honest", N: 7, T: 1, M: 2, Seed: 41}
+	o, err := RunCoinGen(sc)
+	if err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if err := o.Env.failf("synthetic violation for trace dump"); err == nil {
+		t.Fatal("failf returned nil")
+	}
+
+	name := "coingen_honest_n-7_t-1_m-2_seed-41.jsonl"
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		entries, _ := os.ReadDir(dir)
+		var got []string
+		for _, e := range entries {
+			got = append(got, e.Name())
+		}
+		t.Fatalf("trace file %s not written (dir has %v): %v", name, got, err)
+	}
+	defer f.Close()
+
+	events, err := obs.ParseJSONL(f)
+	if err != nil {
+		t.Fatalf("dumped trace is not valid JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("dumped trace is empty")
+	}
+	want := obs.CanonicalOrder(o.Env.ring.Events())
+	if len(events) != len(want) {
+		t.Fatalf("dumped %d events, ring holds %d canonical events", len(events), len(want))
+	}
+}
+
+// TestNoDumpWithoutEnv pins that the hook is inert outside CI.
+func TestNoDumpWithoutEnv(t *testing.T) {
+	t.Setenv(TraceDirEnv, "") // explicit empty, regardless of ambient env
+	sc := Scenario{Protocol: "coingen", Attack: "honest", N: 7, T: 1, M: 2, Seed: 42}
+	o, err := RunCoinGen(sc)
+	if err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if err := o.Env.failf("synthetic"); err == nil {
+		t.Fatal("failf returned nil")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/simnet"
 )
 
@@ -67,6 +68,11 @@ type Config struct {
 	MaxAttempts int
 	// Counters, when non-nil, records all protocol costs.
 	Counters *metrics.Counters
+	// Pool, when non-nil, fans the pure-compute phases of refills and
+	// exposures out across idle cores (see internal/parallel). Like
+	// Counters, the pool is runtime-only: it propagates into every batch
+	// the generator mints, absorbs, or restores, and is never serialized.
+	Pool *parallel.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +148,7 @@ func SetupTrusted(cfg Config, seedCoins int, rnd io.Reader) ([]*Generator, error
 	for i := range gens {
 		st := &coin.Store{Universe: cfg.N}
 		batches[i].Counters = cfg.Counters
+		batches[i].Pool = cfg.Pool
 		if err := st.Add(batches[i]); err != nil {
 			return nil, err
 		}
@@ -161,6 +168,7 @@ func NewFromBatch(cfg Config, b *coin.Batch) (*Generator, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
+	b.Pool = cfg.Pool
 	st := &coin.Store{Universe: cfg.N}
 	if err := st.Add(b); err != nil {
 		return nil, err
@@ -186,6 +194,11 @@ func NewFromStore(cfg Config, st *coin.Store) (*Generator, error) {
 	}
 	if err := st.BindUniverse(cfg.N); err != nil {
 		return nil, err
+	}
+	// Pools (like counters) are never serialized; re-attach to every
+	// restored batch.
+	for _, b := range st.Batches() {
+		b.Pool = cfg.Pool
 	}
 	return &Generator{cfg: cfg, store: st}, nil
 }
@@ -313,6 +326,7 @@ func Mint(cfg Config, nd *simnet.Node, seed coin.Source, rnd io.Reader) (*MintRe
 		Agreement:   cfg.Agreement,
 		MaxAttempts: cfg.MaxAttempts,
 		Counters:    cfg.Counters,
+		Pool:        cfg.Pool,
 	}, rnd)
 	if err != nil {
 		if errors.Is(err, coin.ErrExhausted) {
@@ -330,6 +344,7 @@ func (g *Generator) Absorb(res *MintResult) error {
 	if res == nil || res.Batch == nil {
 		return errors.New("core: Absorb of nil mint result")
 	}
+	res.Batch.Pool = g.cfg.Pool
 	if err := g.store.Add(res.Batch); err != nil {
 		return err
 	}
@@ -342,6 +357,7 @@ func (g *Generator) Absorb(res *MintResult) error {
 // AbsorbBatch appends a bare batch — leftover coins of a detached seed, or
 // a batch restored from disk — to the store without refill accounting.
 func (g *Generator) AbsorbBatch(b *coin.Batch) error {
+	b.Pool = g.cfg.Pool
 	return g.store.Add(b)
 }
 

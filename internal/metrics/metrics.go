@@ -25,6 +25,8 @@ type Counters struct {
 	rounds         atomic.Int64
 	domainHits     atomic.Int64
 	domainMisses   atomic.Int64
+	parallelTasks  atomic.Int64
+	parallelWidth  atomic.Int64
 }
 
 // AddFieldAdds records n field additions.
@@ -59,6 +61,16 @@ func (c *Counters) AddDomainHits(n int64) { c.domainHits.Add(n) }
 // poly.Domain had to be precomputed).
 func (c *Counters) AddDomainMisses(n int64) { c.domainMisses.Add(n) }
 
+// AddParallelTasks records n tasks fanned out through a parallel.Pool of
+// width > 1 (the serial fast path is not counted).
+func (c *Counters) AddParallelTasks(n int64) { c.parallelTasks.Add(n) }
+
+// AddParallelWidth records n extra worker goroutines engaged by a
+// parallel.Pool fan-out. Zero added per fan-out means the pool degraded to
+// serial execution (no capacity token was free); a positive total proves
+// off-goroutine compute actually happened.
+func (c *Counters) AddParallelWidth(n int64) { c.parallelWidth.Add(n) }
+
 // Snapshot is an immutable copy of counter values at one instant.
 type Snapshot struct {
 	FieldAdds      int64
@@ -71,6 +83,8 @@ type Snapshot struct {
 	Rounds         int64
 	DomainHits     int64
 	DomainMisses   int64
+	ParallelTasks  int64
+	ParallelWidth  int64
 }
 
 // Snapshot returns the current counter values.
@@ -86,6 +100,8 @@ func (c *Counters) Snapshot() Snapshot {
 		Rounds:         c.rounds.Load(),
 		DomainHits:     c.domainHits.Load(),
 		DomainMisses:   c.domainMisses.Load(),
+		ParallelTasks:  c.parallelTasks.Load(),
+		ParallelWidth:  c.parallelWidth.Load(),
 	}
 }
 
@@ -101,6 +117,8 @@ func (c *Counters) Reset() {
 	c.rounds.Store(0)
 	c.domainHits.Store(0)
 	c.domainMisses.Store(0)
+	c.parallelTasks.Store(0)
+	c.parallelWidth.Store(0)
 }
 
 // Diff returns the per-measure difference new−old.
@@ -116,6 +134,8 @@ func Diff(old, new Snapshot) Snapshot {
 		Rounds:         new.Rounds - old.Rounds,
 		DomainHits:     new.DomainHits - old.DomainHits,
 		DomainMisses:   new.DomainMisses - old.DomainMisses,
+		ParallelTasks:  new.ParallelTasks - old.ParallelTasks,
+		ParallelWidth:  new.ParallelWidth - old.ParallelWidth,
 	}
 }
 
@@ -133,6 +153,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		Rounds:         s.Rounds + o.Rounds,
 		DomainHits:     s.DomainHits + o.DomainHits,
 		DomainMisses:   s.DomainMisses + o.DomainMisses,
+		ParallelTasks:  s.ParallelTasks + o.ParallelTasks,
+		ParallelWidth:  s.ParallelWidth + o.ParallelWidth,
 	}
 }
 
@@ -153,13 +175,16 @@ func (s Snapshot) PerUnit(units int64) Snapshot {
 		Rounds:         s.Rounds / units,
 		DomainHits:     s.DomainHits / units,
 		DomainMisses:   s.DomainMisses / units,
+		ParallelTasks:  s.ParallelTasks / units,
+		ParallelWidth:  s.ParallelWidth / units,
 	}
 }
 
 // String renders the snapshot as a single human-readable line.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"adds=%d muls=%d invs=%d interp=%d msgs=%d bytes=%d bcasts=%d rounds=%d dhit=%d dmiss=%d",
+		"adds=%d muls=%d invs=%d interp=%d msgs=%d bytes=%d bcasts=%d rounds=%d dhit=%d dmiss=%d ptasks=%d pwidth=%d",
 		s.FieldAdds, s.FieldMuls, s.FieldInvs, s.Interpolations,
-		s.Messages, s.Bytes, s.Broadcasts, s.Rounds, s.DomainHits, s.DomainMisses)
+		s.Messages, s.Bytes, s.Broadcasts, s.Rounds, s.DomainHits, s.DomainMisses,
+		s.ParallelTasks, s.ParallelWidth)
 }

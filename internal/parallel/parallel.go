@@ -1,0 +1,232 @@
+// Package parallel is the intra-round compute engine: a bounded worker
+// pool that fans pure per-index computation out across cores while keeping
+// every protocol guarantee the simnet substrate relies on.
+//
+// The protocols' wall-clock bottleneck at realistic sizes is per-player
+// round work that is embarrassingly parallel across dealers, players, or
+// coins — per-dealer Berlekamp–Welch decodes in Bit-Gen (Fig. 4 step 5),
+// the n² consistency-graph evaluations of Coin-Gen (Fig. 5 step 4), the
+// M-term challenge combinations of Batch-VSS (Fig. 3 step 2). A Pool lets
+// one node goroutine borrow idle cores for exactly those loops.
+//
+// # Determinism rules
+//
+// The simnet model is one goroutine per node advancing in lockstep, and the
+// conformance suite pins byte-identical canonical transcripts across runs.
+// The pool preserves both invariants by construction:
+//
+//   - Tasks are pure compute. No simnet send/receive, no obs tracer call,
+//     and no protocol-state mutation happens inside a task; workers only
+//     read shared immutable inputs and write their own index's slot.
+//   - Results are collected in index order. ForEach(n, fn) runs fn(i) for
+//     every i in [0, n) exactly once and returns only when all are done;
+//     callers then consume the output slots in 0..n−1 order on the node
+//     goroutine, so downstream traffic and trace events are identical at
+//     every width.
+//   - Work splitting never depends on the width. Callers that chunk a loop
+//     (e.g. the Horner combinations) chunk by a fixed size, so the field-op
+//     count — and with it every metrics-bearing span — is width-invariant.
+//
+// # Degradation
+//
+// A nil *Pool, width 1, or a single task all take a zero-allocation inline
+// path: the loop runs on the caller's goroutine with no channel, no
+// goroutine, and no atomic traffic. Pools forked from one root share its
+// capacity tokens, so the per-node pools of a beacon deployment compete
+// fairly for the same cores instead of oversubscribing them; when no token
+// is free the caller simply runs its loop serially — parallelism is an
+// opportunistic speed-up, never a correctness dependency.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Pool bounds the number of goroutines a fan-out may engage. The zero of
+// *Pool (nil) is valid and serial; construct wider pools with New. A Pool
+// is immutable after construction and safe for concurrent use from any
+// number of goroutines — concurrent ForEach calls share the capacity
+// tokens.
+type Pool struct {
+	width int
+	// sem holds the shareable worker tokens: width−1 of them, because the
+	// calling goroutine always participates as worker zero. Forked pools
+	// alias the same channel, which is what makes the capacity global.
+	sem chan struct{}
+	ctr *metrics.Counters
+}
+
+// New returns a pool of the given width (the maximum number of goroutines,
+// caller included, one fan-out may use). Width ≤ 0 selects
+// runtime.GOMAXPROCS(0); width 1 returns a pool that always runs inline.
+func New(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{width: width}
+	if width > 1 {
+		p.sem = make(chan struct{}, width-1)
+		for i := 0; i < width-1; i++ {
+			p.sem <- struct{}{}
+		}
+	}
+	return p
+}
+
+// WithCounters returns a copy of the pool that records ParallelTasks and
+// ParallelWidth in c. Forks made from the copy inherit the sink.
+func (p *Pool) WithCounters(c *metrics.Counters) *Pool {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.ctr = c
+	return &cp
+}
+
+// Fork returns a new handle on the pool sharing its capacity tokens: the
+// forks' combined concurrency never exceeds the root's width. A beacon
+// deployment gives every node goroutine its own fork, so concurrent draws
+// and a background refill compete for — rather than multiply — the
+// configured core budget. Forking a nil or serial pool returns it
+// unchanged.
+func (p *Pool) Fork() *Pool {
+	if p == nil || p.sem == nil {
+		return p
+	}
+	cp := *p
+	return &cp
+}
+
+// Width reports the configured width; a nil pool has width 1.
+func (p *Pool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// workerPanic carries a worker's recovered panic value to the calling
+// goroutine, preserving the original value while marking the crossing.
+type workerPanic struct{ val any }
+
+func (w workerPanic) String() string {
+	return fmt.Sprintf("parallel: worker panic: %v", w.val)
+}
+
+// ForEach runs fn(i) exactly once for every i in [0, n) and returns when
+// all calls have finished. Up to Width() goroutines (the caller plus
+// borrowed workers) execute concurrently; the assignment of indices to
+// goroutines is unspecified, so fn must be safe to run concurrently with
+// itself and must confine its writes to per-index state. If any fn panics,
+// ForEach re-panics the first recovered value on the calling goroutine
+// after all workers have stopped.
+//
+// The serial path — nil pool, width 1, n ≤ 1, or no free capacity token —
+// performs no allocation and launches no goroutine.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.sem == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Borrow up to min(width, n) − 1 extra workers, without blocking: a
+	// busy pool degrades to inline execution rather than queueing, because
+	// the caller's round cannot proceed until this loop finishes anyway.
+	want := p.width - 1
+	if n-1 < want {
+		want = n - 1
+	}
+	extra := 0
+	for extra < want {
+		select {
+		case <-p.sem:
+			extra++
+		default:
+			want = extra // no token free; run with what we have
+		}
+	}
+	if p.ctr != nil {
+		p.ctr.AddParallelTasks(int64(n))
+		p.ctr.AddParallelWidth(int64(extra))
+	}
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[workerPanic]
+	)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				wp := &workerPanic{val: r}
+				panicked.CompareAndSwap(nil, wp)
+				// Drain the remaining indices so sibling workers exit
+				// promptly instead of running tasks whose results will be
+				// discarded by the re-panic.
+				next.Store(int64(n))
+			}
+		}()
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work() // the caller is always worker zero
+	wg.Wait()
+	for i := 0; i < extra; i++ {
+		p.sem <- struct{}{} // return the borrowed tokens
+	}
+	if wp := panicked.Load(); wp != nil {
+		panic(wp.val)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and returns the results
+// in index order. It is ForEach with the output slice managed for the
+// caller; the same concurrency and determinism rules apply.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Chunks returns the number of fixed-size chunks needed to cover n items —
+// the width-independent work-splitting helper for loops with sequential
+// dependencies (Horner combinations, share sums). Splitting by a constant
+// chunk size, never by pool width, keeps the operation count — and with it
+// every cost-annotated trace span — identical across widths.
+func Chunks(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}

@@ -1,0 +1,238 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{-1, 0, 1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			p := New(width)
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("width=%d n=%d: index %d ran %d times", width, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if got := p.Width(); got != 1 {
+		t.Fatalf("nil pool width = %d, want 1", got)
+	}
+	sum := 0
+	p.ForEach(10, func(i int) { sum += i }) // no atomics: must run inline
+	if sum != 45 {
+		t.Fatalf("nil pool ForEach sum = %d, want 45", sum)
+	}
+	if fork := p.Fork(); fork != nil {
+		t.Fatalf("Fork of nil pool = %v, want nil", fork)
+	}
+	if cp := p.WithCounters(&metrics.Counters{}); cp != nil {
+		t.Fatalf("WithCounters on nil pool = %v, want nil", cp)
+	}
+}
+
+func TestWidthEdgeCases(t *testing.T) {
+	if w := New(0).Width(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0) width = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := New(-3).Width(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3) width = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	one := New(1)
+	if one.sem != nil {
+		t.Fatal("New(1) allocated a semaphore; want pure serial pool")
+	}
+	// Serial pools must run the body on the calling goroutine so callers
+	// may close over non-atomic locals.
+	sum := 0
+	one.ForEach(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Fatalf("width-1 ForEach sum = %d, want 10", sum)
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	p := New(8)
+	got := Map(p, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if Map(p, 0, func(i int) int { return i }) != nil {
+		t.Fatal("Map with n=0 should return nil")
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		if r != "boom-7" {
+			t.Fatalf("recovered %v, want boom-7", r)
+		}
+		// The pool must have returned its tokens: a subsequent fan-out
+		// still engages extra workers (ParallelWidth > 0 proves a token
+		// was borrowed; WithCounters shares the same semaphore).
+		var c metrics.Counters
+		p.WithCounters(&c).ForEach(64, func(i int) {})
+		if c.Snapshot().ParallelWidth == 0 {
+			t.Fatal("pool lost its capacity tokens after a panic")
+		}
+	}()
+	p.ForEach(64, func(i int) {
+		if i == 7 {
+			panic("boom-7")
+		}
+	})
+}
+
+func TestPanicOnCallerGoroutinePropagates(t *testing.T) {
+	// Index 0 is claimed first by the caller (worker zero) most of the
+	// time, but any worker may reach it; either way the panic must cross.
+	p := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic from first index did not propagate")
+		}
+	}()
+	p.ForEach(2, func(i int) {
+		if i == 0 {
+			panic("first")
+		}
+	})
+}
+
+func TestForkSharesCapacity(t *testing.T) {
+	root := New(2) // one borrowable token
+	a, b := root.Fork(), root.Fork()
+
+	// Occupy the single token through fork a; fork b must degrade to
+	// serial (its fan-out still completes, entirely on its caller).
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.ForEach(2, func(i int) {
+			if i == 1 {
+				close(started)
+				<-release
+			} else {
+				<-release
+			}
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		b.ForEach(8, func(i int) {})
+		close(done)
+	}()
+	<-done // must not deadlock: b runs serially when no token is free
+	close(release)
+	wg.Wait()
+}
+
+func TestCountersRecordFanOut(t *testing.T) {
+	var c metrics.Counters
+	p := New(4).WithCounters(&c)
+	p.ForEach(100, func(i int) {})
+	s := c.Snapshot()
+	if s.ParallelTasks != 100 {
+		t.Fatalf("ParallelTasks = %d, want 100", s.ParallelTasks)
+	}
+	if s.ParallelWidth < 1 || s.ParallelWidth > 3 {
+		t.Fatalf("ParallelWidth = %d, want 1..3 extra workers", s.ParallelWidth)
+	}
+	// Serial paths must not count.
+	c.Reset()
+	p.ForEach(1, func(i int) {})
+	var nilPool *Pool
+	nilPool.ForEach(50, func(i int) {})
+	if s := c.Snapshot(); s.ParallelTasks != 0 || s.ParallelWidth != 0 {
+		t.Fatalf("serial paths recorded %+v, want zeros", s)
+	}
+}
+
+func TestSerialPathDoesNotAllocate(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	var p *Pool
+	fn := func(i int) {}
+	if n := testing.AllocsPerRun(100, func() { p.ForEach(8, fn) }); n != 0 {
+		t.Fatalf("nil-pool ForEach allocates %v per run, want 0", n)
+	}
+	one := New(1)
+	if n := testing.AllocsPerRun(100, func() { one.ForEach(8, fn) }); n != 0 {
+		t.Fatalf("width-1 ForEach allocates %v per run, want 0", n)
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct{ n, size, want int }{
+		{0, 16, 0}, {-5, 16, 0}, {1, 16, 1}, {16, 16, 1},
+		{17, 16, 2}, {32, 16, 2}, {33, 16, 3}, {10, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Chunks(c.n, c.size); got != c.want {
+			t.Fatalf("Chunks(%d,%d) = %d, want %d", c.n, c.size, got, c.want)
+		}
+	}
+}
+
+// TestDeterministicSlots is the ordering guarantee under -race: concurrent
+// workers write disjoint per-index slots, and after ForEach returns the
+// caller reads them all without further synchronization. Any missing
+// happens-before edge between a worker's write and the caller's read is a
+// race-detector failure.
+func TestDeterministicSlots(t *testing.T) {
+	p := New(runtime.GOMAXPROCS(0))
+	for round := 0; round < 50; round++ {
+		out := make([]int, 257)
+		p.ForEach(len(out), func(i int) { out[i] = i * 3 })
+		for i, v := range out {
+			if v != i*3 {
+				t.Fatalf("round %d: slot %d = %d, want %d", round, i, v, i*3)
+			}
+		}
+	}
+}
+
+func TestConcurrentForEachOnSharedPool(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				var sum atomic.Int64
+				p.ForEach(100, func(i int) { sum.Add(int64(i)) })
+				if sum.Load() != 4950 {
+					t.Error("concurrent ForEach dropped indices")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

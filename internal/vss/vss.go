@@ -48,6 +48,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/simnet"
 )
@@ -62,6 +63,11 @@ type Config struct {
 	Coins coin.Source
 	// Counters, when non-nil, records protocol costs.
 	Counters *metrics.Counters
+	// Pool, when non-nil, fans the pure-compute inner loops (per-player
+	// share evaluation in Deal, the Horner combination, the Berlekamp–Welch
+	// scans) out across idle cores. Verdicts and transcripts are identical
+	// at every width; a nil pool runs everything inline.
+	Pool *parallel.Pool
 }
 
 // Validate checks the resilience precondition n ≥ 3t+1.
@@ -146,26 +152,37 @@ func Deal(nd *simnet.Node, cfg Config, dealer int, secrets []gf2k.Element, rnd i
 		polys[m] = mask
 		inst.Polys = polys
 
+		// Evaluate every player's share vector first — (m+1)·n pure Horner
+		// evaluations, fanned out per player — then send on the node
+		// goroutine in index order so the traffic schedule is identical at
+		// every pool width.
+		ids := make([]gf2k.Element, cfg.N)
 		for i := 0; i < cfg.N; i++ {
 			id, err := cfg.Field.ElementFromID(i + 1)
 			if err != nil {
 				return nil, err
 			}
+			ids[i] = id
+		}
+		bufs := parallel.Map(cfg.Pool, cfg.N, func(i int) []byte {
 			buf := make([]byte, 0, (m+1)*cfg.Field.ByteLen())
 			for _, p := range polys {
-				buf = cfg.Field.AppendElement(buf, poly.Eval(cfg.Field, p, id))
+				buf = cfg.Field.AppendElement(buf, poly.Eval(cfg.Field, p, ids[i]))
 			}
+			return buf
+		})
+		for i := 0; i < cfg.N; i++ {
 			if i == dealer {
 				// Keep own shares locally.
 				inst.Shares = make([]gf2k.Element, m)
 				for j := 0; j < m; j++ {
-					inst.Shares[j] = poly.Eval(cfg.Field, polys[j], id)
+					inst.Shares[j] = poly.Eval(cfg.Field, polys[j], ids[i])
 				}
-				inst.MaskShare = poly.Eval(cfg.Field, mask, id)
+				inst.MaskShare = poly.Eval(cfg.Field, mask, ids[i])
 				inst.received = true
 				continue
 			}
-			nd.Send(i, buf)
+			nd.Send(i, bufs[i])
 		}
 	}
 
@@ -265,7 +282,7 @@ func (inst *Instance) verifyWithChallenge(nd *simnet.Node, r gf2k.Element) (bool
 	// Up to t faulty players total; `complaints` of them are already
 	// accounted for, so at most t−complaints broadcast δ values can lie.
 	budget := cfg.T - complaints
-	_, err = bw.Decode(cfg.Field, xs, ys, cfg.T, budget, cfg.Counters)
+	_, err = bw.DecodeWith(cfg.Field, xs, ys, cfg.T, budget, cfg.Counters, cfg.Pool)
 	if err != nil {
 		nd.Tracer().DealerDisqualified(nd.Index(), inst.dealer, nd.Round())
 		return false, nil // includes bw.ErrNoCodeword: reject
@@ -285,15 +302,51 @@ const (
 	WireComplaint = 0x01
 )
 
+// combChunk is the fixed number of shares one partial-Horner task covers.
+// The chunked algorithm is selected by M alone — never by pool width — so
+// the field-op count (and every cost-annotated span) is identical whether
+// the chunks run serially or fan out.
+const combChunk = 64
+
 // combination computes δ_i = γ_i + Σ_{j=1..M} r^j·α_i,j in Horner form
-// (Fig. 3 step 2). Missing shares (silent dealer) contribute zero.
+// (Fig. 3 step 2). Missing shares (silent dealer) contribute zero. Large
+// batches split into fixed-size chunks: each chunk computes its partial
+// Horner sum S_c = Σ α_{lo+k}·r^k independently, and the partials combine
+// as one outer Horner pass over r^combChunk in chunk order.
 func (inst *Instance) combination(r gf2k.Element) gf2k.Element {
 	f := inst.cfg.Field
-	var acc gf2k.Element
-	for j := len(inst.Shares) - 1; j >= 0; j-- {
-		acc = f.Mul(f.Add(acc, inst.Shares[j]), r)
+	m := len(inst.Shares)
+	chunks := parallel.Chunks(m, combChunk)
+	if chunks <= 1 {
+		var acc gf2k.Element
+		for j := m - 1; j >= 0; j-- {
+			acc = f.Mul(f.Add(acc, inst.Shares[j]), r)
+		}
+		return f.Add(acc, inst.MaskShare)
 	}
-	return f.Add(acc, inst.MaskShare)
+	partial := make([]gf2k.Element, chunks)
+	inst.cfg.Pool.ForEach(chunks, func(c int) {
+		lo, hi := c*combChunk, (c+1)*combChunk
+		if hi > m {
+			hi = m
+		}
+		var s gf2k.Element
+		for j := hi - 1; j >= lo; j-- {
+			s = f.Add(f.Mul(s, r), inst.Shares[j])
+		}
+		partial[c] = s
+	})
+	// rStride = r^combChunk advances the outer Horner pass one chunk.
+	rStride := gf2k.Element(1)
+	for i := 0; i < combChunk; i++ {
+		rStride = f.Mul(rStride, r)
+	}
+	var s gf2k.Element
+	for c := chunks - 1; c >= 0; c-- {
+		s = f.Add(f.Mul(s, rStride), partial[c])
+	}
+	// δ − γ = r·S with S = Σ_j α_j·r^j.
+	return f.Add(f.Mul(s, r), inst.MaskShare)
 }
 
 // Reconstruct publicly opens secret j: every player broadcasts its share and
@@ -342,7 +395,7 @@ func (inst *Instance) Reconstruct(nd *simnet.Node, j int) (gf2k.Element, error) 
 	if maxErr < 0 {
 		maxErr = 0
 	}
-	res, err := bw.Decode(cfg.Field, xs, ys, cfg.T, maxErr, cfg.Counters)
+	res, err := bw.DecodeWith(cfg.Field, xs, ys, cfg.T, maxErr, cfg.Counters, cfg.Pool)
 	if err != nil {
 		return 0, fmt.Errorf("vss: reconstruct secret %d: %w", j, err)
 	}
