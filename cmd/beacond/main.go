@@ -1,18 +1,33 @@
-// Command beacond serves shared randomness over HTTP from an in-process
-// D-PRBG cluster — the deployable face of internal/beacon.
+// Command beacond serves shared randomness from a D-PRBG cluster — the
+// deployable face of internal/beacon. It runs in one of three modes:
 //
-// On first start it seeds the cluster with a one-time trusted-dealer batch
-// (the paper's only trusted step); on SIGTERM/SIGINT it shuts down
-// gracefully and persists every player's sealed store under -data, and a
-// restart resumes from those files without the dealer ever being consulted
-// again (§1.2's "the new seed is stored until the next execution of the
-// application").
+// Single-process (-all, also the default): all n players live in one
+// process and randomness is served over HTTP. On first start the cluster is
+// seeded with a one-time trusted-dealer batch (the paper's only trusted
+// step); on SIGTERM/SIGINT it shuts down gracefully and persists every
+// player's sealed store under -data, and a restart resumes from those files
+// without the dealer ever being consulted again (§1.2's "the new seed is
+// stored until the next execution of the application").
 //
-// Usage:
+//	beacond -all -addr :8433 -n 7 -t 1 -k 32 -data /var/lib/beacond
 //
-//	beacond -addr :8433 -n 7 -t 1 -k 32 -data /var/lib/beacond
+// Ceremony (-deal): run the one-time trusted dealer for a multi-process
+// cluster described by a peer config, writing every player's initial state
+// files under -data for the operator to distribute (docs/OPERATIONS.md).
 //
-// Endpoints:
+//	beacond -deal -config peers.yaml -data /tmp/ceremony
+//
+// Per-player daemon (-player): run exactly ONE player's Coin-Gen/Coin-Expose
+// state machine, speaking authenticated TCP to the other daemons listed in
+// the peer config. Every daemon appends the shared coins to an append-only
+// public log under -data; the logs are byte-identical across honest
+// daemons. Crash recovery and late joins are automatic as long as the
+// player has not missed a refill (see internal/beacon Daemon docs).
+//
+//	beacond -player 3 -config peers.yaml -data /var/lib/beacond
+//
+// HTTP endpoints (single-process mode; daemon mode serves only /v1/healthz
+// and /debug/vars, on -addr when set):
 //
 //	GET /v1/coin        one shared coin (an element of GF(2^k))
 //	GET /v1/bits?n=128  n shared random bits, hex-encoded LSB-first
@@ -49,6 +64,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/simnet"
 )
 
 func main() {
@@ -73,13 +90,33 @@ type config struct {
 	data         string
 	insecureRand bool
 	rngSeed      int64
+
+	// Mode selection (see usageModes).
+	all        bool
+	deal       bool
+	player     int
+	configPath string
+
+	// Daemon-mode tuning.
+	emit         int
+	emitInterval time.Duration
+	roundTimeout time.Duration
+	dialBackoff  time.Duration
+	trace        string
 }
+
+// usageModes names the invocation shapes; every mode-selection error points
+// the operator at it.
+const usageModes = `modes:
+  beacond -all    [-n 7 -t 1 ...]                     single process hosting all n players (default)
+  beacond -deal   -config peers.yaml -data DIR        one-time dealer ceremony for a multi-process cluster
+  beacond -player I -config peers.yaml -data DIR      one player's daemon, peered over authenticated TCP`
 
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("beacond", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var c config
-	fs.StringVar(&c.addr, "addr", "127.0.0.1:8433", "HTTP listen address")
+	fs.StringVar(&c.addr, "addr", "127.0.0.1:8433", "HTTP listen address (daemon mode: empty disables HTTP)")
 	fs.IntVar(&c.n, "n", 7, "number of players (n ≥ 6t+1)")
 	fs.IntVar(&c.t, "t", 1, "Byzantine fault bound")
 	fs.IntVar(&c.k, "k", 32, "coin field GF(2^k), 2 ≤ k ≤ 64")
@@ -90,16 +127,64 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&c.queue, "queue", 256, "request queue depth (backpressure bound)")
 	fs.Float64Var(&c.rate, "rate", 0, "token-bucket rate limit in requests/s (0 disables)")
 	fs.IntVar(&c.burst, "burst", 0, "token-bucket burst (default 1 when -rate is set)")
-	fs.StringVar(&c.data, "data", "", "state directory for persisted stores (empty: no persistence)")
+	fs.StringVar(&c.data, "data", "", "state directory for persisted stores (empty: no persistence; required in -deal/-player modes)")
 	fs.BoolVar(&c.insecureRand, "insecure-rand", false, "use seeded math/rand instead of crypto/rand (reproducible demos ONLY)")
 	fs.Int64Var(&c.rngSeed, "rng-seed", 1, "seed for -insecure-rand")
+	fs.BoolVar(&c.all, "all", false, "single-process mode: host all n players in this process (the default)")
+	fs.BoolVar(&c.deal, "deal", false, "run the one-time dealer ceremony for -config, write state files under -data, and exit")
+	fs.IntVar(&c.player, "player", -1, "multi-process mode: run only this player's daemon (requires -config and -data)")
+	fs.StringVar(&c.configPath, "config", "", "peer config (peers.yaml) for -deal and -player modes")
+	fs.IntVar(&c.emit, "emit", 0, "daemon mode: stop after the public log reaches this many coins (0 = run forever)")
+	fs.DurationVar(&c.emitInterval, "emit-interval", 0, "daemon mode: minimum delay between coin openings (0 = as fast as rounds allow)")
+	fs.DurationVar(&c.roundTimeout, "round-timeout", 0, "daemon mode: barrier timeout before lagging peers are dropped from a round (0 = transport default)")
+	fs.DurationVar(&c.dialBackoff, "dial-backoff", 0, "daemon mode: maximum reconnect backoff between dial attempts (0 = transport default)")
+	fs.StringVar(&c.trace, "trace", "", "daemon mode: write an obs JSONL protocol trace to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("beacond: unexpected arguments %v", fs.Args())
 	}
+	if err := c.validateModes(); err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, usageModes)
+	}
 	return &c, nil
+}
+
+// validateModes enforces that exactly one invocation shape was requested
+// and that it has what it needs.
+func (c *config) validateModes() error {
+	modes := 0
+	for _, on := range []bool{c.all, c.deal, c.player >= 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("beacond: -all, -deal and -player are mutually exclusive")
+	}
+	switch {
+	case c.deal:
+		if c.configPath == "" {
+			return fmt.Errorf("beacond: -deal requires -config peers.yaml")
+		}
+		if c.data == "" {
+			return fmt.Errorf("beacond: -deal requires -data (where to write the ceremony output)")
+		}
+	case c.player >= 0:
+		if c.configPath == "" {
+			return fmt.Errorf("beacond: -player requires -config peers.yaml (without it there is no cluster to join; use -all for the single-process mode)")
+		}
+		if c.data == "" {
+			return fmt.Errorf("beacond: -player requires -data (the player's state directory from the -deal ceremony)")
+		}
+	default:
+		// Single-process mode (explicit -all or no mode flag at all).
+		if c.configPath != "" {
+			return fmt.Errorf("beacond: -config is only meaningful with -deal or -player")
+		}
+	}
+	return nil
 }
 
 func (c *config) beaconConfig(ctr *metrics.Counters) (beacon.Config, error) {
@@ -156,6 +241,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	c, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
+	}
+	switch {
+	case c.deal:
+		return runDeal(c, stdout)
+	case c.player >= 0:
+		return runPlayer(ctx, c, stdout, stderr)
 	}
 	ctr := &metrics.Counters{}
 	cfg, err := c.beaconConfig(ctr)
@@ -303,4 +394,134 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// runDeal executes the one-time dealer ceremony for a multi-process
+// cluster: every player's initial store/meta pair lands under -data, ready
+// to be scattered to the daemons' machines.
+func runDeal(c *config, stdout io.Writer) error {
+	pc, err := simnet.LoadPeerConfig(c.configPath)
+	if err != nil {
+		return err
+	}
+	if err := beacon.DealCluster(pc, c.data, dealerRand(c)); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "beacond: dealt %d seed coins to %d players under %s\n",
+		beacon.SeedCoinCount(pc), pc.N(), c.data)
+	fmt.Fprintf(stdout, "beacond: distribute each player-NNN.* file set to its machine; the files contain secret shares\n")
+	return nil
+}
+
+// liveDaemon mirrors liveService for the per-player daemon's expvar hook.
+var liveDaemon atomic.Pointer[beacon.Daemon]
+
+var publishDaemonOnce = func() func() {
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			expvar.Publish("daemon", expvar.Func(func() any {
+				if d := liveDaemon.Load(); d != nil {
+					return d.Stats()
+				}
+				return nil
+			}))
+		}
+	}
+}()
+
+// runPlayer runs one player's daemon until the context is cancelled or the
+// -emit target is reached.
+func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
+	pc, err := simnet.LoadPeerConfig(c.configPath)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stdout, "beacond[player %d]: "+format+"\n", append([]any{c.player}, args...)...)
+	}
+	ctr := &metrics.Counters{}
+	var tracer *obs.Tracer
+	var trace *obs.JSONL
+	if c.trace != "" {
+		f, err := os.Create(c.trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace = obs.NewJSONL(f)
+		defer trace.Flush()
+		tracer = obs.New(ctr, trace)
+	}
+	d, err := beacon.NewDaemon(beacon.DaemonConfig{
+		Peers:          pc,
+		Self:           c.player,
+		StateDir:       c.data,
+		Emit:           c.emit,
+		EmitInterval:   c.emitInterval,
+		Rand:           playerRand(c),
+		Counters:       ctr,
+		Tracer:         tracer,
+		RoundTimeout:   c.roundTimeout,
+		DialBackoffMax: c.dialBackoff,
+		Logf:           logf,
+	})
+	if err != nil {
+		return err
+	}
+	liveDaemon.Store(d)
+	publishDaemonOnce()
+
+	var srv *http.Server
+	if c.addr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+			st := d.Stats()
+			writeJSON(w, map[string]any{
+				"status": "ok", "player": st.Player, "joined": st.Joined,
+				"round": st.Round, "log": st.LogLen, "epoch": st.Epoch,
+				"remaining": st.Remaining, "refilling": st.Refilling, "peers": st.Peers,
+			})
+		})
+		mux.Handle("GET /debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", c.addr)
+		if err != nil {
+			return err
+		}
+		logf("stats on http://%s", ln.Addr())
+		srv = &http.Server{Handler: mux}
+		go srv.Serve(ln)
+	}
+
+	logf("joining cluster %q as player %d of %d (log %s)",
+		pc.Cluster, c.player, pc.N(), beacon.CoinLogFile(c.data, c.player))
+	runErr := d.Run(ctx)
+	if srv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}
+	if runErr != nil {
+		return fmt.Errorf("beacond: player %d: %w", c.player, runErr)
+	}
+	st := d.Stats()
+	logf("stopped cleanly at log position %d (epoch %d, %d coins in store)", st.LogLen, st.Epoch, st.Remaining)
+	return nil
+}
+
+// dealerRand is the ceremony's randomness source; playerRand is one
+// daemon's private source. -insecure-rand pins both to a deterministic
+// stream for reproducible demos and the soak harness.
+func dealerRand(c *config) io.Reader {
+	if c.insecureRand {
+		return rand.New(rand.NewSource(c.rngSeed))
+	}
+	return cryptorand.Reader
+}
+
+func playerRand(c *config) io.Reader {
+	if c.insecureRand {
+		return rand.New(rand.NewSource(c.rngSeed + int64(c.player)*1009))
+	}
+	return cryptorand.Reader
 }

@@ -135,6 +135,54 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+// TestModeFlagValidation pins the mode-selection rules: -all / -deal /
+// -player are mutually exclusive, the multi-process modes need their
+// supporting flags, and every rejection prints usage naming both the
+// single-process and per-player modes.
+func TestModeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // required substring of the error; "" = must be accepted
+	}{
+		{"player without config", []string{"-player", "0", "-data", "d"}, "-player requires -config"},
+		{"player without data", []string{"-player", "0", "-config", "peers.yaml"}, "-player requires -data"},
+		{"deal without config", []string{"-deal", "-data", "d"}, "-deal requires -config"},
+		{"deal without data", []string{"-deal", "-config", "peers.yaml"}, "-deal requires -data"},
+		{"player plus all", []string{"-player", "0", "-config", "p.yaml", "-data", "d", "-all"}, "mutually exclusive"},
+		{"deal plus player", []string{"-deal", "-player", "0", "-config", "p.yaml", "-data", "d"}, "mutually exclusive"},
+		{"config without mode", []string{"-config", "peers.yaml"}, "only meaningful"},
+		{"default single process", []string{"-n", "7", "-t", "1"}, ""},
+		{"explicit all", []string{"-all"}, ""},
+		{"player mode", []string{"-player", "2", "-config", "p.yaml", "-data", "d"}, ""},
+		{"deal mode", []string{"-deal", "-config", "p.yaml", "-data", "d"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseFlags(tc.args, &syncBuf{})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("args %v rejected: %v", tc.args, err)
+				}
+				_ = c
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.wantErr)
+			}
+			// Every mode error must point the operator at both modes.
+			for _, mode := range []string{"beacond -all", "beacond -player"} {
+				if !strings.Contains(err.Error(), mode) {
+					t.Fatalf("args %v: error %q does not name mode %q", tc.args, err, mode)
+				}
+			}
+		})
+	}
+}
+
 func TestEndpoints(t *testing.T) {
 	d := startDaemon(t, "-n", "7", "-t", "1", "-k", "8",
 		"-batch", "24", "-threshold", "6", "-highwater", "16", "-insecure-rand")

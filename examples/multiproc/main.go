@@ -1,0 +1,255 @@
+// Command multiproc is the N-process soak harness for the per-player
+// beacond daemons: it builds beacond, runs the dealer ceremony, launches
+// one OS process per player, SIGKILLs a minority of them mid-batch,
+// restarts the victims, and verifies that
+//
+//   - the survivors keep opening coins while the victims are down,
+//   - the restarted daemons rejoin and every process exits cleanly, and
+//   - all n public coin logs are byte-identical to each other AND to a
+//     reference run of the same cluster that was never interrupted —
+//     crash + recovery must be invisible in the beacon's output stream.
+//
+// Run it from the repository root:
+//
+//	go run ./examples/multiproc
+//	go run ./examples/multiproc -n 7 -kill 1 -emit 50 -workdir soak-out -keep
+//
+// The CI multiproc job runs exactly this with -workdir so the per-daemon
+// obs traces and stdout logs can be uploaded as artifacts when it fails.
+// Parameters are tuned so the kill lands after the cluster's first refill:
+// the victims' recovery therefore exercises store-snapshot reload, crash
+// reconciliation against the coin log, AND the live rejoin catch-up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+var (
+	n        = flag.Int("n", 7, "cluster size (n ≥ 6t+1)")
+	t        = flag.Int("t", 1, "fault bound; ⌊t⌋ daemons are killed")
+	kill     = flag.Int("kill", 0, "how many daemons to SIGKILL (default t)")
+	emit     = flag.Int("emit", 50, "coins per run; every daemon stops at this log length")
+	killAt   = flag.Int("kill-at", 30, "SIGKILL the victims once their logs reach this many coins")
+	interval = flag.Duration("interval", 75*time.Millisecond, "emission pacing (-emit-interval)")
+	seed     = flag.Int64("seed", 7, "deterministic -rng-seed base for both runs")
+	workdir  = flag.String("workdir", "", "working directory (default: a temp dir)")
+	keep     = flag.Bool("keep", false, "keep the working directory on success")
+	verbose  = flag.Bool("v", false, "stream daemon stdout to the console")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "soak: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *kill == 0 {
+		*kill = *t
+	}
+	if *kill > *t {
+		return fmt.Errorf("killing %d > t=%d daemons cannot work: the BW decoder tolerates at most t missing/faulty players", *kill, *t)
+	}
+	dir := *workdir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "beacond-soak-*"); err != nil {
+			return err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fmt.Printf("soak: workdir %s\n", dir)
+
+	bin := filepath.Join(dir, "beacond")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/beacond").CombinedOutput(); err != nil {
+		return fmt.Errorf("build beacond: %v\n%s", err, out)
+	}
+
+	// Leg 1: the interrupted run — kill ⌊t⌋ daemons mid-batch, restart them.
+	soakDir := filepath.Join(dir, "soak")
+	if err := runCluster(bin, soakDir, true); err != nil {
+		return fmt.Errorf("interrupted run: %w (artifacts in %s)", err, dir)
+	}
+	// Leg 2: the reference run — same seeds, same cluster, no interruption.
+	refDir := filepath.Join(dir, "reference")
+	if err := runCluster(bin, refDir, false); err != nil {
+		return fmt.Errorf("reference run: %w (artifacts in %s)", err, dir)
+	}
+
+	// Verdict: unanimity within the interrupted run, and byte-equality of
+	// the interrupted stream against the uninterrupted reference.
+	ref, err := os.ReadFile(coinLog(soakDir, 0))
+	if err != nil {
+		return err
+	}
+	if got := strings.Count(string(ref), "\n"); got != *emit {
+		return fmt.Errorf("player 0 opened %d coins, want %d", got, *emit)
+	}
+	for i := 1; i < *n; i++ {
+		b, err := os.ReadFile(coinLog(soakDir, i))
+		if err != nil {
+			return err
+		}
+		if string(b) != string(ref) {
+			return fmt.Errorf("player %d's log differs from player 0's within the interrupted run (artifacts in %s)", i, dir)
+		}
+	}
+	unref, err := os.ReadFile(coinLog(refDir, 0))
+	if err != nil {
+		return err
+	}
+	if string(unref) != string(ref) {
+		return fmt.Errorf("interrupted run's stream differs from the uninterrupted reference (artifacts in %s)", dir)
+	}
+
+	fmt.Printf("soak: PASS — %d daemons, %d killed+restarted, %d coins, all logs byte-identical to the uninterrupted reference\n",
+		*n, *kill, *emit)
+	if !*keep && *workdir == "" {
+		os.RemoveAll(dir)
+	}
+	return nil
+}
+
+func coinLog(dataDir string, player int) string {
+	return filepath.Join(dataDir, "data", fmt.Sprintf("player-%03d.coins", player))
+}
+
+// runCluster performs one full cluster lifecycle under base: ceremony,
+// launch, optional kill/restart, and a clean unanimous exit.
+func runCluster(bin, base string, interrupt bool) error {
+	dataDir := filepath.Join(base, "data")
+	traceDir := filepath.Join(base, "traces")
+	logDir := filepath.Join(base, "logs")
+	for _, d := range []string{dataDir, traceDir, logDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+	}
+	cfgPath := filepath.Join(base, "peers.yaml")
+	if err := writePeersYAML(cfgPath); err != nil {
+		return err
+	}
+
+	if out, err := exec.Command(bin, "-deal", "-config", cfgPath, "-data", dataDir,
+		"-insecure-rand", "-rng-seed", fmt.Sprint(*seed)).CombinedOutput(); err != nil {
+		return fmt.Errorf("ceremony: %v\n%s", err, out)
+	}
+
+	daemons := make([]*exec.Cmd, *n)
+	launch := func(i int) error {
+		cmd := exec.Command(bin,
+			"-player", fmt.Sprint(i), "-config", cfgPath, "-data", dataDir,
+			"-emit", fmt.Sprint(*emit), "-emit-interval", interval.String(),
+			"-round-timeout", "2s", "-dial-backoff", "250ms",
+			"-insecure-rand", "-rng-seed", fmt.Sprint(*seed),
+			"-addr", "", "-trace", filepath.Join(traceDir, fmt.Sprintf("player-%d.jsonl", i)))
+		logF, err := os.OpenFile(filepath.Join(logDir, fmt.Sprintf("player-%d.log", i)),
+			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if *verbose {
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		} else {
+			cmd.Stdout, cmd.Stderr = logF, logF
+		}
+		if err := cmd.Start(); err != nil {
+			logF.Close()
+			return err
+		}
+		daemons[i] = cmd
+		return nil
+	}
+	for i := 0; i < *n; i++ {
+		if err := launch(i); err != nil {
+			return fmt.Errorf("launch player %d: %w", i, err)
+		}
+	}
+
+	if interrupt {
+		// Let the cluster work through its first refill, then SIGKILL the
+		// victims mid-stream — no graceful persist, no socket shutdown.
+		victims := make([]int, *kill)
+		for v := range victims {
+			victims[v] = 1 + v // player 0 stays up as the comparison anchor
+		}
+		for _, v := range victims {
+			if err := waitLogLines(dataDir, v, *killAt, 60*time.Second); err != nil {
+				return err
+			}
+		}
+		for _, v := range victims {
+			if err := daemons[v].Process.Kill(); err != nil {
+				return fmt.Errorf("kill player %d: %w", v, err)
+			}
+			daemons[v].Wait()
+			fmt.Printf("soak: killed player %d at ≥%d coins\n", v, *killAt)
+		}
+		// Survivors must demote the victims and keep the stream moving on
+		// their own before we bring the victims back.
+		if err := waitLogLines(dataDir, 0, *killAt+3, 60*time.Second); err != nil {
+			return fmt.Errorf("survivors stalled after the kill: %w", err)
+		}
+		for _, v := range victims {
+			if err := launch(v); err != nil {
+				return fmt.Errorf("restart player %d: %w", v, err)
+			}
+			fmt.Printf("soak: restarted player %d\n", v)
+		}
+	}
+
+	var firstErr error
+	for i, cmd := range daemons {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("player %d exited: %w (see %s)", i, err,
+				filepath.Join(logDir, fmt.Sprintf("player-%d.log", i)))
+		}
+	}
+	return firstErr
+}
+
+// waitLogLines polls player i's public coin log until it holds at least
+// `want` entries.
+func waitLogLines(dataDir string, player, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	path := coinLog(filepath.Dir(dataDir), player)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && strings.Count(string(b), "\n") >= want {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("player %d's log never reached %d coins within %v", player, want, timeout)
+}
+
+// writePeersYAML reserves n loopback ports and writes the cluster config.
+// Batch 40 over seed 24 with threshold 6 puts the first refill at coin 20,
+// safely before the default -kill-at of 30, and leaves enough coins that
+// no second refill lands near the end of the run.
+func writePeersYAML(path string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: soak\nsecret: %s\n", strings.Repeat("ab", 32))
+	fmt.Fprintf(&b, "t: %d\nk: 32\nbatch: 40\nthreshold: 6\nseedcoins: 24\npeers:\n", *t)
+	for i := 0; i < *n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		fmt.Fprintf(&b, "  - id: %d\n    addr: %s\n", i, addr)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -28,6 +28,14 @@
 // cluster, and Persist writes every player's sealed store to disk via the
 // coin.Batch wire format — a restarted Service resumes from those files
 // without ever consulting the trusted dealer again (§1.2).
+//
+// Service is the single-process deployment. The multi-process deployment —
+// one OS process per player, peered over authenticated TCP — is Daemon
+// (daemon.go): DealCluster runs the one-time ceremony for a
+// simnet.PeerConfig, and each Daemon then loads its own state files, joins
+// (or rejoins, after a crash) the running cluster, and appends every
+// opened coin to an append-only public log that is byte-identical across
+// players. docs/OPERATIONS.md is the operator runbook for that mode.
 package beacon
 
 import (

@@ -1,0 +1,763 @@
+package beacon
+
+// Daemon is the multi-process deployment of the beacon: one process per
+// player, each running its own Coin-Gen/Coin-Expose state machine over the
+// authenticated peer transport (simnet.NewPeer) instead of hosting all n
+// players in one process like Service does.
+//
+// Lifecycle:
+//
+//   1. Ceremony (once): DealCluster runs the one-time trusted dealer and
+//      writes every player's initial store; the operator distributes each
+//      player-NNN.* file set to its machine (docs/OPERATIONS.md).
+//   2. Each daemon loads its own store, reconciles it against its public
+//      coin log (the store snapshot is only taken at refill boundaries, so
+//      after a crash the log is ahead of the snapshot — the difference is
+//      discarded to realign the cursor), and joins the cluster.
+//   3. Joining is self-synchronizing, with no extra consensus round:
+//      - Cold start: no peer is running rounds yet. Wait for the full
+//        mesh, agree on the longest public log among the peers (a crashed
+//        cluster's logs can differ by the final in-flight coins), backfill
+//        and fast-forward to it, and start at round 0 together.
+//      - Rejoin: the cluster is live. Ask the most advanced peer where it
+//        is (round R, log position P, refill epoch), fast-forward the
+//        store to position P, backfill the missed public values [ours, P)
+//        from t+1 peers, and start at round R — peers flush round R's
+//        traffic only after our connections are already up, and their
+//        barriers re-admit us as soon as our first status/done markers
+//        arrive. A refill inside the join lag would desynchronize the
+//        position↔round alignment, so the join waits one out when it is
+//        imminent.
+//   4. Emission loop: one Next() per iteration — exposure rounds plus the
+//      occasional inline blocking refill, exactly the Fig. 1 loop. Every
+//      opened coin is appended to the public log; the store+meta snapshot
+//      is rewritten after each refill and at graceful shutdown.
+//
+// A daemon that was down across a refill cannot rejoin (its store lacks
+// the shares of the batch minted while it was gone) — it fails with a
+// clear epoch-mismatch error; re-dealing (or future resharing support) is
+// the operator's move. This is inherent: shares are secrets, so no honest
+// peer can hand them over.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gf2k"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+)
+
+// ErrEpochMismatch marks a rejoin attempt by a daemon that missed a refill
+// while it was down: its store no longer contains shares for the cluster's
+// current batches and cannot be repaired without a new dealer ceremony.
+var ErrEpochMismatch = errors.New("beacon: refill epoch mismatch (this player missed a Coin-Gen; re-deal the cluster)")
+
+// DaemonConfig parameterizes one per-player daemon.
+type DaemonConfig struct {
+	// Peers is the cluster roster and protocol parameters (peers.yaml).
+	Peers *simnet.PeerConfig
+	// Self is this daemon's 0-based player index.
+	Self int
+	// StateDir holds this player's store, meta, and public coin log. The
+	// ceremony (DealCluster) must have populated it.
+	StateDir string
+	// Emit stops the daemon once the public log holds this many coins
+	// (0 = run until the context is cancelled). All daemons configured with
+	// the same Emit stop at the same round.
+	Emit int
+	// EmitInterval paces the beacon: the minimum delay between consecutive
+	// coin openings (0 = open coins as fast as the cluster can run rounds).
+	// A paced beacon is also what makes crash recovery practical — the
+	// rejoin window between two refills lasts EmitInterval × BatchSize
+	// instead of milliseconds.
+	EmitInterval time.Duration
+	// Rand is this player's private randomness for Coin-Gen dealing.
+	Rand io.Reader
+	// Counters and Tracer instrument the protocol stack as usual.
+	Counters *metrics.Counters
+	Tracer   *obs.Tracer
+	// RoundTimeout, WriteTimeout and DialBackoffMax tune the peer
+	// transport (zero = simnet defaults).
+	RoundTimeout   time.Duration
+	WriteTimeout   time.Duration
+	DialBackoffMax time.Duration
+	// JoinTimeout bounds the whole join choreography — mesh wait, state
+	// queries, backfill (default 30s).
+	JoinTimeout time.Duration
+	// Logf, when non-nil, receives human-readable progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// CoreConfig derives the D-PRBG configuration every daemon of the cluster
+// must share from the peer config's protocol parameters (zero values take
+// the same defaults everywhere — they are part of the config digest, so
+// mismatched daemons cannot even connect).
+func CoreConfig(pc *simnet.PeerConfig, ctr *metrics.Counters) (core.Config, error) {
+	k := pc.K
+	if k == 0 {
+		k = 32
+	}
+	field, err := gf2k.New(k)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if ctr != nil {
+		field = field.WithCounters(ctr)
+	}
+	batch := pc.Batch
+	if batch == 0 {
+		batch = 64
+	}
+	threshold := pc.Threshold
+	if threshold == 0 {
+		threshold = core.DefaultThreshold
+	}
+	cfg := core.Config{
+		Field:     field,
+		N:         pc.N(),
+		T:         pc.T,
+		BatchSize: batch,
+		Threshold: threshold,
+		Counters:  ctr,
+	}
+	return cfg, cfg.Validate()
+}
+
+// SeedCoinCount is the ceremony seed size for the cluster: the configured
+// seedcoins, defaulting to the batch size.
+func SeedCoinCount(pc *simnet.PeerConfig) int {
+	if pc.SeedCoins > 0 {
+		return pc.SeedCoins
+	}
+	if pc.Batch > 0 {
+		return pc.Batch
+	}
+	return 64
+}
+
+// DealCluster is the bootstrap ceremony: run the one-time trusted dealer
+// for the whole cluster and write every player's initial store, meta and
+// empty coin log under dir. The operator then moves each player-NNN.* set
+// to its machine's state directory. This is the only moment any process
+// sees more than one player's shares.
+func DealCluster(pc *simnet.PeerConfig, dir string, rnd io.Reader) error {
+	cfg, err := CoreConfig(pc, nil)
+	if err != nil {
+		return err
+	}
+	gens, err := core.SetupTrusted(cfg, SeedCoinCount(pc), rnd)
+	if err != nil {
+		return err
+	}
+	for i, g := range gens {
+		if err := SaveStore(dir, i, g.Store()); err != nil {
+			return err
+		}
+		if err := SaveMeta(dir, i, Meta{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// daemonState is the STATE query answer: where this daemon is, precisely
+// enough for a rejoiner to project the cluster's position forward.
+type daemonState struct {
+	Started   bool `json:"started"`
+	Refilling bool `json:"refilling"`
+	Round     int  `json:"round"`
+	LogLen    int  `json:"logLen"`
+	Epoch     int  `json:"epoch"`
+	Remaining int  `json:"remaining"`
+}
+
+// DaemonStats is a point-in-time snapshot for expvar/health reporting.
+type DaemonStats struct {
+	Player    int
+	Round     int
+	LogLen    int
+	Epoch     int
+	Remaining int
+	Refilling bool
+	Joined    bool
+	Peers     []bool // outgoing connection liveness, self always false
+}
+
+// Daemon is one player's beacon process. Create with NewDaemon, drive with
+// Run; Stats is safe to call concurrently from serving goroutines.
+type Daemon struct {
+	cfg  DaemonConfig
+	core core.Config
+	gen  *core.Generator
+	nw   *simnet.Network
+	nd   *simnet.Node
+	rnd  io.Reader
+
+	logFile *os.File
+
+	mu    sync.Mutex
+	state daemonState
+	log   []gf2k.Element
+}
+
+// NewDaemon loads player cfg.Self's persisted state, reconciles the store
+// against the public log, and brings the peer transport up (dialing starts
+// immediately; the round machinery waits for Run).
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Peers == nil {
+		return nil, errors.New("beacon: daemon needs a peer config")
+	}
+	coreCfg, err := CoreConfig(cfg.Peers, cfg.Counters)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self < 0 || cfg.Self >= coreCfg.N {
+		return nil, fmt.Errorf("beacon: player %d outside cluster of %d", cfg.Self, coreCfg.N)
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+
+	st, err := LoadStore(cfg.StateDir, cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("%w (run the dealer ceremony first: beacond -deal)", err)
+	}
+	meta, err := LoadMeta(cfg.StateDir, cfg.Self)
+	if err != nil {
+		return nil, err
+	}
+	log, err := LoadCoinLog(CoinLogFile(cfg.StateDir, cfg.Self))
+	if err != nil {
+		return nil, err
+	}
+	// Crash reconciliation: the log advances one line per coin while the
+	// store snapshot only advances at refill boundaries — replay the gap.
+	gap := len(log) - meta.LogLen
+	if gap < 0 {
+		return nil, fmt.Errorf("beacon: player %d log (%d entries) is behind its store snapshot (%d) — state dir corrupt",
+			cfg.Self, len(log), meta.LogLen)
+	}
+	if err := st.Discard(gap); err != nil {
+		return nil, fmt.Errorf("beacon: player %d crash reconciliation: %w", cfg.Self, err)
+	}
+	gen, err := core.NewFromStore(coreCfg, st)
+	if err != nil {
+		return nil, err
+	}
+	logFile, err := openCoinLog(CoinLogFile(cfg.StateDir, cfg.Self), log)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Daemon{cfg: cfg, core: coreCfg, gen: gen, rnd: cfg.Rand, logFile: logFile, log: log}
+	d.state = daemonState{Epoch: meta.Epoch, LogLen: len(log), Remaining: gen.Remaining()}
+
+	opts := []simnet.Option{
+		simnet.WithMaxRounds(serveMaxRounds),
+		simnet.WithQueryHandler(d.handleQuery),
+	}
+	if cfg.Counters != nil {
+		opts = append(opts, simnet.WithCounters(cfg.Counters))
+	}
+	if cfg.Tracer != nil {
+		opts = append(opts, simnet.WithTracer(cfg.Tracer))
+	}
+	if cfg.RoundTimeout > 0 {
+		opts = append(opts, simnet.WithRoundTimeout(cfg.RoundTimeout))
+	}
+	if cfg.WriteTimeout > 0 {
+		opts = append(opts, simnet.WithWriteTimeout(cfg.WriteTimeout))
+	}
+	if cfg.DialBackoffMax > 0 {
+		opts = append(opts, simnet.WithDialBackoff(50*time.Millisecond, cfg.DialBackoffMax))
+	}
+	nw, err := simnet.NewPeer(cfg.Peers, cfg.Self, opts...)
+	if err != nil {
+		d.logFile.Close()
+		return nil, err
+	}
+	d.nw = nw
+	d.nd = nw.Node(cfg.Self)
+	return d, nil
+}
+
+// Stats snapshots the daemon's position for health/expvar reporting.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	st := d.state
+	d.mu.Unlock()
+	return DaemonStats{
+		Player:    d.cfg.Self,
+		Round:     st.Round,
+		LogLen:    st.LogLen,
+		Epoch:     st.Epoch,
+		Remaining: st.Remaining,
+		Refilling: st.Refilling,
+		Joined:    st.Started,
+		Peers:     d.nw.PeerConnected(),
+	}
+}
+
+// Log returns a copy of the public coin log (the beacon output stream).
+func (d *Daemon) Log() []gf2k.Element {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]gf2k.Element(nil), d.log...)
+}
+
+// handleQuery answers peer STATE and LOG requests on the transport's
+// reader goroutines; it must stay quick and lock-light.
+func (d *Daemon) handleQuery(from int, req []byte) []byte {
+	s := string(req)
+	switch {
+	case s == "STATE":
+		d.mu.Lock()
+		st := d.state
+		d.mu.Unlock()
+		return []byte(fmt.Sprintf("%t %t %d %d %d %d",
+			st.Started, st.Refilling, st.Round, st.LogLen, st.Epoch, st.Remaining))
+	case strings.HasPrefix(s, "LOG "):
+		var lo, count int
+		if _, err := fmt.Sscanf(s, "LOG %d %d", &lo, &count); err != nil || lo < 0 || count < 1 {
+			return nil
+		}
+		d.mu.Lock()
+		hi := lo + count
+		if hi > len(d.log) {
+			hi = len(d.log)
+		}
+		var b strings.Builder
+		for i := lo; i < hi; i++ {
+			b.WriteString(FormatLogEntry(i, d.log[i]))
+			b.WriteByte('\n')
+		}
+		d.mu.Unlock()
+		return []byte(b.String())
+	}
+	return nil
+}
+
+func parseState(resp []byte) (daemonState, error) {
+	var st daemonState
+	_, err := fmt.Sscanf(string(resp), "%t %t %d %d %d %d",
+		&st.Started, &st.Refilling, &st.Round, &st.LogLen, &st.Epoch, &st.Remaining)
+	return st, err
+}
+
+// Run joins the cluster and drives the emission loop until the context is
+// cancelled or the Emit target is reached. It owns the node goroutine; all
+// other access goes through Stats/Log.
+func (d *Daemon) Run(ctx context.Context) error {
+	defer d.logFile.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			d.nw.Close() // unblocks EndRound and Query
+		case <-stop:
+		}
+	}()
+	defer d.nw.Close()
+
+	if err := d.join(ctx); err != nil {
+		return err
+	}
+	if err := d.emit(ctx); err != nil {
+		return err
+	}
+	return d.persist()
+}
+
+// join runs the self-synchronizing entry choreography described on the
+// package comment: cold start when no peer is running rounds, projection-
+// based rejoin otherwise.
+func (d *Daemon) join(ctx context.Context) error {
+	deadline := time.Now().Add(d.cfg.JoinTimeout)
+	meshErr := d.nw.WaitPeers(d.core.N-1, d.cfg.JoinTimeout/2)
+
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("beacon: player %d failed to join within %v", d.cfg.Self, d.cfg.JoinTimeout)
+		}
+		states, peers := d.queryStates()
+		running := -1
+		anyRefilling := false
+		for i, st := range states {
+			if !st.Started {
+				continue
+			}
+			if st.Refilling {
+				anyRefilling = true
+			}
+			if running == -1 || st.Round > states[running].Round {
+				running = i
+			}
+		}
+		var err error
+		switch {
+		case running >= 0 && states[running].Round > 0:
+			err = d.rejoin(states, peers, running)
+		case running >= 0 && anyRefilling:
+			err = errors.New("cluster is mid-refill at startup")
+		case running >= 0:
+			// Peers have started but none has committed a round yet —
+			// their round-0 barriers are waiting for us (for up to the
+			// round timeout), so joining round 0 directly is still safe:
+			// their round-0 traffic was flushed after the two-way mesh
+			// came up and is staged for us.
+			err = d.coldStart(states, peers)
+		default:
+			if meshErr != nil {
+				return fmt.Errorf("beacon: cold start needs the full mesh: %w", meshErr)
+			}
+			if len(peers) < d.core.N-1 {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			err = d.coldStart(states, peers)
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrEpochMismatch) || ctx.Err() != nil {
+			return err
+		}
+		// Transient (peer mid-refill, window too tight, a query timed
+		// out): wait a moment and retry the choreography from scratch.
+		d.cfg.Logf("join attempt %d: %v; retrying", attempt, err)
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// queryStates asks every connected peer for its STATE, returning the
+// parsed answers and the responding peer ids (aligned slices).
+func (d *Daemon) queryStates() ([]daemonState, []int) {
+	var states []daemonState
+	var peers []int
+	for j, up := range d.nw.PeerConnected() {
+		if !up {
+			continue
+		}
+		resp, err := d.nw.Query(j, []byte("STATE"), 2*time.Second)
+		if err != nil {
+			continue
+		}
+		st, err := parseState(resp)
+		if err != nil {
+			continue
+		}
+		states = append(states, st)
+		peers = append(peers, j)
+	}
+	return states, peers
+}
+
+// coldStart aligns a cluster whose daemons are all booting: everyone
+// fast-forwards to the longest public log (a crashed cluster's logs differ
+// by at most the final in-flight coins) and starts at round 0.
+func (d *Daemon) coldStart(states []daemonState, peers []int) error {
+	d.mu.Lock()
+	target, epoch := d.state.LogLen, d.state.Epoch
+	d.mu.Unlock()
+	for i, st := range states {
+		if st.Epoch != epoch {
+			return fmt.Errorf("%w: peer %d at epoch %d, this player at %d", ErrEpochMismatch, peers[i], st.Epoch, epoch)
+		}
+		if st.LogLen > target {
+			target = st.LogLen
+		}
+	}
+	if err := d.fastForward(target, peers); err != nil {
+		return err
+	}
+	d.cfg.Logf("cold start at log position %d (epoch %d)", target, epoch)
+	return d.start(0)
+}
+
+// rejoin re-enters a live cluster one round past the most advanced peer's
+// in-flight round. The in-flight round itself is off-limits: a peer
+// flushes a round's shares once, and it may have done so before its
+// reconnection to us came up, so those bytes can be unrecoverable. Every
+// round AFTER it is safe — WaitPeers already confirmed the peers'
+// connections to us are bound, and a peer only flushes round R+1 after
+// committing R, which is after it answered our STATE query. The skipped
+// coin is backfilled from the peers' public logs instead (retrying until
+// they commit it), and if the cluster commits another round or two before
+// our StartAt lands, the round-keyed staging lets us drain the backlog
+// instantly and our done markers re-promote us at each peer within a
+// round — the logs stay byte-identical throughout.
+func (d *Daemon) rejoin(states []daemonState, peers []int, leadIdx int) error {
+	lead := states[leadIdx]
+	if lead.Refilling {
+		return fmt.Errorf("peer %d is mid-refill", peers[leadIdx])
+	}
+	d.mu.Lock()
+	epoch := d.state.Epoch
+	d.mu.Unlock()
+	if lead.Epoch != epoch {
+		return fmt.Errorf("%w: cluster at epoch %d, this player at %d", ErrEpochMismatch, lead.Epoch, epoch)
+	}
+	// A refill inside the join lag would mint rounds that are not
+	// exposures and desync the position↔round alignment we rely on, so
+	// wait it out when one is imminent (margin ≈ the join lag in rounds).
+	const margin = 2
+	if lead.Remaining-1 < d.core.Threshold+margin {
+		return fmt.Errorf("peer %d is about to refill (%d coins left); waiting for it to pass", peers[leadIdx], lead.Remaining)
+	}
+	// Round lead.Round opens coin lead.LogLen (one exposure per round), so
+	// our first round, lead.Round+1, opens coin lead.LogLen+1.
+	if err := d.fastForward(lead.LogLen+1, peers); err != nil {
+		return err
+	}
+	d.cfg.Logf("rejoining at round %d, log position %d (epoch %d)", lead.Round+1, lead.LogLen+1, epoch)
+	return d.start(lead.Round + 1)
+}
+
+// start flips the transport's round machinery on and publishes the join.
+func (d *Daemon) start(round int) error {
+	if err := d.nw.StartAt(round); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.state.Started = true
+	d.state.Round = round
+	d.mu.Unlock()
+	return nil
+}
+
+// fastForward advances the store cursor to absolute position target and
+// backfills the skipped public values from the peers' logs, requiring
+// min(t+1, responders) identical answers for every entry. Values opened
+// after the peers answered trickle into their logs within a round or two,
+// so the fetch retries briefly.
+func (d *Daemon) fastForward(target int, peers []int) error {
+	d.mu.Lock()
+	pos := len(d.log)
+	d.mu.Unlock()
+	if target < pos {
+		return fmt.Errorf("beacon: player %d log (%d entries) is ahead of the cluster position %d — state dirs mixed up?",
+			d.cfg.Self, pos, target)
+	}
+	if target == pos {
+		return nil
+	}
+	if err := d.gen.Store().Discard(target - pos); err != nil {
+		return fmt.Errorf("%w: %v", ErrEpochMismatch, err)
+	}
+	d.syncShared()
+
+	need := target - pos
+	quorum := d.core.T + 1
+	if len(peers) < quorum {
+		quorum = len(peers)
+	}
+	if quorum < 1 {
+		return errors.New("beacon: no peers reachable for log backfill")
+	}
+	deadline := time.Now().Add(d.cfg.JoinTimeout / 2)
+	entries := make([]gf2k.Element, 0, need)
+	for len(entries) < need {
+		got, err := d.fetchLogRange(pos+len(entries), need-len(entries), peers, quorum)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, got...)
+		if len(entries) < need {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("beacon: backfill stalled at %d/%d entries", len(entries), need)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	d.mu.Lock()
+	for _, v := range entries {
+		fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
+		d.log = append(d.log, v)
+	}
+	d.state.LogLen = len(d.log)
+	d.mu.Unlock()
+	d.cfg.Logf("backfilled %d missed public coins [%d,%d)", need, pos, target)
+	return nil
+}
+
+// fetchLogRange fetches log entries [lo, lo+count) from up to `quorum`
+// peers and cross-checks them: any disagreement on an entry is a fault and
+// aborts the join. Returns however many contiguous verified entries the
+// peers could serve (possibly zero if the coins are not yet opened).
+func (d *Daemon) fetchLogRange(lo, count int, peers []int, quorum int) ([]gf2k.Element, error) {
+	var verified []gf2k.Element
+	responders := 0
+	for _, j := range shuffledCopy(peers) {
+		resp, err := d.nw.Query(j, []byte(fmt.Sprintf("LOG %d %d", lo, count)), 2*time.Second)
+		if err != nil {
+			continue
+		}
+		got, err := parseLogEntries(resp, lo)
+		if err != nil {
+			return nil, fmt.Errorf("beacon: peer %d served a malformed log: %w", j, err)
+		}
+		if responders == 0 {
+			verified = got
+		} else {
+			shorter := len(verified)
+			if len(got) < shorter {
+				shorter = len(got)
+			}
+			for i := 0; i < shorter; i++ {
+				if got[i] != verified[i] {
+					return nil, fmt.Errorf("beacon: peers disagree on public coin %d (%x vs %x) — Byzantine log server",
+						lo+i, uint64(verified[i]), uint64(got[i]))
+				}
+			}
+			if len(got) < len(verified) {
+				verified = verified[:len(got)] // only cross-checked entries count
+			}
+		}
+		responders++
+		if responders == quorum {
+			break
+		}
+	}
+	if responders < quorum {
+		return nil, fmt.Errorf("beacon: only %d/%d peers answered the log fetch", responders, quorum)
+	}
+	return verified, nil
+}
+
+// shuffledCopy is a deterministic rotation (not a random shuffle — the
+// daemon's randomness budget belongs to the protocol) so repeated fetches
+// spread load across peers.
+var fetchRotation int
+
+func shuffledCopy(peers []int) []int {
+	out := append([]int(nil), peers...)
+	sort.Ints(out)
+	if len(out) > 1 {
+		fetchRotation++
+		r := fetchRotation % len(out)
+		out = append(out[r:], out[:r]...)
+	}
+	return out
+}
+
+func parseLogEntries(resp []byte, lo int) ([]gf2k.Element, error) {
+	var out []gf2k.Element
+	for _, line := range strings.Split(string(resp), "\n") {
+		if line == "" {
+			continue
+		}
+		var idx int
+		var val uint64
+		if _, err := fmt.Sscanf(line, "%d %x", &idx, &val); err != nil || idx != lo+len(out) {
+			return nil, fmt.Errorf("bad entry %q at offset %d", line, len(out))
+		}
+		out = append(out, gf2k.Element(val))
+	}
+	return out, nil
+}
+
+// emit is the daemon's main loop: one shared coin per iteration (with
+// inline blocking refills when the store runs low), every value appended
+// to the public log, the store snapshotted after each refill.
+func (d *Daemon) emit(ctx context.Context) error {
+	for {
+		d.mu.Lock()
+		logLen := len(d.log)
+		d.mu.Unlock()
+		if d.cfg.Emit > 0 && logLen >= d.cfg.Emit {
+			d.cfg.Logf("emit target %d reached; stopping", d.cfg.Emit)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil // graceful: Run persists on the way out
+		}
+
+		willRefill := d.gen.Remaining() < d.core.Threshold
+		if willRefill {
+			d.mu.Lock()
+			d.state.Refilling = true
+			d.mu.Unlock()
+			d.cfg.Logf("refill starting at log position %d (epoch %d)", logLen, d.epoch())
+		}
+		batchesBefore := d.gen.Stats().Batches
+		v, err := d.gen.Next(d.nd, d.rnd)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("beacon: player %d halted at log position %d: %w", d.cfg.Self, logLen, err)
+		}
+		refilled := d.gen.Stats().Batches - batchesBefore
+
+		d.mu.Lock()
+		fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
+		d.log = append(d.log, v)
+		d.state.LogLen = len(d.log)
+		d.state.Round = d.nd.Round()
+		d.state.Remaining = d.gen.Remaining()
+		if refilled > 0 {
+			d.state.Epoch += refilled
+			d.state.Refilling = false
+		}
+		d.mu.Unlock()
+
+		if refilled > 0 {
+			if err := d.persist(); err != nil {
+				return err
+			}
+			d.cfg.Logf("refill complete: epoch %d, %d coins in store", d.epoch(), d.gen.Remaining())
+		}
+
+		if d.cfg.EmitInterval > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(d.cfg.EmitInterval):
+			}
+		}
+	}
+}
+
+func (d *Daemon) epoch() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state.Epoch
+}
+
+// syncShared refreshes the queryable state mirror from the generator.
+func (d *Daemon) syncShared() {
+	d.mu.Lock()
+	d.state.Remaining = d.gen.Remaining()
+	d.mu.Unlock()
+}
+
+// persist snapshots the store and meta; the log file is already on disk
+// (appended per coin, synced by the OS).
+func (d *Daemon) persist() error {
+	if err := d.logFile.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	meta := Meta{Epoch: d.state.Epoch, LogLen: len(d.log)}
+	d.mu.Unlock()
+	if err := SaveStore(d.cfg.StateDir, d.cfg.Self, d.gen.Store()); err != nil {
+		return err
+	}
+	return SaveMeta(d.cfg.StateDir, d.cfg.Self, meta)
+}

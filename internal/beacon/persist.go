@@ -1,11 +1,15 @@
 package beacon
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/coin"
+	"repro/internal/gf2k"
 )
 
 // Store persistence: one file per player, written atomically
@@ -71,6 +75,156 @@ func LoadStores(dir string, n int) ([]*coin.Store, error) {
 func HaveStores(dir string) bool {
 	_, err := os.Stat(storeFile(dir, 0))
 	return err == nil
+}
+
+// --- single-player persistence (daemon mode) ---------------------------------
+//
+// A multi-process daemon owns exactly one player's state: the sealed store
+// (snapshotted after every refill and at graceful shutdown), a small meta
+// file pinning the refill epoch and the public-log length the snapshot
+// corresponds to, and the append-only public coin log itself. The log is
+// the beacon's output stream AND the crash-recovery ledger: the store
+// snapshot is only taken at refill boundaries, so after a crash the store
+// cursor is rewound to the snapshot while the log records how far the
+// daemon actually got — the difference is replayed with coin.Store.Discard.
+
+// SaveStore atomically writes one player's store snapshot under dir.
+func SaveStore(dir string, player int, st *coin.Store) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	enc, err := st.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("beacon: marshal player %d store: %w", player, err)
+	}
+	return writeAtomic(storeFile(dir, player), enc)
+}
+
+// LoadStore reads one player's persisted store from dir.
+func LoadStore(dir string, player int) (*coin.Store, error) {
+	data, err := os.ReadFile(storeFile(dir, player))
+	if err != nil {
+		return nil, fmt.Errorf("beacon: load player %d store: %w", player, err)
+	}
+	st, err := coin.UnmarshalStore(data)
+	if err != nil {
+		return nil, fmt.Errorf("beacon: load player %d store: %w", player, err)
+	}
+	return st, nil
+}
+
+// Meta is the per-player daemon metadata persisted next to the store.
+type Meta struct {
+	// Epoch counts absorbed Coin-Gen refills since the dealer ceremony. A
+	// rejoining daemon whose epoch differs from the cluster's has missed a
+	// refill and cannot catch up without resharing.
+	Epoch int
+	// LogLen is the public-log length at the moment the store snapshot was
+	// written; the recovery discard is len(log) − LogLen.
+	LogLen int
+}
+
+func metaFile(dir string, player int) string {
+	return filepath.Join(dir, fmt.Sprintf("player-%03d.meta", player))
+}
+
+// SaveMeta atomically writes the player's daemon metadata.
+func SaveMeta(dir string, player int, m Meta) error {
+	enc, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(metaFile(dir, player), enc)
+}
+
+// LoadMeta reads the player's daemon metadata; a missing file is the zero
+// Meta (fresh post-ceremony state).
+func LoadMeta(dir string, player int) (Meta, error) {
+	var m Meta
+	data, err := os.ReadFile(metaFile(dir, player))
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("beacon: player %d meta: %w", player, err)
+	}
+	return m, nil
+}
+
+// CoinLogFile names player i's public coin log inside dir: one line per
+// opened coin, "<index> <value-hex>", append-only. Identical at every
+// honest player — this file IS the beacon's public output stream.
+func CoinLogFile(dir string, player int) string {
+	return filepath.Join(dir, fmt.Sprintf("player-%03d.coins", player))
+}
+
+// FormatLogEntry renders one public-log line (without newline); every
+// writer must use it so logs stay byte-comparable across daemons.
+func FormatLogEntry(index int, value gf2k.Element) string {
+	return fmt.Sprintf("%d %x", index, uint64(value))
+}
+
+// LoadCoinLog reads a public coin log back into memory. A truncated final
+// line (the signature of a crash mid-append) is dropped, not an error; any
+// earlier malformed line is corruption and fails. Entries must be
+// contiguous from 0.
+func LoadCoinLog(path string) ([]gf2k.Element, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []gf2k.Element
+	lines := strings.Split(string(data), "\n")
+	complete := strings.HasSuffix(string(data), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		var idx int
+		var val uint64
+		if _, err := fmt.Sscanf(line, "%d %x", &idx, &val); err != nil || idx != len(out) {
+			last := i == len(lines)-1 || (i == len(lines)-2 && lines[len(lines)-1] == "")
+			if last && !complete {
+				break // torn final append from a crash; the entry replays from peers
+			}
+			return nil, fmt.Errorf("beacon: coin log %s corrupt at line %d", path, i+1)
+		}
+		out = append(out, gf2k.Element(val))
+	}
+	return out, nil
+}
+
+// openCoinLog opens the log for appending, verifying it against the
+// already-loaded entries by rewriting it when the file holds a torn tail.
+func openCoinLog(path string, entries []gf2k.Element) (*os.File, error) {
+	// Rewrite from the verified in-memory entries: this heals a torn final
+	// line and guarantees the bytes on disk match FormatLogEntry exactly.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	for i, v := range entries {
+		fmt.Fprintln(w, FormatLogEntry(i, v))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o600)
 }
 
 // writeAtomic writes data to path via a temp file and rename, so a crash

@@ -135,6 +135,21 @@ func (b *Batch) Split(count int) (*Batch, error) {
 	return nb, nil
 }
 
+// Discard advances the exposure cursor past the next `count` unexposed
+// coins without consuming a network round or learning their values — the
+// catch-up primitive for a player rejoining a running cluster: the coins it
+// missed were already opened publicly by the others, so it skips its local
+// shares to realign its cursor with theirs (and recovers the public values
+// out of band). The discarded shares remain in memory but will never be
+// transmitted.
+func (b *Batch) Discard(count int) error {
+	if count < 0 || count > b.Remaining() {
+		return fmt.Errorf("coin: cannot discard %d of %d remaining coins", count, b.Remaining())
+	}
+	b.next += count
+	return nil
+}
+
 // Expose reveals the next sealed coin (Fig. 6): members of S send their
 // combined share β_i to everyone, and every player interpolates a polynomial
 // through the received shares with the Berlekamp–Welch decoder, outputting

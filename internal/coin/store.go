@@ -139,6 +139,31 @@ func (s *Store) DetachTail(count int) (*Store, error) {
 	return out, nil
 }
 
+// Discard advances the store past the next `count` unexposed coins without
+// consuming network rounds, draining batches front-to-back exactly as Expose
+// would — the rejoin catch-up path (see Batch.Discard). A player that was
+// down while the cluster opened coins calls Discard with the number it
+// missed so its next Expose transmits the share the others expect.
+func (s *Store) Discard(count int) error {
+	if count < 0 || count > s.Remaining() {
+		return fmt.Errorf("coin: cannot discard %d of %d remaining coins", count, s.Remaining())
+	}
+	for count > 0 {
+		for len(s.batches) > 0 && s.batches[0].Remaining() == 0 {
+			s.batches = s.batches[1:]
+		}
+		take := s.batches[0].Remaining()
+		if take > count {
+			take = count
+		}
+		if err := s.batches[0].Discard(take); err != nil {
+			return err
+		}
+		count -= take
+	}
+	return nil
+}
+
 // Remaining returns the total number of unexposed coins across all batches.
 func (s *Store) Remaining() int {
 	total := 0

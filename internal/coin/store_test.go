@@ -234,3 +234,58 @@ func TestUnmarshalStoreRejectsMalformed(t *testing.T) {
 		t.Error("store mixing fields accepted")
 	}
 }
+
+// TestDiscardFastForward: Discard must advance the cursor exactly as that
+// many Exposes would — across batch boundaries, popping drained batches —
+// so a rejoining player's next transmitted share index matches the cluster.
+func TestDiscardFastForward(t *testing.T) {
+	st := &Store{Universe: 7}
+	if err := st.Add(dealOne(t, 32, 7, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(dealOne(t, 32, 7, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Discard(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Remaining(); got != 2 {
+		t.Fatalf("Remaining after Discard(5) = %d, want 2", got)
+	}
+	// The front batch is fully drained; the survivor's cursor sits at 2.
+	if bs := st.Batches(); len(bs) != 1 || bs[0].Cursor() != 2 {
+		t.Fatalf("post-discard batches = %d, front cursor = %d; want 1 batch at cursor 2",
+			len(bs), bs[0].Cursor())
+	}
+	if err := st.Discard(3); err == nil {
+		t.Error("Discard beyond Remaining accepted")
+	}
+	if err := st.Discard(-1); err == nil {
+		t.Error("negative Discard accepted")
+	}
+	if err := st.Discard(2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Remaining() != 0 {
+		t.Fatalf("Remaining after draining = %d, want 0", st.Remaining())
+	}
+}
+
+// TestBatchDiscardMatchesExposeCursor: Batch.Discard(k) leaves the batch at
+// the same cursor as k sequential Exposes would, so the share transmitted
+// next is the one the rest of the cluster expects.
+func TestBatchDiscardMatchesExposeCursor(t *testing.T) {
+	b := dealOne(t, 32, 7, 6, 9)
+	if err := b.Discard(4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cursor() != 4 || b.Remaining() != 2 {
+		t.Fatalf("cursor %d remaining %d after Discard(4), want 4 and 2", b.Cursor(), b.Remaining())
+	}
+	if err := b.Discard(0); err != nil {
+		t.Fatalf("Discard(0) should be a no-op: %v", err)
+	}
+	if err := b.Discard(3); err == nil {
+		t.Error("Discard past the end accepted")
+	}
+}

@@ -1,0 +1,856 @@
+package simnet
+
+// Peer transport: the multi-process deployment of the synchronous network.
+// Where tcp.go keeps all n players in one process and one barrier, this file
+// gives each daemon exactly ONE live node — its own player — and stretches
+// the round barrier across processes:
+//
+//   - Every daemon dials every other peer (full mesh, two simplex
+//     connections per pair) and authenticates each connection with the
+//     handshake in handshake.go before any protocol byte flows.
+//   - Data, broadcast and done frames are round-stamped. A per-peer
+//     *watermark* records the highest round each peer has declared complete
+//     (its done markers, or the status frame it sends on (re)connect).
+//   - EndRound(r) flushes this player's round-r traffic, then waits until
+//     watermark[j] ≥ r for every peer j in the *required set*. Peers that
+//     miss the round deadline are demoted out of the required set (the
+//     barrier stops waiting for them — a crashed daemon must not stall the
+//     beacon); a demoted peer that reconnects and announces a current
+//     watermark is promoted back in.
+//   - Frames for future rounds (a peer may legitimately run one round ahead,
+//     or far ahead of a daemon that is still catching up) are buffered in a
+//     round-keyed staging area; frames for already-committed rounds are
+//     dropped. Delivery order within a round is (sender, sender's emission
+//     order), so every daemon that receives the same frames delivers them in
+//     the same order.
+//
+// Two departures from the in-process transports, both inherent to real
+// distribution, are worth knowing:
+//
+//   - Broadcast is fan-out, not an ideal facility. A *corrupt* sender could
+//     equivocate across its point-to-point copies; the non-equivocation that
+//     Network.Broadcast guarantees in-process holds here only for honest
+//     senders. The §4 protocols the beacon runs do not assume the ideal
+//     facility, so this is a documentation caveat, not a soundness hole.
+//   - Delivery is not perfectly symmetric at a demoted/rejoining peer's
+//     boundary rounds: one daemon may include a share another missed. The
+//     Coin-Expose decoder tolerates exactly this (the Berlekamp–Welch error
+//     budget adapts to the shares received), which is why demotion is safe
+//     for up to t simultaneously missing players.
+//
+// A connection also carries an application query side-channel (STATE /
+// log-fetch requests for rejoin catch-up, see internal/beacon): a daemon
+// writes framePeerQuery on its outgoing connection and the peer answers
+// with framePeerReply on the same connection, outside the round machinery.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrNotStarted is returned by EndRound on a peer network before StartAt.
+var ErrNotStarted = errors.New("simnet: peer network not started (call StartAt)")
+
+// ErrPeerClosed is the base error after Close tears the peer network down.
+var ErrPeerClosed = errors.New("simnet: peer network closed")
+
+// maxFutureWindow bounds how far ahead of the newest known round a frame may
+// be staged; anything further is dropped as garbage. One round of real
+// traffic is small, so the window is generous.
+const maxFutureWindow = 1024
+
+// QueryHandler answers application queries from authenticated peers, outside
+// the round machinery. It runs on the peer's inbound reader goroutine, so it
+// must be quick and must not call into the Node round API. A nil return is
+// sent as an empty reply.
+type QueryHandler func(from int, req []byte) []byte
+
+// peerOptions collects the peer-mode tunables, all settable through the
+// regular Option mechanism (in-memory and tcp networks ignore them).
+type peerOptions struct {
+	roundTimeout time.Duration
+	writeTimeout time.Duration
+	backoffMin   time.Duration
+	backoffMax   time.Duration
+	queryHandler QueryHandler
+}
+
+// WithRoundTimeout sets how long a peer-mode EndRound waits for lagging
+// required peers before demoting them and committing the round without them
+// (default 10s). Too low risks demoting healthy peers on scheduling jitter;
+// too high stalls the beacon that long when a daemon crashes.
+func WithRoundTimeout(d time.Duration) Option {
+	return func(nw *Network) { nw.peerOpts.roundTimeout = d }
+}
+
+// WithWriteTimeout sets the per-frame socket write deadline in peer mode
+// (default 5s). A blocked write marks the connection broken and hands it to
+// the redial loop rather than stalling the round.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(nw *Network) { nw.peerOpts.writeTimeout = d }
+}
+
+// WithDialBackoff sets the bounds of the exponential redial backoff in peer
+// mode (defaults 100ms and 3s). Redialing never gives up until Close.
+func WithDialBackoff(min, max time.Duration) Option {
+	return func(nw *Network) {
+		nw.peerOpts.backoffMin = min
+		nw.peerOpts.backoffMax = max
+	}
+}
+
+// WithQueryHandler installs the application query handler (see QueryHandler)
+// answering framePeerQuery requests in peer mode.
+func WithQueryHandler(h QueryHandler) Option {
+	return func(nw *Network) { nw.peerOpts.queryHandler = h }
+}
+
+// peerNet is the per-daemon transport state behind a peer-mode Network.
+type peerNet struct {
+	nw     *Network
+	cfg    *PeerConfig
+	self   int
+	digest [32]byte
+	opts   peerOptions
+
+	ln  net.Listener
+	out []*peerConn // outgoing authenticated connections, nil at self
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	round     int // committed barriers == local node's current round
+	started   bool
+	closed    bool
+	closeErr  error
+	watermark []int             // highest round each peer declared complete; -1 unseen
+	required  []bool            // peers the barrier waits for
+	staged    map[int][]Message // round → staged messages (remote + self copies)
+	seq       uint64
+
+	inMu   sync.Mutex
+	inConn []net.Conn // live inbound connection per peer id (duplicate guard)
+
+	qMu      sync.Mutex
+	qSeq     uint64
+	qPending map[uint64]chan []byte
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// peerConn is one outgoing connection slot, owned by its dialLoop goroutine.
+type peerConn struct {
+	pn *peerNet
+	to int
+
+	mu      sync.Mutex
+	conn    net.Conn // nil while disconnected
+	flushed int      // last round whose done marker we wrote on any conn
+}
+
+// NewPeer creates the peer-mode network for player `self` of the cluster in
+// cfg: it starts listening on cfg.ListenAddr(self), begins dialing every
+// other peer (retrying forever with bounded backoff), and returns
+// immediately. Only Node(self) may be driven; the other Node handles exist
+// solely so protocol code sees the usual n-player index space. Call
+// WaitPeers to block until the mesh is up, StartAt to open the round
+// machinery, and Close to tear everything down.
+//
+// NewPeer does not retain or mutate cfg: it validates and uses a private
+// copy, so one parsed config may safely back several NewPeer calls (as the
+// in-process cluster tests do).
+func NewPeer(cfg *PeerConfig, self int, opts ...Option) (*Network, error) {
+	clone := *cfg
+	clone.Peers = append([]Peer(nil), cfg.Peers...)
+	clone.Secret = append([]byte(nil), cfg.Secret...)
+	cfg = &clone
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 0 || self >= cfg.N() {
+		return nil, fmt.Errorf("simnet: player %d outside cluster of %d", self, cfg.N())
+	}
+	nw := New(cfg.N(), opts...)
+	if nw.peerOpts.roundTimeout <= 0 {
+		nw.peerOpts.roundTimeout = 10 * time.Second
+	}
+	if nw.peerOpts.writeTimeout <= 0 {
+		nw.peerOpts.writeTimeout = 5 * time.Second
+	}
+	if nw.peerOpts.backoffMin <= 0 {
+		nw.peerOpts.backoffMin = 100 * time.Millisecond
+	}
+	if nw.peerOpts.backoffMax < nw.peerOpts.backoffMin {
+		nw.peerOpts.backoffMax = 3 * time.Second
+	}
+
+	pn := &peerNet{
+		nw:        nw,
+		cfg:       cfg,
+		self:      self,
+		digest:    cfg.Digest(),
+		opts:      nw.peerOpts,
+		watermark: make([]int, cfg.N()),
+		required:  make([]bool, cfg.N()),
+		staged:    make(map[int][]Message),
+		inConn:    make([]net.Conn, cfg.N()),
+		qPending:  make(map[uint64]chan []byte),
+		done:      make(chan struct{}),
+	}
+	pn.cond = sync.NewCond(&pn.mu)
+	for i := range pn.watermark {
+		pn.watermark[i] = -1
+		pn.required[i] = i != self
+	}
+
+	ln, err := net.Listen("tcp", cfg.ListenAddr(self))
+	if err != nil {
+		return nil, fmt.Errorf("simnet: peer %d listen %s: %w", self, cfg.ListenAddr(self), err)
+	}
+	pn.ln = ln
+	nw.pn = pn
+
+	pn.wg.Add(1)
+	go pn.acceptLoop()
+
+	pn.out = make([]*peerConn, cfg.N())
+	for j := 0; j < cfg.N(); j++ {
+		if j == self {
+			continue
+		}
+		pc := &peerConn{pn: pn, to: j, flushed: -1}
+		pn.out[j] = pc
+		pn.wg.Add(1)
+		go pc.dialLoop()
+	}
+	return nw, nil
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing side: dial, authenticate, redial on breakage.
+
+// dialLoop owns the connection to one peer: dial with exponential backoff,
+// run the handshake, announce our flush watermark with a status frame, then
+// sit in replyRead until the connection breaks and go around again. It exits
+// only at Close.
+func (pc *peerConn) dialLoop() {
+	pn := pc.pn
+	defer pn.wg.Done()
+	backoff := pn.opts.backoffMin
+	for {
+		select {
+		case <-pn.done:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", pn.cfg.Peers[pc.to].Addr, pn.opts.writeTimeout)
+		if err == nil {
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			err = dialHandshake(conn, pn.cfg.Secret, pn.self, pc.to, pn.digest)
+			if err != nil {
+				conn.Close()
+			} else {
+				conn.SetDeadline(time.Time{})
+			}
+		}
+		if err != nil {
+			select {
+			case <-pn.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > pn.opts.backoffMax {
+				backoff = pn.opts.backoffMax
+			}
+			continue
+		}
+		backoff = pn.opts.backoffMin
+
+		pc.mu.Lock()
+		pc.conn = conn
+		flushed := pc.flushed
+		pc.mu.Unlock()
+		pn.mu.Lock()
+		pn.cond.Broadcast() // wake WaitPeers
+		started := pn.started
+		pn.mu.Unlock()
+		// Announce how far we have flushed so the peer can (re)admit us to
+		// its required set at the right round. Before StartAt this is -1,
+		// which is deliberately never promoting.
+		if started || flushed >= 0 {
+			pc.write(framePeerStatus, flushed, nil)
+		}
+
+		pc.replyRead(conn) // blocks until the connection dies
+		pc.clear(conn)
+	}
+}
+
+// replyRead drains the peer's replies off our outgoing connection (the only
+// frames an accepter sends after the handshake) and routes them to waiting
+// Query calls. Returning means the connection is broken.
+func (pc *peerConn) replyRead(conn net.Conn) {
+	pn := pc.pn
+	for {
+		typ, _, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if typ != framePeerReply || len(payload) < 8 {
+			return // protocol violation: drop the connection, redial
+		}
+		id := binary.LittleEndian.Uint64(payload[:8])
+		pn.qMu.Lock()
+		ch := pn.qPending[id]
+		delete(pn.qPending, id)
+		pn.qMu.Unlock()
+		if ch != nil {
+			ch <- payload[8:]
+		}
+	}
+}
+
+// write sends one frame on the peer's current connection under a write
+// deadline. On any failure the connection is closed and cleared so the
+// dialLoop redials; the error is returned for callers that care (the round
+// flush does not — a peer missing our traffic is the demotion machinery's
+// problem, not the barrier's).
+func (pc *peerConn) write(typ byte, arg int, payload []byte) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.conn == nil {
+		return fmt.Errorf("simnet: peer %d not connected", pc.to)
+	}
+	pc.conn.SetWriteDeadline(time.Now().Add(pc.pn.opts.writeTimeout))
+	if err := writeFrame(pc.conn, typ, arg, payload); err != nil {
+		pc.conn.Close()
+		pc.conn = nil
+		return err
+	}
+	pc.conn.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// clear drops the given connection if it is still current (a write failure
+// may have cleared it already).
+func (pc *peerConn) clear(conn net.Conn) {
+	pc.mu.Lock()
+	if pc.conn == conn {
+		pc.conn = nil
+	}
+	pc.mu.Unlock()
+	conn.Close()
+}
+
+// connected reports whether the outgoing connection is currently up.
+func (pc *peerConn) connected() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.conn != nil
+}
+
+// ---------------------------------------------------------------------------
+// Inbound side: accept, authenticate, ingest round traffic and queries.
+
+// acceptLoop admits inbound connections until the listener closes.
+func (pn *peerNet) acceptLoop() {
+	defer pn.wg.Done()
+	for {
+		conn, err := pn.ln.Accept()
+		if err != nil {
+			return
+		}
+		pn.wg.Add(1)
+		go pn.handleInbound(conn)
+	}
+}
+
+// handleInbound authenticates one inbound connection, enforces the one-live-
+// connection-per-player rule, and runs the frame ingest loop until the
+// connection dies. The slot a connection holds is released when its reader
+// exits, so a crashed peer's replacement connection is admitted as soon as
+// the kernel reports the old socket dead.
+func (pn *peerNet) handleInbound(conn net.Conn) {
+	defer pn.wg.Done()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	from, err := acceptHandshake(conn, pn.cfg.Secret, pn.self, pn.digest)
+	if err != nil || from == pn.self || from < 0 || from >= pn.cfg.N() {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	pn.inMu.Lock()
+	if pn.inConn[from] != nil {
+		pn.inMu.Unlock()
+		rejectPeer(conn, rejectDuplicate,
+			fmt.Sprintf("player %d already has a live connection (duplicate -player index, or a stale half-open socket)", from))
+		conn.Close()
+		return
+	}
+	pn.inConn[from] = conn
+	pn.inMu.Unlock()
+	pn.mu.Lock()
+	pn.cond.Broadcast() // WaitPeers counts inbound bindings too
+	pn.mu.Unlock()
+
+	pn.ingest(from, conn)
+
+	pn.inMu.Lock()
+	if pn.inConn[from] == conn {
+		pn.inConn[from] = nil
+	}
+	pn.inMu.Unlock()
+	conn.Close()
+}
+
+// inboundBound reports whether a live authenticated inbound connection from
+// peer j is currently bound.
+func (pn *peerNet) inboundBound(j int) bool {
+	pn.inMu.Lock()
+	defer pn.inMu.Unlock()
+	return pn.inConn[j] != nil
+}
+
+// ingest is the inbound frame loop for one authenticated peer: round traffic
+// into the staging area, done/status frames into the watermark, queries to
+// the application handler.
+func (pn *peerNet) ingest(from int, conn net.Conn) {
+	var wmu sync.Mutex // serializes reply writes on this connection
+	for {
+		typ, arg, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameData, frameBroadcast:
+			kind := Unicast
+			if typ == frameBroadcast {
+				kind = Broadcast
+			}
+			pn.stageRemote(from, arg, kind, payload)
+		case frameDone, framePeerStatus:
+			pn.advanceWatermark(from, arg)
+		case framePeerQuery:
+			if len(payload) < 8 {
+				return
+			}
+			id := payload[:8]
+			var resp []byte
+			if h := pn.opts.queryHandler; h != nil {
+				resp = h(from, payload[8:])
+			}
+			pn.wg.Add(1)
+			go func(id, resp []byte) {
+				// Replies go out on their own goroutine: the reader must
+				// keep draining round traffic even if the querier is slow
+				// to read.
+				defer pn.wg.Done()
+				wmu.Lock()
+				defer wmu.Unlock()
+				conn.SetWriteDeadline(time.Now().Add(pn.opts.writeTimeout))
+				_ = writeFrame(conn, framePeerReply, 0, append(append([]byte{}, id...), resp...))
+				conn.SetWriteDeadline(time.Time{})
+			}(append([]byte{}, id...), resp)
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// stageRemote buffers one round-stamped message from an authenticated peer.
+// Stale frames (round already committed) are dropped; so are frames
+// implausibly far in the future of anything we have heard of.
+func (pn *peerNet) stageRemote(from, round int, kind Kind, payload []byte) {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	horizon := pn.round
+	for _, w := range pn.watermark {
+		if w > horizon {
+			horizon = w
+		}
+	}
+	if round < pn.round || round > horizon+maxFutureWindow {
+		return
+	}
+	pn.staged[round] = append(pn.staged[round], Message{
+		From:    from,
+		Kind:    kind,
+		Payload: payload,
+		seq:     pn.seq,
+	})
+	pn.seq++
+	pn.cond.Broadcast()
+}
+
+// advanceWatermark records that `from` has declared rounds ≤ r complete, and
+// promotes the peer back into the required set when its declared position is
+// current (it has completed our previous round, so it will be sending
+// traffic for the round our barrier is waiting on).
+func (pn *peerNet) advanceWatermark(from, r int) {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	if r > pn.watermark[from] {
+		pn.watermark[from] = r
+	}
+	if from != pn.self && pn.watermark[from] >= pn.round-1 && pn.watermark[from] >= 0 {
+		pn.required[from] = true
+	}
+	pn.cond.Broadcast()
+}
+
+// ---------------------------------------------------------------------------
+// Round machinery.
+
+// StartAt opens the round machinery at round r: round 0 for a cluster-wide
+// cold start, or the agreed rejoin round for a daemon re-entering a running
+// cluster (see internal/beacon's catch-up choreography for how r is
+// chosen). It purges any traffic staged for rounds before r and announces
+// the position to every connected peer. StartAt does not wait for
+// connections — use WaitPeers first.
+func (nw *Network) StartAt(r int) error {
+	pn := nw.pn
+	if pn == nil {
+		return errors.New("simnet: StartAt on a non-peer network")
+	}
+	if r < 0 {
+		return fmt.Errorf("simnet: StartAt round %d", r)
+	}
+	pn.mu.Lock()
+	if pn.closed {
+		pn.mu.Unlock()
+		return pn.closeErr
+	}
+	if pn.started {
+		pn.mu.Unlock()
+		return errors.New("simnet: StartAt called twice")
+	}
+	pn.started = true
+	pn.round = r
+	for round := range pn.staged {
+		if round < r {
+			delete(pn.staged, round)
+		}
+	}
+	pn.mu.Unlock()
+	nw.nodes[pn.self].round = r
+
+	for _, pc := range pn.out {
+		if pc == nil {
+			continue
+		}
+		pc.mu.Lock()
+		pc.flushed = r - 1
+		pc.mu.Unlock()
+		pc.write(framePeerStatus, r-1, nil)
+	}
+	return nil
+}
+
+// endRound is the peer-mode implementation of Node.EndRound: flush this
+// round's traffic to every peer, wait for the distributed barrier, commit.
+func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
+	if nd.idx != pn.self {
+		return nil, fmt.Errorf("simnet: node %d is not local to this daemon (player %d)", nd.idx, pn.self)
+	}
+	if nd.halted {
+		return nil, &HaltedError{Player: nd.idx, Round: nd.round}
+	}
+	pn.mu.Lock()
+	started, closed, closeErr := pn.started, pn.closed, pn.closeErr
+	pn.mu.Unlock()
+	if closed {
+		return nil, closeErr
+	}
+	if !started {
+		return nil, ErrNotStarted
+	}
+	r := nd.round
+
+	// Flush outside the lock: socket writes may block on deadlines, and the
+	// inbound readers need the lock to keep staging. Per-peer write errors
+	// are swallowed — the failed connection is already handed to its
+	// dialLoop, and the peer's own barrier will demote us if we stay gone.
+	for _, s := range nd.outbox {
+		switch {
+		case s.to == nd.idx:
+			// self-delivery staged below
+		case s.to >= 0:
+			pn.out[s.to].write(frameData, r, s.msg.Payload)
+		default: // broadcast fan-out; self copy staged below
+			for _, pc := range pn.out {
+				if pc == nil {
+					continue
+				}
+				pc.write(frameBroadcast, r, s.msg.Payload)
+			}
+		}
+	}
+	for _, pc := range pn.out {
+		if pc == nil {
+			continue
+		}
+		pc.mu.Lock()
+		pc.flushed = r
+		pc.mu.Unlock()
+		pc.write(frameDone, r, nil)
+	}
+
+	pn.mu.Lock()
+	// Stage our own copies (self-sends and our broadcast echo) in emission
+	// order, like stageLocalTCP does.
+	for _, s := range nd.outbox {
+		if s.to == nd.idx || s.to < 0 {
+			m := s.msg
+			m.seq = pn.seq
+			pn.seq++
+			pn.staged[r] = append(pn.staged[r], m)
+		}
+	}
+	nd.outbox = nd.outbox[:0]
+
+	// Distributed barrier: wait for every required peer's watermark to reach
+	// r, or for the round timeout, whichever first.
+	expired := false
+	timer := time.AfterFunc(pn.opts.roundTimeout, func() {
+		pn.mu.Lock()
+		expired = true
+		pn.cond.Broadcast()
+		pn.mu.Unlock()
+	})
+	for !pn.closed && !expired && !pn.barrierMetLocked(r) {
+		pn.cond.Wait()
+	}
+	timer.Stop()
+	if pn.closed {
+		err := pn.closeErr
+		pn.mu.Unlock()
+		return nil, err
+	}
+	if expired {
+		for j := range pn.required {
+			if pn.required[j] && pn.watermark[j] < r {
+				pn.required[j] = false
+				// A zero-length span marks the demotion on the obs timeline.
+				pn.nw.tracer.Start(pn.self, r, obs.KindPhase, fmt.Sprintf("peer-demoted-%d", j)).End(r)
+			}
+		}
+	}
+	msgs := pn.commitLocked(r)
+	pn.mu.Unlock()
+
+	nd.round++
+	return msgs, nil
+}
+
+// barrierMetLocked reports whether every required peer has declared round r
+// complete. Caller holds pn.mu.
+func (pn *peerNet) barrierMetLocked(r int) bool {
+	for j, req := range pn.required {
+		if req && pn.watermark[j] < r {
+			return false
+		}
+	}
+	return true
+}
+
+// commitLocked seals round r: sort the staged messages into the canonical
+// (sender, emission-order) delivery order, advance the round, release the
+// staging slot. Caller holds pn.mu.
+func (pn *peerNet) commitLocked(r int) []Message {
+	msgs := pn.staged[r]
+	delete(pn.staged, r)
+	sort.Slice(msgs, func(a, b int) bool {
+		if msgs[a].From != msgs[b].From {
+			return msgs[a].From < msgs[b].From
+		}
+		return msgs[a].seq < msgs[b].seq
+	})
+	pn.round = r + 1
+	if pn.nw.ctr != nil {
+		pn.nw.ctr.AddRounds(1)
+	}
+	if pn.nw.tracer != nil {
+		delivered := 0
+		var totalBytes int64
+		for _, m := range msgs {
+			pn.nw.tracer.Deliver(m.From, pn.self, len(m.Payload), r)
+			delivered++
+			totalBytes += int64(len(m.Payload))
+		}
+		pn.nw.tracer.RoundBoundary(r, delivered, totalBytes)
+	}
+	pn.cond.Broadcast()
+	return msgs
+}
+
+// ---------------------------------------------------------------------------
+// Daemon-facing helpers.
+
+// WaitPeers blocks until at least `min` peers are connected in BOTH
+// directions (our authenticated dial to them is live, and their dial to us
+// is bound), or the timeout elapses (returning an error naming the peers
+// still missing). Requiring the inbound direction matters for joining: a
+// peer's round traffic reaches us only over its own outgoing connection, so
+// counting only our dials would let a joiner pick a start round whose
+// shares can never arrive. min is capped at n−1. Use n−1 before a cold
+// start (the bootstrap round needs the full mesh) and a quorum before a
+// rejoin.
+func (nw *Network) WaitPeers(min int, timeout time.Duration) error {
+	pn := nw.pn
+	if pn == nil {
+		return errors.New("simnet: WaitPeers on a non-peer network")
+	}
+	if min > pn.cfg.N()-1 {
+		min = pn.cfg.N() - 1
+	}
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		pn.mu.Lock()
+		expired = true
+		pn.cond.Broadcast()
+		pn.mu.Unlock()
+	})
+	defer timer.Stop()
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	for {
+		if pn.closed {
+			return pn.closeErr
+		}
+		up := 0
+		var missing []int
+		for j, pc := range pn.out {
+			if pc == nil {
+				continue
+			}
+			if pc.connected() && pn.inboundBound(j) {
+				up++
+			} else {
+				missing = append(missing, j)
+			}
+		}
+		if up >= min {
+			return nil
+		}
+		if expired {
+			return fmt.Errorf("simnet: player %d: only %d/%d peers connected after %v (missing %v)",
+				pn.self, up, min, timeout, missing)
+		}
+		pn.cond.Wait()
+	}
+}
+
+// PeerConnected reports which outgoing peer connections are currently live
+// (the self slot is always false).
+func (nw *Network) PeerConnected() []bool {
+	out := make([]bool, nw.n)
+	if nw.pn == nil {
+		return out
+	}
+	for j, pc := range nw.pn.out {
+		if pc != nil {
+			out[j] = pc.connected()
+		}
+	}
+	return out
+}
+
+// PeerWatermark returns the highest round peer j has declared complete, or
+// -1 if it has never been heard from.
+func (nw *Network) PeerWatermark(j int) int {
+	if nw.pn == nil {
+		return -1
+	}
+	nw.pn.mu.Lock()
+	defer nw.pn.mu.Unlock()
+	return nw.pn.watermark[j]
+}
+
+// Query sends an application request to peer `to` over the authenticated
+// connection and waits for its reply, outside the round machinery. It is the
+// rejoin catch-up channel (STATE and log-fetch requests, see
+// internal/beacon). Safe to call before StartAt; fails fast when the peer is
+// not connected.
+func (nw *Network) Query(to int, req []byte, timeout time.Duration) ([]byte, error) {
+	pn := nw.pn
+	if pn == nil {
+		return nil, errors.New("simnet: Query on a non-peer network")
+	}
+	if to < 0 || to >= pn.cfg.N() || to == pn.self {
+		return nil, fmt.Errorf("simnet: Query to invalid peer %d", to)
+	}
+	pn.qMu.Lock()
+	id := pn.qSeq
+	pn.qSeq++
+	ch := make(chan []byte, 1)
+	pn.qPending[id] = ch
+	pn.qMu.Unlock()
+	cancel := func() {
+		pn.qMu.Lock()
+		delete(pn.qPending, id)
+		pn.qMu.Unlock()
+	}
+
+	payload := make([]byte, 8, 8+len(req))
+	binary.LittleEndian.PutUint64(payload, id)
+	payload = append(payload, req...)
+	if err := pn.out[to].write(framePeerQuery, 0, payload); err != nil {
+		cancel()
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(timeout):
+		cancel()
+		return nil, fmt.Errorf("simnet: query to peer %d timed out after %v", to, timeout)
+	case <-pn.done:
+		cancel()
+		return nil, ErrPeerClosed
+	}
+}
+
+// close tears the peer network down: listener, all connections, all loops.
+func (pn *peerNet) close() {
+	pn.mu.Lock()
+	if pn.closed {
+		pn.mu.Unlock()
+		return
+	}
+	pn.closed = true
+	pn.closeErr = ErrPeerClosed
+	pn.cond.Broadcast()
+	pn.mu.Unlock()
+
+	close(pn.done)
+	pn.ln.Close()
+	for _, pc := range pn.out {
+		if pc == nil {
+			continue
+		}
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+	pn.inMu.Lock()
+	for i, c := range pn.inConn {
+		if c != nil {
+			c.Close()
+			pn.inConn[i] = nil
+		}
+	}
+	pn.inMu.Unlock()
+	pn.wg.Wait()
+}

@@ -1,0 +1,329 @@
+package simnet
+
+// Peer configuration for the multi-process deployment: one YAML file,
+// identical at every daemon, describing the whole cluster — the player
+// roster with its network addresses, the shared channel-authentication
+// secret, and the protocol parameters every player must agree on. The
+// transport layer folds everything except the secret into a digest that the
+// handshake pins, so two daemons reading different configs refuse to talk
+// instead of desyncing rounds later.
+//
+// The parser accepts a small, strict YAML subset — scalars, one list of
+// mappings, comments — so the repository needs no external dependency:
+//
+//	cluster: demo              # optional label
+//	secret: 6d6f6f6e…          # hex, ≥ 16 bytes; see docs/OPERATIONS.md
+//	t: 1                       # fault bound
+//	k: 32                      # coin field GF(2^k)
+//	batch: 96                  # Coin-Gen batch size M
+//	threshold: 6               # blocking refill threshold
+//	seedcoins: 24              # one-time trusted-dealer seed size
+//	peers:
+//	  - id: 0
+//	    addr: 127.0.0.1:9400
+//	  - id: 1
+//	    addr: 10.0.0.2:9400
+//	    listen: 0.0.0.0:9400   # optional local bind override (NAT)
+//
+// Unknown keys, tab indentation, duplicate keys and malformed scalars are
+// errors: an operator typo must fail loudly at startup, not as a protocol
+// divergence an hour in.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Peer is one row of the cluster roster.
+type Peer struct {
+	// ID is the 0-based player index; the roster must cover 0..n-1 exactly.
+	ID int
+	// Addr is the TCP address the other players dial to reach this peer.
+	Addr string
+	// Listen optionally overrides the local bind address (e.g. 0.0.0.0:port
+	// behind NAT). Empty means listen on Addr. Listen is deployment-local
+	// and excluded from the config digest.
+	Listen string
+}
+
+// PeerConfig is the parsed peers.yaml: the cluster roster, the shared
+// authentication secret, and the protocol parameters the daemons must agree
+// on. The transport consumes Peers and Secret; the serving layer
+// (internal/beacon) consumes the protocol parameters — they live here so a
+// single file, digest-checked at every handshake, fixes them cluster-wide.
+type PeerConfig struct {
+	// Cluster is an optional human-readable label, folded into the digest.
+	Cluster string
+	// Secret is the shared channel-authentication key (decoded from hex).
+	// It keys the handshake HMAC and never crosses the wire or enters the
+	// digest.
+	Secret []byte
+	// Peers is the roster, sorted by ID after Validate.
+	Peers []Peer
+
+	// T is the Byzantine fault bound; K the coin field GF(2^k); Batch the
+	// Coin-Gen batch size M; Threshold the blocking refill trigger;
+	// SeedCoins the one-time trusted-dealer seed size. The transport does
+	// not interpret them beyond the digest; internal/beacon validates them
+	// against core.Config. Zero values take the daemon's defaults.
+	T, K, Batch, Threshold, SeedCoins int
+}
+
+// N returns the cluster size.
+func (c *PeerConfig) N() int { return len(c.Peers) }
+
+// ListenAddr returns the bind address for player id: the Listen override
+// when set, the dial address otherwise.
+func (c *PeerConfig) ListenAddr(id int) string {
+	if c.Peers[id].Listen != "" {
+		return c.Peers[id].Listen
+	}
+	return c.Peers[id].Addr
+}
+
+// Validate checks the roster shape: a non-empty secret of at least 16
+// bytes, ids covering 0..n-1 exactly, and non-empty, pairwise-distinct dial
+// addresses. Protocol parameters are range-checked where a violation could
+// never be valid (negative values); full validation against core.Config
+// happens in the serving layer.
+func (c *PeerConfig) Validate() error {
+	if len(c.Secret) < 16 {
+		return fmt.Errorf("simnet: peer config secret must be ≥ 16 bytes of hex, got %d", len(c.Secret))
+	}
+	if len(c.Peers) == 0 {
+		return fmt.Errorf("simnet: peer config lists no peers")
+	}
+	n := len(c.Peers)
+	byID := make([]*Peer, n)
+	addrs := make(map[string]int, n)
+	for i := range c.Peers {
+		p := &c.Peers[i]
+		if p.ID < 0 || p.ID >= n {
+			return fmt.Errorf("simnet: peer id %d outside [0,%d) — ids must cover 0..n-1 exactly", p.ID, n)
+		}
+		if byID[p.ID] != nil {
+			return fmt.Errorf("simnet: duplicate peer id %d", p.ID)
+		}
+		byID[p.ID] = p
+		if p.Addr == "" {
+			return fmt.Errorf("simnet: peer %d has no addr", p.ID)
+		}
+		if prev, dup := addrs[p.Addr]; dup {
+			return fmt.Errorf("simnet: peers %d and %d share addr %s", prev, p.ID, p.Addr)
+		}
+		addrs[p.Addr] = p.ID
+	}
+	sorted := make([]Peer, n)
+	for i, p := range byID {
+		sorted[i] = *p
+	}
+	c.Peers = sorted
+	for _, v := range []struct {
+		name string
+		val  int
+	}{{"t", c.T}, {"k", c.K}, {"batch", c.Batch}, {"threshold", c.Threshold}, {"seedcoins", c.SeedCoins}} {
+		if v.val < 0 {
+			return fmt.Errorf("simnet: peer config %s must not be negative, got %d", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Digest returns the canonical SHA-256 of everything both sides of a
+// handshake must agree on: the cluster label, the protocol parameters and
+// the roster (ids and dial addresses). The secret and the node-local Listen
+// overrides are excluded. Both HELLO and the handshake MACs carry this
+// digest, so a config mismatch is detected before any protocol traffic.
+func (c *PeerConfig) Digest() [32]byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dprbg-peers-v1\ncluster=%s\nt=%d k=%d batch=%d threshold=%d seedcoins=%d\n",
+		c.Cluster, c.T, c.K, c.Batch, c.Threshold, c.SeedCoins)
+	for _, p := range c.Peers {
+		fmt.Fprintf(&b, "peer %d %s\n", p.ID, p.Addr)
+	}
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// LoadPeerConfig reads and parses a peers.yaml file and validates it.
+func LoadPeerConfig(path string) (*PeerConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: peer config: %w", err)
+	}
+	cfg, err := ParsePeerConfig(data)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: peer config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// ParsePeerConfig parses the YAML subset documented on the package file and
+// validates the result. Errors carry the 1-based line number.
+func ParsePeerConfig(data []byte) (*PeerConfig, error) {
+	cfg := &PeerConfig{}
+	seen := map[string]bool{}
+	inPeers := false
+	itemIndent := -1
+	var cur *Peer
+
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		lineno := ln + 1
+		line, err := stripComment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("line %d: tab indentation is not supported; use spaces", lineno)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		body := strings.TrimSpace(line)
+
+		if indent == 0 {
+			inPeers = false
+			cur = nil
+			key, val, err := splitKV(body)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			if seen[key] {
+				return nil, fmt.Errorf("line %d: duplicate key %q", lineno, key)
+			}
+			seen[key] = true
+			switch key {
+			case "cluster":
+				cfg.Cluster = val
+			case "secret":
+				sec, err := hex.DecodeString(val)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: secret is not valid hex: %v", lineno, err)
+				}
+				cfg.Secret = sec
+			case "t", "k", "batch", "threshold", "seedcoins":
+				iv, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %s wants an integer, got %q", lineno, key, val)
+				}
+				switch key {
+				case "t":
+					cfg.T = iv
+				case "k":
+					cfg.K = iv
+				case "batch":
+					cfg.Batch = iv
+				case "threshold":
+					cfg.Threshold = iv
+				case "seedcoins":
+					cfg.SeedCoins = iv
+				}
+			case "peers":
+				if val != "" {
+					return nil, fmt.Errorf("line %d: peers must introduce a list, not a scalar", lineno)
+				}
+				inPeers = true
+				itemIndent = -1
+			default:
+				return nil, fmt.Errorf("line %d: unknown key %q", lineno, key)
+			}
+			continue
+		}
+
+		// Indented content is only valid inside the peers list.
+		if !inPeers {
+			return nil, fmt.Errorf("line %d: unexpected indented line outside peers", lineno)
+		}
+		if strings.HasPrefix(body, "- ") || body == "-" {
+			if itemIndent == -1 {
+				itemIndent = indent
+			} else if indent != itemIndent {
+				return nil, fmt.Errorf("line %d: inconsistent list indentation", lineno)
+			}
+			cfg.Peers = append(cfg.Peers, Peer{ID: -1})
+			cur = &cfg.Peers[len(cfg.Peers)-1]
+			body = strings.TrimSpace(strings.TrimPrefix(body, "-"))
+			if body == "" {
+				continue
+			}
+		} else if cur == nil {
+			return nil, fmt.Errorf("line %d: peer fields before any - item", lineno)
+		}
+		key, val, err := splitKV(body)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		switch key {
+		case "id":
+			iv, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: peer id wants an integer, got %q", lineno, val)
+			}
+			cur.ID = iv
+		case "addr":
+			cur.Addr = val
+		case "listen":
+			cur.Listen = val
+		default:
+			return nil, fmt.Errorf("line %d: unknown peer key %q", lineno, key)
+		}
+	}
+	for i := range cfg.Peers {
+		if cfg.Peers[i].ID == -1 {
+			return nil, fmt.Errorf("peer entry %d has no id", i)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// splitKV splits "key: value" (value may be empty, quoted with ' or ").
+func splitKV(s string) (key, val string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("expected key: value, got %q", s)
+	}
+	key = strings.TrimSpace(s[:i])
+	val = strings.TrimSpace(s[i+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("empty key in %q", s)
+	}
+	if len(val) >= 2 {
+		if (val[0] == '\'' && val[len(val)-1] == '\'') || (val[0] == '"' && val[len(val)-1] == '"') {
+			val = val[1 : len(val)-1]
+		}
+	}
+	return key, val, nil
+}
+
+// stripComment removes a trailing # comment that is not inside quotes. A
+// quote left open at end of line is an error.
+func stripComment(line string) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#':
+			if i == 0 || line[i-1] == ' ' {
+				return line[:i], nil
+			}
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("unterminated %c-quote", quote)
+	}
+	return line, nil
+}

@@ -18,6 +18,24 @@
 // misdelivering staged traffic — are modelled by an Interceptor installed
 // WithInterceptor, which rewrites each staged message at the round boundary
 // without breaking lockstep delivery.
+//
+// Three transports present the same Node API:
+//
+//   - New: in-memory, all players in one process — the default for tests,
+//     experiments and the single-process beacon.
+//   - NewTCP: still one process, but every message crosses a real TCP
+//     loopback connection; used to validate wire encodings and measure
+//     transport overhead.
+//   - NewPeer: the multi-process deployment — this process hosts exactly
+//     one player, peers over authenticated TCP per a PeerConfig, and the
+//     round barrier is stretched across processes with crash-tolerant
+//     demotion/promotion (see peer.go and ARCHITECTURE.md §9).
+//
+// Interceptors apply to the two in-process transports (adversarial tests
+// need a vantage point that sees all n players' traffic, which no single
+// daemon has); WithRoundTimeout, WithWriteTimeout, WithDialBackoff and
+// WithQueryHandler apply to peer networks only, and the remaining Options
+// apply everywhere.
 package simnet
 
 import (
@@ -180,9 +198,19 @@ type Network struct {
 	// TCP transport state (nil for in-memory networks); see tcp.go.
 	tcp     *tcpTransport
 	tcpDone []int // per-sender done markers received for the current round
+
+	// Multi-process peer transport state (nil outside daemon mode); see
+	// peer.go. A peer-mode Network drives exactly one local node and
+	// replaces the in-process barrier with the distributed watermark
+	// barrier, so the shared-state fields above stay idle.
+	pn       *peerNet
+	peerOpts peerOptions
 }
 
-// Option configures a Network.
+// Option configures a Network at construction. Options are shared across
+// all three transports (New, NewTCP, NewPeer); each transport ignores the
+// options that do not apply to it — see the package comment for which
+// apply where.
 type Option func(*Network)
 
 // WithCounters attaches a metrics sink recording messages, bytes, broadcasts
@@ -456,6 +484,9 @@ func (nd *Node) Broadcast(payload []byte) {
 // node, ordered by sender index (ties by send order).
 func (nd *Node) EndRound() ([]Message, error) {
 	nw := nd.nw
+	if nw.pn != nil {
+		return nw.pn.endRound(nd)
+	}
 	if nw.tcp != nil {
 		// Socket writes happen outside the lock: the reader goroutines
 		// need the lock to drain, and a full socket buffer must not
@@ -510,6 +541,14 @@ func (nd *Node) EndRound() ([]Message, error) {
 // players whose protocol function returned).
 func (nd *Node) Halt() {
 	nw := nd.nw
+	if nw.pn != nil {
+		// Peer mode has no shared barrier to release — the other players
+		// live in other processes, and their barriers demote us once our
+		// done markers stop arriving. Just retire the local node.
+		nd.halted = true
+		nd.outbox = nil
+		return
+	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	if nd.halted {

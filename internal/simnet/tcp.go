@@ -149,9 +149,13 @@ func (tr *tcpTransport) dialAll() error {
 	return nil
 }
 
-// Close shuts down the TCP mesh (no-op for in-memory networks). Safe to
-// call multiple times.
+// Close shuts down the TCP mesh or the multi-process peer transport (no-op
+// for in-memory networks). Safe to call multiple times.
 func (nw *Network) Close() {
+	if nw.pn != nil {
+		nw.pn.close()
+		return
+	}
 	if nw.tcp == nil {
 		return
 	}
