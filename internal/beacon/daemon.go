@@ -62,6 +62,12 @@ import (
 // current batches and cannot be repaired without a new dealer ceremony.
 var ErrEpochMismatch = errors.New("beacon: refill epoch mismatch (this player missed a Coin-Gen; re-deal the cluster)")
 
+// errLogAppend marks a failed write to the on-disk public coin log (disk
+// full, I/O error). Once an append fails the in-memory log may be ahead of
+// the file, so the operation that hit it must halt rather than retry — the
+// next restart heals the tail from the verified in-memory entries.
+var errLogAppend = errors.New("beacon: public coin log append failed")
+
 // DaemonConfig parameterizes one per-player daemon.
 type DaemonConfig struct {
 	// Peers is the cluster roster and protocol parameters (peers.yaml).
@@ -436,7 +442,7 @@ func (d *Daemon) join(ctx context.Context) error {
 		if err == nil {
 			return nil
 		}
-		if errors.Is(err, ErrEpochMismatch) || ctx.Err() != nil {
+		if errors.Is(err, ErrEpochMismatch) || errors.Is(err, errLogAppend) || ctx.Err() != nil {
 			return err
 		}
 		// Transient (peer mid-refill, window too tight, a query timed
@@ -547,6 +553,14 @@ func (d *Daemon) start(round int) error {
 // min(t+1, responders) identical answers for every entry. Values opened
 // after the peers answered trickle into their logs within a round or two,
 // so the fetch retries briefly.
+//
+// Order matters for retry safety: the whole range is fetched and verified
+// BEFORE any local state is touched. A transient backfill failure (query
+// timeout, stalled fetch, quorum not met) therefore leaves the store and
+// log exactly as they were, so join() can rerun the choreography from the
+// same position — Store.Discard is not idempotent, and discarding twice
+// for one target would desynchronize this player's share cursor from the
+// cluster's forever.
 func (d *Daemon) fastForward(target int, peers []int) error {
 	d.mu.Lock()
 	pos := len(d.log)
@@ -558,10 +572,6 @@ func (d *Daemon) fastForward(target int, peers []int) error {
 	if target == pos {
 		return nil
 	}
-	if err := d.gen.Store().Discard(target - pos); err != nil {
-		return fmt.Errorf("%w: %v", ErrEpochMismatch, err)
-	}
-	d.syncShared()
 
 	need := target - pos
 	quorum := d.core.T + 1
@@ -586,13 +596,29 @@ func (d *Daemon) fastForward(target int, peers []int) error {
 			time.Sleep(100 * time.Millisecond)
 		}
 	}
+
+	// The full range is verified in hand — now commit: advance the share
+	// cursor past the coins the cluster opened without us and append their
+	// public values to our log.
+	if err := d.gen.Store().Discard(need); err != nil {
+		return fmt.Errorf("%w: %v", ErrEpochMismatch, err)
+	}
+	d.syncShared()
 	d.mu.Lock()
+	var werr error
 	for _, v := range entries {
-		fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
+		if _, werr = fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v)); werr != nil {
+			break
+		}
 		d.log = append(d.log, v)
 	}
 	d.state.LogLen = len(d.log)
 	d.mu.Unlock()
+	if werr != nil {
+		// The on-disk log is now behind the in-memory one; retrying the
+		// join would double-discard, so this failure is terminal.
+		return fmt.Errorf("%w: %v", errLogAppend, werr)
+	}
 	d.cfg.Logf("backfilled %d missed public coins [%d,%d)", need, pos, target)
 	return nil
 }
@@ -707,8 +733,10 @@ func (d *Daemon) emit(ctx context.Context) error {
 		refilled := d.gen.Stats().Batches - batchesBefore
 
 		d.mu.Lock()
-		fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
-		d.log = append(d.log, v)
+		_, werr := fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
+		if werr == nil {
+			d.log = append(d.log, v)
+		}
 		d.state.LogLen = len(d.log)
 		d.state.Round = d.nd.Round()
 		d.state.Remaining = d.gen.Remaining()
@@ -717,6 +745,12 @@ func (d *Daemon) emit(ctx context.Context) error {
 			d.state.Refilling = false
 		}
 		d.mu.Unlock()
+		if werr != nil {
+			// Halt without persisting: the meta snapshot must not record a
+			// LogLen the on-disk log never reached, and the restart replays
+			// the lost tail from peers.
+			return fmt.Errorf("%w: player %d at log position %d: %v", errLogAppend, d.cfg.Self, logLen, werr)
+		}
 
 		if refilled > 0 {
 			if err := d.persist(); err != nil {

@@ -167,9 +167,13 @@ func FormatLogEntry(index int, value gf2k.Element) string {
 	return fmt.Sprintf("%d %x", index, uint64(value))
 }
 
-// LoadCoinLog reads a public coin log back into memory. A truncated final
-// line (the signature of a crash mid-append) is dropped, not an error; any
-// earlier malformed line is corruption and fails. Entries must be
+// LoadCoinLog reads a public coin log back into memory. A final line not
+// terminated by '\n' (the signature of a crash mid-append) is dropped
+// unconditionally — even when it happens to parse: "5 deadbeef\n" torn to
+// "5 dead" yields the right index with a WRONG value, and loading it would
+// silently fork this daemon's public log from the cluster's. The dropped
+// entry replays from peers at rejoin. Any line inside the terminated
+// prefix that fails to parse is corruption and fails. Entries must be
 // contiguous from 0.
 func LoadCoinLog(path string) ([]gf2k.Element, error) {
 	data, err := os.ReadFile(path)
@@ -179,20 +183,20 @@ func LoadCoinLog(path string) ([]gf2k.Element, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := string(data)
+	if i := strings.LastIndexByte(s, '\n'); i >= 0 {
+		s = s[:i+1]
+	} else {
+		s = "" // a single torn line, no terminated prefix at all
+	}
 	var out []gf2k.Element
-	lines := strings.Split(string(data), "\n")
-	complete := strings.HasSuffix(string(data), "\n")
-	for i, line := range lines {
+	for i, line := range strings.Split(s, "\n") {
 		if line == "" {
 			continue
 		}
 		var idx int
 		var val uint64
 		if _, err := fmt.Sscanf(line, "%d %x", &idx, &val); err != nil || idx != len(out) {
-			last := i == len(lines)-1 || (i == len(lines)-2 && lines[len(lines)-1] == "")
-			if last && !complete {
-				break // torn final append from a crash; the entry replays from peers
-			}
 			return nil, fmt.Errorf("beacon: coin log %s corrupt at line %d", path, i+1)
 		}
 		out = append(out, gf2k.Element(val))

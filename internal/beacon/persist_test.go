@@ -1,0 +1,68 @@
+package beacon
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gf2k"
+)
+
+// TestLoadCoinLogTornTailDropped pins the crash-recovery contract for the
+// public coin log: a final line not terminated by '\n' is a torn append and
+// must be dropped even when the fragment still parses. "2 deadbeef" torn to
+// "2 dead" yields index 2 with value 0xdead — loading it would silently
+// fork this daemon's log from the cluster's.
+func TestLoadCoinLogTornTailDropped(t *testing.T) {
+	cases := []struct {
+		name, data string
+		want       []gf2k.Element
+	}{
+		{"clean", "0 aa\n1 bb\n", []gf2k.Element{0xaa, 0xbb}},
+		{"torn parseable", "0 aa\n1 bb\n2 dead", []gf2k.Element{0xaa, 0xbb}},
+		{"torn garbage", "0 aa\n1 bb\n2 de", []gf2k.Element{0xaa, 0xbb}},
+		{"torn mid-index", "0 aa\n1", []gf2k.Element{0xaa}},
+		{"single torn line", "0 a", nil},
+		{"empty", "", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "coins")
+			if err := os.WriteFile(path, []byte(tc.data), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadCoinLog(path)
+			if err != nil {
+				t.Fatalf("LoadCoinLog: %v", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("loaded %d entries, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("entry %d = %x, want %x", i, uint64(got[i]), uint64(tc.want[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestLoadCoinLogCorruptInterior checks that damage inside the terminated
+// prefix is still a loud failure, not a silent truncation.
+func TestLoadCoinLogCorruptInterior(t *testing.T) {
+	for name, data := range map[string]string{
+		"bad line":  "0 aa\nnonsense\n2 cc\n",
+		"index gap": "0 aa\n2 cc\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "coins")
+			if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadCoinLog(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+				t.Fatalf("LoadCoinLog error = %v, want corruption failure", err)
+			}
+		})
+	}
+}

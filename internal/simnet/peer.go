@@ -139,10 +139,21 @@ type peerNet struct {
 
 	qMu      sync.Mutex
 	qSeq     uint64
-	qPending map[uint64]chan []byte
+	qPending map[uint64]qWaiter
 
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// qWaiter is one in-flight Query: the peer it was addressed to and the
+// channel its reply is delivered on. Binding the waiter to the target peer
+// is what makes query ids unforgeable across peers: ids are sequential and
+// predictable, so a Byzantine peer could otherwise pre-send replies on its
+// OWN connection that answer queries addressed to honest peers — defeating
+// the t+1 cross-check the rejoin log backfill relies on.
+type qWaiter struct {
+	to int
+	ch chan []byte
 }
 
 // peerConn is one outgoing connection slot, owned by its dialLoop goroutine.
@@ -201,7 +212,7 @@ func NewPeer(cfg *PeerConfig, self int, opts ...Option) (*Network, error) {
 		required:  make([]bool, cfg.N()),
 		staged:    make(map[int][]Message),
 		inConn:    make([]net.Conn, cfg.N()),
-		qPending:  make(map[uint64]chan []byte),
+		qPending:  make(map[uint64]qWaiter),
 		done:      make(chan struct{}),
 	}
 	pn.cond = sync.NewCond(&pn.mu)
@@ -296,7 +307,10 @@ func (pc *peerConn) dialLoop() {
 
 // replyRead drains the peer's replies off our outgoing connection (the only
 // frames an accepter sends after the handshake) and routes them to waiting
-// Query calls. Returning means the connection is broken.
+// Query calls. A reply only settles the pending query if that query was
+// addressed to THIS peer (see qWaiter); a reply claiming another peer's id
+// is a forgery attempt and drops the connection. Returning means the
+// connection is broken.
 func (pc *peerConn) replyRead(conn net.Conn) {
 	pn := pc.pn
 	for {
@@ -309,11 +323,19 @@ func (pc *peerConn) replyRead(conn net.Conn) {
 		}
 		id := binary.LittleEndian.Uint64(payload[:8])
 		pn.qMu.Lock()
-		ch := pn.qPending[id]
-		delete(pn.qPending, id)
+		w, ok := pn.qPending[id]
+		if ok && w.to == pc.to {
+			delete(pn.qPending, id)
+		}
 		pn.qMu.Unlock()
-		if ch != nil {
-			ch <- payload[8:]
+		switch {
+		case ok && w.to == pc.to:
+			w.ch <- payload[8:]
+		case ok:
+			return // reply to a query addressed to a different peer: forged
+		default:
+			// Unknown id: a legitimately late reply whose Query already
+			// timed out and cancelled. Ignore it.
 		}
 	}
 }
@@ -495,9 +517,24 @@ func (pn *peerNet) stageRemote(from, round int, kind Kind, payload []byte) {
 // promotes the peer back into the required set when its declared position is
 // current (it has completed our previous round, so it will be sending
 // traffic for the round our barrier is waiting on).
+//
+// Once the round machinery is started, the accepted watermark is clamped to
+// maxFutureWindow past the local committed round: an honest peer can only be
+// a round or two ahead (the barrier holds it back), so the clamp never binds
+// for honest traffic, while a misbehaving peer declaring round 2^31 would
+// otherwise inflate stageRemote's horizon and let far-future frames pile up
+// unboundedly in the staged map. Before StartAt no clamp applies — a
+// rejoining daemon's pn.round is still 0 while the cluster may legitimately
+// be thousands of rounds ahead, and that unclamped window only lasts for
+// the (bounded) join choreography.
 func (pn *peerNet) advanceWatermark(from, r int) {
 	pn.mu.Lock()
 	defer pn.mu.Unlock()
+	if pn.started {
+		if limit := pn.round + maxFutureWindow; r > limit {
+			r = limit
+		}
+	}
 	if r > pn.watermark[from] {
 		pn.watermark[from] = r
 	}
@@ -792,7 +829,7 @@ func (nw *Network) Query(to int, req []byte, timeout time.Duration) ([]byte, err
 	id := pn.qSeq
 	pn.qSeq++
 	ch := make(chan []byte, 1)
-	pn.qPending[id] = ch
+	pn.qPending[id] = qWaiter{to: to, ch: ch}
 	pn.qMu.Unlock()
 	cancel := func() {
 		pn.qMu.Lock()
