@@ -1,0 +1,339 @@
+// Command beaconctl is the cluster inspector for a multi-process beacon:
+// it reads the same peers.yaml the daemons run from, scrapes every
+// daemon's observability endpoints (/v1/healthz, /metrics, /debug/trace —
+// the http: field of each roster entry), and renders the operator's view
+// of the whole cluster from the outside.
+//
+//	beaconctl status   -config peers.yaml [-lag 3]
+//	beaconctl timeline -config peers.yaml [-n 5000] [-o merged.jsonl]
+//
+// status prints one row per player: its round/log/epoch position, coins
+// left in the store, how far it trails the cluster lead (LAG), its view of
+// peer connectivity, and latency quantiles (draw latency in -all mode,
+// emit latency in -player mode). Players lagging the lead by more than
+// -lag rounds are flagged STRAGGLER; unreachable daemons are flagged DOWN.
+// A daemon that was SIGKILLed shows DOWN until it restarts, STRAGGLER
+// while it catches up, and a clean row once rejoined.
+//
+// timeline fetches every daemon's in-memory flight recorder
+// (/debug/trace), merges the per-daemon streams into one canonically
+// ordered cluster timeline (obs.MergeJSONL — ordered by epoch, round,
+// player), and renders it with obs.Timeline; -o writes the merged JSONL
+// instead, for offline analysis.
+//
+// beaconctl never speaks the authenticated peer transport and needs no
+// secret material beyond read access to peers.yaml; it is safe to run from
+// any operator machine that can reach the daemons' HTTP ports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/prom"
+	"repro/internal/simnet"
+)
+
+const usage = `beaconctl: inspect a multi-process beacon cluster over its observability endpoints
+
+usage:
+  beaconctl status   -config peers.yaml [-lag 3] [-timeout 2s]
+  beaconctl timeline -config peers.yaml [-n 5000] [-o merged.jsonl] [-timeout 2s]
+
+the peers.yaml roster needs an http: field per peer (the daemon's -addr).`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("beaconctl: no subcommand\n%s", usage)
+	}
+	switch args[0] {
+	case "status":
+		return runStatus(args[1:], stdout, stderr)
+	case "timeline":
+		return runTimeline(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		fmt.Fprintln(stdout, usage)
+		return nil
+	default:
+		return fmt.Errorf("beaconctl: unknown subcommand %q\n%s", args[0], usage)
+	}
+}
+
+// peerView is everything status learned about one daemon.
+type peerView struct {
+	id   int
+	http string
+	err  error // unreachable / malformed answer
+
+	// From /v1/healthz.
+	joined    bool
+	refilling bool
+	round     int
+	logLen    int
+	epoch     int
+	remaining int
+	peersUp   int
+	peersAll  int
+
+	// From /metrics.
+	p50, p99   float64 // draw (service) or emit (player) latency seconds
+	latencySrc string  // "draw" or "emit"
+	demotions  float64 // sum over this daemon's simnet_peer_demotions_total
+	reconnects float64 // sum over simnet_peer_reconnects_total
+}
+
+func runStatus(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("beaconctl status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "peers.yaml with http: addresses")
+	lagLimit := fs.Int("lag", 3, "flag a player STRAGGLER when it trails the cluster lead by more than this many rounds")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-daemon scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pc, err := loadRoster(*configPath)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	views := make([]*peerView, 0, pc.N())
+	for _, p := range pc.Peers {
+		views = append(views, scrapePeer(client, p))
+	}
+
+	// The cluster lead is the most advanced reachable player; lag is
+	// measured against it, matching the transport's own watermark-lag
+	// definition (everything is relative to the furthest committer).
+	lead := -1
+	for _, v := range views {
+		if v.err == nil && v.round > lead {
+			lead = v.round
+		}
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "PLAYER\tHTTP\tROUND\tLOG\tEPOCH\tSTORE\tLAG\tPEERS\tLATENCY(p50/p99)\tFLAGS")
+	stragglers := 0
+	for _, v := range views {
+		if v.err != nil {
+			fmt.Fprintf(tw, "%d\t%s\t-\t-\t-\t-\t-\t-\t-\tDOWN (%v)\n", v.id, orDash(v.http), v.err)
+			stragglers++
+			continue
+		}
+		lag := lead - v.round
+		if lag < 0 {
+			lag = 0
+		}
+		var flags []string
+		if lag > *lagLimit {
+			flags = append(flags, "STRAGGLER")
+			stragglers++
+		}
+		if !v.joined {
+			flags = append(flags, "joining")
+		}
+		if v.refilling {
+			flags = append(flags, "refilling")
+		}
+		if v.demotions > 0 {
+			flags = append(flags, fmt.Sprintf("demoted-peers=%.0f", v.demotions))
+		}
+		lat := "-"
+		if v.latencySrc != "" {
+			lat = fmt.Sprintf("%s %.0fms/%.0fms", v.latencySrc, v.p50*1000, v.p99*1000)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d/%d\t%s\t%s\n",
+			v.id, v.http, v.round, v.logLen, v.epoch, v.remaining, lag,
+			v.peersUp, v.peersAll, lat, strings.Join(flags, ","))
+	}
+	tw.Flush()
+	if lead < 0 {
+		fmt.Fprintln(stdout, "cluster: no daemon reachable")
+	} else {
+		fmt.Fprintf(stdout, "cluster: lead round %d, %d/%d players healthy\n",
+			lead, len(views)-stragglers, len(views))
+	}
+	return nil
+}
+
+// scrapePeer collects one daemon's healthz and metrics; a partial answer
+// (healthz up, metrics down) keeps the healthz half rather than erroring.
+func scrapePeer(client *http.Client, p simnet.Peer) *peerView {
+	v := &peerView{id: p.ID, http: p.HTTP}
+	if p.HTTP == "" {
+		v.err = fmt.Errorf("no http: address in peers.yaml")
+		return v
+	}
+	base := "http://" + p.HTTP
+
+	resp, err := client.Get(base + "/v1/healthz")
+	if err != nil {
+		v.err = err
+		return v
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		v.err = fmt.Errorf("healthz status %d", resp.StatusCode)
+		return v
+	}
+	var hz struct {
+		Joined    bool   `json:"joined"`
+		Refilling bool   `json:"refilling"`
+		Round     int    `json:"round"`
+		Log       int    `json:"log"`
+		Epoch     int    `json:"epoch"`
+		Remaining int    `json:"remaining"`
+		Peers     []bool `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		v.err = fmt.Errorf("healthz: %v", err)
+		return v
+	}
+	v.joined, v.refilling = hz.Joined, hz.Refilling
+	v.round, v.logLen, v.epoch, v.remaining = hz.Round, hz.Log, hz.Epoch, hz.Remaining
+	v.peersAll = len(hz.Peers)
+	for _, up := range hz.Peers {
+		if up {
+			v.peersUp++
+		}
+	}
+
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return v // healthz answered; metrics are best-effort
+	}
+	defer mresp.Body.Close()
+	samples, err := prom.ParseText(mresp.Body)
+	if err != nil {
+		return v
+	}
+	for _, src := range []struct{ label, name string }{
+		{"draw", "beacon_draw_latency_seconds"},
+		{"emit", "beacond_emit_latency_seconds"},
+	} {
+		if n, ok := prom.Value(samples, src.name+"_count"); ok && n > 0 {
+			v.latencySrc = src.label
+			v.p50 = prom.Quantile(samples, src.name, 0.50)
+			v.p99 = prom.Quantile(samples, src.name, 0.99)
+			break
+		}
+	}
+	for _, s := range prom.Find(samples, "simnet_peer_demotions_total") {
+		v.demotions += s.Value
+	}
+	for _, s := range prom.Find(samples, "simnet_peer_reconnects_total") {
+		v.reconnects += s.Value
+	}
+	return v
+}
+
+func runTimeline(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("beaconctl timeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "peers.yaml with http: addresses")
+	events := fs.Int("n", 0, "events to fetch per daemon (0 = all retained)")
+	out := fs.String("o", "", "write merged JSONL to this file instead of rendering the timeline")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-daemon fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pc, err := loadRoster(*configPath)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	streams := map[int]io.Reader{}
+	fetched := 0
+	for _, p := range pc.Peers {
+		if p.HTTP == "" {
+			fmt.Fprintf(stderr, "beaconctl: player %d has no http: address; skipping\n", p.ID)
+			continue
+		}
+		url := fmt.Sprintf("http://%s/debug/trace", p.HTTP)
+		if *events > 0 {
+			url += fmt.Sprintf("?n=%d", *events)
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			fmt.Fprintf(stderr, "beaconctl: player %d unreachable (%v); merging without it\n", p.ID, err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "beaconctl: player %d trace fetch failed (status %d, %v); merging without it\n",
+				p.ID, resp.StatusCode, err)
+			continue
+		}
+		streams[p.ID] = strings.NewReader(string(body))
+		fetched++
+	}
+	if fetched == 0 {
+		return fmt.Errorf("beaconctl: no daemon served a trace")
+	}
+	merged, err := obs.MergeJSONL(streams)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		j := obs.NewJSONL(f)
+		for _, e := range merged {
+			j.Emit(e)
+		}
+		if err := j.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "beaconctl: merged %d events from %d daemons into %s\n", len(merged), fetched, *out)
+		return nil
+	}
+	fmt.Fprintf(stdout, "cluster timeline: %d events from %d daemons\n", len(merged), fetched)
+	obs.Timeline(stdout, merged)
+	return nil
+}
+
+// loadRoster loads peers.yaml and sorts the roster by id (Validate already
+// does; the sort keeps the table stable if that ever changes).
+func loadRoster(path string) (*simnet.PeerConfig, error) {
+	if path == "" {
+		return nil, fmt.Errorf("beaconctl: -config peers.yaml is required\n%s", usage)
+	}
+	pc, err := simnet.LoadPeerConfig(path)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pc.Peers, func(i, j int) bool { return pc.Peers[i].ID < pc.Peers[j].ID })
+	return pc, nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

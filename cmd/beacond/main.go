@@ -26,14 +26,20 @@
 //
 //	beacond -player 3 -config peers.yaml -data /var/lib/beacond
 //
-// HTTP endpoints (single-process mode; daemon mode serves only /v1/healthz
-// and /debug/vars, on -addr when set):
+// HTTP endpoints (single-process mode; daemon mode serves the observability
+// endpoints only — /v1/healthz, /metrics, /debug/vars, /debug/trace — on
+// -addr when set):
 //
 //	GET /v1/coin        one shared coin (an element of GF(2^k))
 //	GET /v1/bits?n=128  n shared random bits, hex-encoded LSB-first
 //	GET /v1/modulo?m=6  a shared value in [1, m] (the paper's leader draw)
 //	GET /v1/healthz     liveness plus a stats summary
-//	GET /debug/vars     expvar metrics, including the beacon Stats snapshot
+//	GET /metrics        Prometheus text exposition (draw latency, refill
+//	                    pipeline, per-peer watermarks in daemon mode)
+//	GET /debug/vars     expvar, with the unified beacon.VarsSnapshot under
+//	                    the "beacon" key in both modes
+//	GET /debug/trace    last ?n= events from the in-memory flight recorder,
+//	                    as obs JSONL (mergeable with beaconctl timeline)
 //
 // Overload responses use 429 (queue full or rate-limited); a clean
 // shutdown answers in-flight requests before persisting.
@@ -65,6 +71,7 @@ import (
 	"repro/internal/gf2k"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/prom"
 	"repro/internal/simnet"
 )
 
@@ -138,7 +145,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&c.emitInterval, "emit-interval", 0, "daemon mode: minimum delay between coin openings (0 = as fast as rounds allow)")
 	fs.DurationVar(&c.roundTimeout, "round-timeout", 0, "daemon mode: barrier timeout before lagging peers are dropped from a round (0 = transport default)")
 	fs.DurationVar(&c.dialBackoff, "dial-backoff", 0, "daemon mode: maximum reconnect backoff between dial attempts (0 = transport default)")
-	fs.StringVar(&c.trace, "trace", "", "daemon mode: write an obs JSONL protocol trace to this file")
+	fs.StringVar(&c.trace, "trace", "", "write an obs JSONL protocol trace to this file (-all: refill spans; -player: the full protocol)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -219,23 +226,58 @@ func (c *config) beaconConfig(ctr *metrics.Counters) (beacon.Config, error) {
 	return cfg, cfg.Validate()
 }
 
-// liveService lets the expvar callback — registered once per process, while
-// tests start several servers — always reflect the current service.
-var liveService atomic.Pointer[beacon.Service]
+// liveVars holds the current mode's snapshot function. expvar.Publish
+// panics on duplicate names and tests start several servers (of both modes)
+// in one process, so a single "beacon" key is registered once and
+// dispatches to whatever ran last — both modes publish the same unified
+// beacon.VarsSnapshot schema.
+var liveVars atomic.Value // of func() beacon.VarsSnapshot
 
 var publishOnce = func() func() {
 	var done atomic.Bool
 	return func() {
 		if done.CompareAndSwap(false, true) {
 			expvar.Publish("beacon", expvar.Func(func() any {
-				if s := liveService.Load(); s != nil {
-					return s.Stats()
+				if f, ok := liveVars.Load().(func() beacon.VarsSnapshot); ok {
+					return f()
 				}
 				return nil
 			}))
 		}
 	}
 }()
+
+// publishVars installs f as the process's /debug/vars snapshot source.
+func publishVars(f func() beacon.VarsSnapshot) {
+	liveVars.Store(f)
+	publishOnce()
+}
+
+// traceHandler serves the in-memory flight recorder as obs JSONL: the last
+// ?n= events (default: everything retained). The dump carries each event's
+// origin/epoch correlation keys, so per-daemon dumps merge with
+// obs.MergeJSONL into one cluster timeline (beaconctl timeline does).
+func traceHandler(ring *obs.Ring) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		evs := ring.Events()
+		if q := r.URL.Query().Get("n"); q != "" {
+			var n int
+			if _, err := fmt.Sscanf(q, "%d", &n); err != nil || n < 1 {
+				http.Error(w, "beacond: malformed ?n= event count", http.StatusBadRequest)
+				return
+			}
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		j := obs.NewJSONL(w)
+		for _, e := range evs {
+			j.Emit(e)
+		}
+		j.Flush() //nolint:errcheck // client went away; nothing to do
+	}
+}
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	c, err := parseFlags(args, stderr)
@@ -253,6 +295,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg := prom.NewRegistry()
+	cfg.Metrics = beacon.NewServiceMetrics(reg)
+	// Always-on flight recorder: the refill tracer feeds the in-memory ring
+	// (served at /debug/trace) and, with -trace, a JSONL file as well.
+	ring := obs.NewRing(0)
+	sinks := []obs.Sink{ring}
+	if c.trace != "" {
+		f, err := os.Create(c.trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl := obs.NewJSONL(f)
+		defer jsonl.Flush() //nolint:errcheck // best-effort trace file
+		sinks = append(sinks, jsonl)
+	}
+	cfg.Tracer = obs.New(ctr, sinks...)
 
 	var svc *beacon.Service
 	switch {
@@ -273,14 +332,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "beacond: fresh start, one-time trusted-dealer seed of %d coins\n",
 			svc.Stats().Remaining)
 	}
-	liveService.Store(svc)
-	publishOnce()
+	publishVars(func() beacon.VarsSnapshot { return svc.Stats().Vars() })
 
 	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newMux(svc, c.k)}
+	srv := &http.Server{Handler: newMux(svc, c.k, reg, ring)}
 	fmt.Fprintf(stdout, "beacond: listening on http://%s\n", ln.Addr())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -312,7 +370,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func newMux(svc *beacon.Service, k int) *http.ServeMux {
+func newMux(svc *beacon.Service, k int, reg *prom.Registry, ring *obs.Ring) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/coin", func(w http.ResponseWriter, r *http.Request) {
 		e, err := svc.Draw(r.Context())
@@ -358,7 +416,9 @@ func newMux(svc *beacon.Service, k int) *http.ServeMux {
 			"resumed":   st.Resumed,
 		})
 	})
+	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/trace", traceHandler(ring))
 	return mux
 }
 
@@ -413,23 +473,6 @@ func runDeal(c *config, stdout io.Writer) error {
 	return nil
 }
 
-// liveDaemon mirrors liveService for the per-player daemon's expvar hook.
-var liveDaemon atomic.Pointer[beacon.Daemon]
-
-var publishDaemonOnce = func() func() {
-	var done atomic.Bool
-	return func() {
-		if done.CompareAndSwap(false, true) {
-			expvar.Publish("daemon", expvar.Func(func() any {
-				if d := liveDaemon.Load(); d != nil {
-					return d.Stats()
-				}
-				return nil
-			}))
-		}
-	}
-}()
-
 // runPlayer runs one player's daemon until the context is cancelled or the
 // -emit target is reached.
 func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
@@ -441,18 +484,24 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "beacond[player %d]: "+format+"\n", append([]any{c.player}, args...)...)
 	}
 	ctr := &metrics.Counters{}
-	var tracer *obs.Tracer
-	var trace *obs.JSONL
+	// The flight recorder is always on: every daemon retains its recent
+	// protocol events in memory for /debug/trace, and -trace additionally
+	// streams them to a JSONL file. NewDaemon stamps the tracer with this
+	// player's origin and epoch, so dumps from different daemons correlate.
+	ring := obs.NewRing(0)
+	sinks := []obs.Sink{ring}
 	if c.trace != "" {
 		f, err := os.Create(c.trace)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		trace = obs.NewJSONL(f)
-		defer trace.Flush()
-		tracer = obs.New(ctr, trace)
+		jsonl := obs.NewJSONL(f)
+		defer jsonl.Flush() //nolint:errcheck // best-effort trace file
+		sinks = append(sinks, jsonl)
 	}
+	tracer := obs.New(ctr, sinks...)
+	reg := prom.NewRegistry()
 	d, err := beacon.NewDaemon(beacon.DaemonConfig{
 		Peers:          pc,
 		Self:           c.player,
@@ -462,6 +511,8 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 		Rand:           playerRand(c),
 		Counters:       ctr,
 		Tracer:         tracer,
+		Metrics:        beacon.NewDaemonMetrics(reg),
+		PeerMetrics:    simnet.NewPeerMetrics(reg),
 		RoundTimeout:   c.roundTimeout,
 		DialBackoffMax: c.dialBackoff,
 		Logf:           logf,
@@ -469,8 +520,7 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	liveDaemon.Store(d)
-	publishDaemonOnce()
+	publishVars(func() beacon.VarsSnapshot { return d.Stats().Vars() })
 
 	var srv *http.Server
 	if c.addr != "" {
@@ -483,7 +533,9 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 				"remaining": st.Remaining, "refilling": st.Refilling, "peers": st.Peers,
 			})
 		})
+		mux.Handle("GET /metrics", reg.Handler())
 		mux.Handle("GET /debug/vars", expvar.Handler())
+		mux.HandleFunc("GET /debug/trace", traceHandler(ring))
 		ln, err := net.Listen("tcp", c.addr)
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -13,6 +14,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/prom"
 )
 
 // syncBuf is a goroutine-safe writer the daemon under test logs into.
@@ -116,6 +120,91 @@ func beaconVars(t *testing.T, base string) map[string]any {
 		t.Fatalf("/debug/vars has no beacon stats: %v", body)
 	}
 	return st
+}
+
+// getRaw fetches path and returns status, Content-Type, and the raw body.
+func getRaw(t *testing.T, base, path string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body
+}
+
+// TestObservabilityEndpoints covers the single-process mode's /metrics,
+// /debug/trace and unified /debug/vars surfaces: the exposition parses and
+// carries the key series, the trace dump is valid obs JSONL with refill
+// spans, and the expvar blob follows the unified schema.
+func TestObservabilityEndpoints(t *testing.T) {
+	d := startDaemon(t, "-n", "7", "-t", "1", "-k", "8",
+		"-batch", "24", "-threshold", "6", "-highwater", "16", "-insecure-rand")
+	const draws = 12 // 24-coin seed − 12 < the 16 high-water mark: forces a pipelined refill
+	for i := 0; i < draws; i++ {
+		if status, _ := getJSON(t, d.url, "/v1/coin"); status != http.StatusOK {
+			t.Fatalf("draw %d: status %d", i, status)
+		}
+	}
+
+	status, ctype, body := getRaw(t, d.url, "/metrics")
+	if status != http.StatusOK || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics: status %d content-type %q", status, ctype)
+	}
+	samples, err := prom.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if v, ok := prom.Value(samples, "beacon_draws_total"); !ok || v != draws {
+		t.Errorf("beacon_draws_total = %v, %v; want %d", v, ok, draws)
+	}
+	for _, name := range []string{"beacon_draw_latency_seconds_count", "beacon_store_remaining", "beacon_queue_depth"} {
+		if _, ok := prom.Value(samples, name); !ok {
+			t.Errorf("/metrics missing %s:\n%s", name, body)
+		}
+	}
+
+	// The pipelined refill runs asynchronously; wait for its spans to land
+	// in the flight recorder.
+	deadline := time.Now().Add(10 * time.Second)
+	var events []obs.Event
+	for {
+		_, ctype, body = getRaw(t, d.url, "/debug/trace")
+		if !strings.Contains(ctype, "ndjson") {
+			t.Fatalf("/debug/trace content-type %q", ctype)
+		}
+		if events, err = obs.ParseJSONL(bytes.NewReader(body)); err != nil {
+			t.Fatalf("/debug/trace is not valid obs JSONL: %v\n%s", err, body)
+		}
+		if len(events) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(events) == 0 {
+		t.Fatal("/debug/trace stayed empty after a pipelined refill")
+	}
+	if status, _, _ := getRaw(t, d.url, "/debug/trace?n=bogus"); status != http.StatusBadRequest {
+		t.Errorf("/debug/trace?n=bogus: status %d, want 400", status)
+	}
+	_, _, tail := getRaw(t, d.url, "/debug/trace?n=3")
+	tailEvents, err := obs.ParseJSONL(bytes.NewReader(tail))
+	if err != nil || len(tailEvents) > 3 {
+		t.Errorf("/debug/trace?n=3 returned %d events, err %v", len(tailEvents), err)
+	}
+
+	vars := beaconVars(t, d.url)
+	if vars["Mode"] != "service" {
+		t.Errorf("unified expvar Mode = %v, want \"service\"", vars["Mode"])
+	}
+	if vars["Draws"].(float64) != draws {
+		t.Errorf("unified expvar Draws = %v, want %d", vars["Draws"], draws)
+	}
+	d.stop(t)
 }
 
 func TestFlagValidation(t *testing.T) {

@@ -9,6 +9,16 @@
 //     reference run of the same cluster that was never interrupted —
 //     crash + recovery must be invisible in the beacon's output stream.
 //
+// The interrupted leg also exercises the observability surface end to end:
+// every daemon serves /metrics on its peers.yaml http: address and the
+// harness scrapes all of them mid-run (the exposition must parse and carry
+// the per-peer watermark-lag and round-latency series), runs beaconctl
+// status against the live cluster during the outage (the victims must be
+// flagged) and again after the rejoin (the cluster must read healthy), and
+// finally merges all n per-daemon obs traces with obs.MergeJSONL into one
+// canonically ordered cluster timeline, written to merged-timeline.jsonl
+// next to the raw traces.
+//
 // Run it from the repository root:
 //
 //	go run ./examples/multiproc
@@ -24,12 +34,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/prom"
 )
 
 var (
@@ -76,15 +91,24 @@ func run() error {
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/beacond").CombinedOutput(); err != nil {
 		return fmt.Errorf("build beacond: %v\n%s", err, out)
 	}
+	ctl := filepath.Join(dir, "beaconctl")
+	if out, err := exec.Command("go", "build", "-o", ctl, "./cmd/beaconctl").CombinedOutput(); err != nil {
+		return fmt.Errorf("build beaconctl: %v\n%s", err, out)
+	}
 
 	// Leg 1: the interrupted run — kill ⌊t⌋ daemons mid-batch, restart them.
 	soakDir := filepath.Join(dir, "soak")
-	if err := runCluster(bin, soakDir, true); err != nil {
+	if err := runCluster(bin, ctl, soakDir, true); err != nil {
 		return fmt.Errorf("interrupted run: %w (artifacts in %s)", err, dir)
+	}
+	// Observability post-mortem of the interrupted leg: every daemon's obs
+	// trace must merge into one canonically ordered cluster timeline.
+	if err := mergeClusterTimeline(soakDir); err != nil {
+		return fmt.Errorf("cluster timeline: %w (artifacts in %s)", err, dir)
 	}
 	// Leg 2: the reference run — same seeds, same cluster, no interruption.
 	refDir := filepath.Join(dir, "reference")
-	if err := runCluster(bin, refDir, false); err != nil {
+	if err := runCluster(bin, ctl, refDir, false); err != nil {
 		return fmt.Errorf("reference run: %w (artifacts in %s)", err, dir)
 	}
 
@@ -127,8 +151,9 @@ func coinLog(dataDir string, player int) string {
 }
 
 // runCluster performs one full cluster lifecycle under base: ceremony,
-// launch, optional kill/restart, and a clean unanimous exit.
-func runCluster(bin, base string, interrupt bool) error {
+// launch, optional kill/restart (with live observability checks), and a
+// clean unanimous exit.
+func runCluster(bin, ctl, base string, interrupt bool) error {
 	dataDir := filepath.Join(base, "data")
 	traceDir := filepath.Join(base, "traces")
 	logDir := filepath.Join(base, "logs")
@@ -138,7 +163,8 @@ func runCluster(bin, base string, interrupt bool) error {
 		}
 	}
 	cfgPath := filepath.Join(base, "peers.yaml")
-	if err := writePeersYAML(cfgPath); err != nil {
+	httpAddrs, err := writePeersYAML(cfgPath)
+	if err != nil {
 		return err
 	}
 
@@ -154,7 +180,7 @@ func runCluster(bin, base string, interrupt bool) error {
 			"-emit", fmt.Sprint(*emit), "-emit-interval", interval.String(),
 			"-round-timeout", "2s", "-dial-backoff", "250ms",
 			"-insecure-rand", "-rng-seed", fmt.Sprint(*seed),
-			"-addr", "", "-trace", filepath.Join(traceDir, fmt.Sprintf("player-%d.jsonl", i)))
+			"-addr", httpAddrs[i], "-trace", filepath.Join(traceDir, fmt.Sprintf("player-%d.jsonl", i)))
 		logF, err := os.OpenFile(filepath.Join(logDir, fmt.Sprintf("player-%d.log", i)),
 			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
@@ -190,6 +216,12 @@ func runCluster(bin, base string, interrupt bool) error {
 				return err
 			}
 		}
+		// Mid-run, cluster at full strength: every daemon's /metrics must
+		// parse and carry the cross-process correlation series.
+		if err := checkMetrics(httpAddrs); err != nil {
+			return fmt.Errorf("mid-run metrics scrape: %w", err)
+		}
+		fmt.Printf("soak: scraped /metrics from all %d daemons mid-run\n", *n)
 		for _, v := range victims {
 			if err := daemons[v].Process.Kill(); err != nil {
 				return fmt.Errorf("kill player %d: %w", v, err)
@@ -202,12 +234,34 @@ func runCluster(bin, base string, interrupt bool) error {
 		if err := waitLogLines(dataDir, 0, *killAt+3, 60*time.Second); err != nil {
 			return fmt.Errorf("survivors stalled after the kill: %w", err)
 		}
+		// The operator's view during the outage: beaconctl status must flag
+		// every victim as unhealthy against the live survivors.
+		out, err := exec.Command(ctl, "status", "-config", cfgPath, "-lag", "3").CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("beaconctl status during outage: %v\n%s", err, out)
+		}
+		if got := strings.Count(string(out), "DOWN"); got < *kill {
+			return fmt.Errorf("beaconctl status flagged %d daemons DOWN during the outage, want ≥ %d:\n%s",
+				got, *kill, out)
+		}
+		fmt.Printf("soak: beaconctl flagged the outage (%d DOWN)\n", strings.Count(string(out), "DOWN"))
 		for _, v := range victims {
 			if err := launch(v); err != nil {
 				return fmt.Errorf("restart player %d: %w", v, err)
 			}
 			fmt.Printf("soak: restarted player %d\n", v)
 		}
+		// And after the rejoin: once the victims' logs catch back up, a
+		// status sweep must read healthy again — no DOWN, no STRAGGLER.
+		for _, v := range victims {
+			if err := waitLogLines(dataDir, v, *killAt+3, 60*time.Second); err != nil {
+				return fmt.Errorf("victim %d never caught up after restart: %w", v, err)
+			}
+		}
+		if err := waitStatusHealthy(ctl, cfgPath, 30*time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("soak: beaconctl reads the rejoined cluster healthy\n")
 	}
 
 	var firstErr error
@@ -234,22 +288,149 @@ func waitLogLines(dataDir string, player, want int, timeout time.Duration) error
 	return fmt.Errorf("player %d's log never reached %d coins within %v", player, want, timeout)
 }
 
-// writePeersYAML reserves n loopback ports and writes the cluster config.
-// Batch 40 over seed 24 with threshold 6 puts the first refill at coin 20,
-// safely before the default -kill-at of 30, and leaves enough coins that
-// no second refill lands near the end of the run.
-func writePeersYAML(path string) error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: soak\nsecret: %s\n", strings.Repeat("ab", 32))
-	fmt.Fprintf(&b, "t: %d\nk: 32\nbatch: 40\nthreshold: 6\nseedcoins: 24\npeers:\n", *t)
-	for i := 0; i < *n; i++ {
+// writePeersYAML reserves 2n loopback ports (transport + observability per
+// peer) and writes the cluster config; the http: addresses are returned so
+// the harness can scrape the daemons directly. Batch 40 over seed 24 with
+// threshold 6 puts the first refill at coin 20, safely before the default
+// -kill-at of 30, and leaves enough coins that no second refill lands near
+// the end of the run.
+func writePeersYAML(path string) ([]string, error) {
+	reserve := func() (string, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			return "", err
 		}
 		addr := ln.Addr().String()
 		ln.Close()
-		fmt.Fprintf(&b, "  - id: %d\n    addr: %s\n", i, addr)
+		return addr, nil
 	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: soak\nsecret: %s\n", strings.Repeat("ab", 32))
+	fmt.Fprintf(&b, "t: %d\nk: 32\nbatch: 40\nthreshold: 6\nseedcoins: 24\npeers:\n", *t)
+	httpAddrs := make([]string, *n)
+	for i := 0; i < *n; i++ {
+		addr, err := reserve()
+		if err != nil {
+			return nil, err
+		}
+		if httpAddrs[i], err = reserve(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  - id: %d\n    addr: %s\n    http: %s\n", i, addr, httpAddrs[i])
+	}
+	return httpAddrs, os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// checkMetrics scrapes every daemon's /metrics and asserts the exposition
+// parses and carries the series the cluster dashboards key on: the
+// per-peer watermark-lag gauges, the round-duration histogram, and the
+// emit-latency histogram with real observations behind it.
+func checkMetrics(httpAddrs []string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i, addr := range httpAddrs {
+		resp, err := client.Get("http://" + addr + "/metrics")
+		if err != nil {
+			return fmt.Errorf("player %d: %w", i, err)
+		}
+		samples, err := prom.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("player %d: exposition does not parse: %w", i, err)
+		}
+		if _, ok := prom.Value(samples, "beacond_round"); !ok {
+			return fmt.Errorf("player %d: beacond_round missing", i)
+		}
+		if lags := prom.Find(samples, "simnet_peer_watermark_lag"); len(lags) != *n {
+			return fmt.Errorf("player %d: want %d simnet_peer_watermark_lag series (one per roster entry), got %d",
+				i, *n, len(lags))
+		}
+		for _, name := range []string{"simnet_round_duration_seconds_count", "beacond_emit_latency_seconds_count"} {
+			if v, ok := prom.Value(samples, name); !ok || v <= 0 {
+				return fmt.Errorf("player %d: %s absent or zero mid-run (%v, %v)", i, name, v, ok)
+			}
+		}
+	}
+	return nil
+}
+
+// waitStatusHealthy polls beaconctl status until no row is flagged DOWN or
+// STRAGGLER — the operator's definition of a recovered cluster.
+func waitStatusHealthy(ctl, cfgPath string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last []byte
+	for time.Now().Before(deadline) {
+		out, err := exec.Command(ctl, "status", "-config", cfgPath, "-lag", "5").CombinedOutput()
+		if err == nil && !strings.Contains(string(out), "DOWN") && !strings.Contains(string(out), "STRAGGLER") {
+			return nil
+		}
+		last = out
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster never read healthy after the rejoin; last status:\n%s", last)
+}
+
+// mergeClusterTimeline fuses the interrupted leg's n per-daemon obs traces
+// into one canonically ordered cluster timeline (merged-timeline.jsonl next
+// to the raw traces — the artifact CI uploads on failure) and verifies the
+// merge invariants: every daemon contributed, order is (epoch, round,
+// origin), and sequence numbers were renumbered globally.
+func mergeClusterTimeline(base string) error {
+	streams := map[int]io.Reader{}
+	files := make([]*os.File, 0, *n)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for i := 0; i < *n; i++ {
+		f, err := os.Open(filepath.Join(base, "traces", fmt.Sprintf("player-%d.jsonl", i)))
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		streams[i] = f
+	}
+	merged, err := obs.MergeJSONL(streams)
+	if err != nil {
+		return err
+	}
+	outPath := filepath.Join(base, "traces", "merged-timeline.jsonl")
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	j := obs.NewJSONL(out)
+	for _, e := range merged {
+		j.Emit(e)
+	}
+	if err := j.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+
+	origins := map[int]bool{}
+	for i, e := range merged {
+		origins[e.Origin] = true
+		if e.Seq != uint64(i+1) {
+			return fmt.Errorf("event %d: seq not renumbered (got %d)", i, e.Seq)
+		}
+		if i == 0 {
+			continue
+		}
+		p := merged[i-1]
+		if e.Epoch < p.Epoch ||
+			(e.Epoch == p.Epoch && e.Round < p.Round) ||
+			(e.Epoch == p.Epoch && e.Round == p.Round && e.Origin < p.Origin) {
+			return fmt.Errorf("event %d: canonical (epoch, round, origin) order violated: (%d,%d,%d) after (%d,%d,%d)",
+				i, e.Epoch, e.Round, e.Origin, p.Epoch, p.Round, p.Origin)
+		}
+	}
+	if len(origins) != *n {
+		return fmt.Errorf("merged timeline carries %d origins, want all %d daemons", len(origins), *n)
+	}
+	fmt.Printf("soak: merged %d trace events from %d daemons into %s\n", len(merged), *n, outPath)
+	return nil
 }

@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/coin"
 	"repro/internal/core"
@@ -111,6 +112,10 @@ type Config struct {
 	// spans of the same player and draw latency is tracked by Stats
 	// instead.
 	Tracer *obs.Tracer
+	// Metrics, when non-nil, exports the service's Prometheus families
+	// (draw latency, queue depth, refill pipeline — see NewServiceMetrics).
+	// Nil leaves the draw hot path free of any timing or allocation.
+	Metrics *ServiceMetrics
 	// Rand supplies each player's private randomness (polynomial dealing
 	// in Coin-Gen). Defaults to crypto/rand for every player; tests
 	// substitute seeded readers for reproducibility.
@@ -352,6 +357,7 @@ func start(cfg Config, gens []*core.Generator, resumed bool) (*Service, error) {
 		s.limiter = newTokenBucket(cfg.Rate, cfg.Burst)
 	}
 	s.remaining.Store(int64(gens[0].Remaining()))
+	cfg.Metrics.registerGauges(s)
 	for i := 0; i < n; i++ {
 		s.cmds[i] = make(chan command)
 		go s.worker(i, s.nw.Node(i), cfg.Rand(i))
@@ -441,17 +447,28 @@ func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, error) {
 	}
 	if s.limiter != nil && !s.limiter.allow() {
 		s.rateLimited.Add(1)
+		s.cfg.Metrics.rejected("rate-limited")
 		return nil, ErrRateLimited
+	}
+	// The disabled-metrics path must not pay for a clock read: time.Now is
+	// taken only when a latency histogram will consume it.
+	var t0 time.Time
+	if s.cfg.Metrics != nil {
+		t0 = time.Now()
 	}
 	req := &request{ctx: ctx, need: need, resp: make(chan drawResult, 1)}
 	select {
 	case s.reqs <- req:
 	default:
 		s.overloaded.Add(1)
+		s.cfg.Metrics.rejected("overloaded")
 		return nil, ErrOverloaded
 	}
 	select {
 	case r := <-req.resp:
+		if r.err == nil {
+			s.cfg.Metrics.observeDraw(t0, need)
+		}
 		return r.vals, r.err
 	case <-ctx.Done():
 		// The executive may still expose coins for this request; the
@@ -460,6 +477,9 @@ func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, error) {
 	case <-s.execDone:
 		select {
 		case r := <-req.resp:
+			if r.err == nil {
+				s.cfg.Metrics.observeDraw(t0, need)
+			}
 			return r.vals, r.err
 		default:
 			return nil, ErrClosed
@@ -567,6 +587,7 @@ func (s *Service) ensure(need, nreqs int) error {
 		if !blocked {
 			blocked = true
 			s.blockedDraws.Add(int64(nreqs))
+			s.cfg.Metrics.blocked(nreqs)
 		}
 		switch {
 		case s.refillInFlight:
@@ -574,12 +595,20 @@ func (s *Service) ensure(need, nreqs int) error {
 		case s.canPipeline() && s.startPipelineRefill():
 			// A mint is now in flight; the next iteration waits for it.
 		default:
+			var t0 time.Time
+			if s.cfg.Metrics != nil {
+				t0 = time.Now()
+			}
 			if err := s.commandRefill(); err != nil {
 				s.fail(err)
 				break
 			}
 			s.refills.Add(1)
 			s.blockingRefills.Add(1)
+			s.cfg.Metrics.refill("blocking")
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.observeRefill("blocking", time.Since(t0).Seconds())
+			}
 		}
 		if s.dead != nil {
 			return s.dead
@@ -650,6 +679,10 @@ func (s *Service) startPipelineRefill() bool {
 				return core.Mint(coreCfg, nd, seeds[i], cfg.Rand(i))
 			}
 		}
+		var t0 time.Time
+		if cfg.Metrics != nil {
+			t0 = time.Now()
+		}
 		out := &refillOutcome{seeds: seeds, mints: make([]*core.MintResult, n)}
 		for i, r := range simnet.Run(nwR, fns) {
 			if r.Err != nil {
@@ -657,6 +690,9 @@ func (s *Service) startPipelineRefill() bool {
 				break
 			}
 			out.mints[i] = r.Value.(*core.MintResult)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.observeRefill("pipelined", time.Since(t0).Seconds())
 		}
 		s.refillDone <- out
 	}()
@@ -691,6 +727,7 @@ func (s *Service) absorbRefill(out *refillOutcome) {
 	}
 	s.refills.Add(1)
 	s.pipelinedRefills.Add(1)
+	s.cfg.Metrics.refill("pipelined")
 }
 
 // fail moves the service into a terminal error state: subsequent draws

@@ -1,0 +1,207 @@
+package beacon
+
+// Prometheus instrumentation for the serving layer. Two bundles mirror the
+// two deployments: ServiceMetrics for the single-process Service (draw
+// latency, queue pressure, refill pipeline), DaemonMetrics for the
+// per-player Daemon (emission latency, join/refill progress). Both follow
+// the package-wide disabled-path convention: a nil bundle — or one built
+// from a nil registry — adds nothing to the hot path beyond a nil check,
+// which the AllocsPerRun tests pin.
+
+import (
+	"time"
+
+	"repro/internal/obs/prom"
+)
+
+// ServiceMetrics declares the Service metric families on a registry.
+// Attach via Config.Metrics; the gauge families (queue depth, store
+// remaining, refill in-flight) are registered as scrape-time GaugeFuncs
+// when the Service starts.
+type ServiceMetrics struct {
+	reg *prom.Registry
+
+	// DrawLatency is beacon_draw_latency_seconds: wall-clock time a
+	// successful draw spent from enqueue to response, including any
+	// exposure rounds and blocking refills it waited on.
+	DrawLatency *prom.Histogram
+	// Draws is beacon_draws_total; Coins is beacon_coins_delivered_total.
+	Draws *prom.Counter
+	Coins *prom.Counter
+	// Blocked is beacon_blocked_draws_total: requests that had to wait on a
+	// Coin-Gen (the pipeline fell behind demand).
+	Blocked *prom.Counter
+	// Rejected is beacon_rejected_total{reason}: overloaded | rate-limited.
+	Rejected *prom.CounterVec
+	// Refills is beacon_refills_total{kind}; RefillDuration is
+	// beacon_refill_duration_seconds{kind}: kind is pipelined (ran on the
+	// dedicated refill network, ahead of demand) or blocking (stalled the
+	// serving network).
+	Refills        *prom.CounterVec
+	RefillDuration *prom.HistogramVec
+}
+
+// NewServiceMetrics registers the Service families on r (nil r → disabled).
+func NewServiceMetrics(r *prom.Registry) *ServiceMetrics {
+	return &ServiceMetrics{
+		reg:         r,
+		DrawLatency: r.Histogram("beacon_draw_latency_seconds", "Latency of successful draws, enqueue to response.", nil),
+		Draws:       r.Counter("beacon_draws_total", "Draw requests served."),
+		Coins:       r.Counter("beacon_coins_delivered_total", "Coins handed out across all draws."),
+		Blocked:     r.Counter("beacon_blocked_draws_total", "Draws that waited on a Coin-Gen round."),
+		Rejected:    r.CounterVec("beacon_rejected_total", "Draws rejected before reaching the queue (overloaded, rate-limited).", "reason"),
+		Refills:     r.CounterVec("beacon_refills_total", "Absorbed Coin-Gen batches by kind (pipelined, blocking).", "kind"),
+		RefillDuration: r.HistogramVec("beacon_refill_duration_seconds", "Coin-Gen wall-clock duration by kind (pipelined, blocking).",
+			prom.ExpBuckets(0.005, 2, 14), "kind"),
+	}
+}
+
+// registerGauges installs the scrape-time gauges for a running service.
+func (m *ServiceMetrics) registerGauges(s *Service) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.reg.GaugeFunc("beacon_queue_depth", "Draw requests waiting in the bounded queue.",
+		func() float64 { return float64(len(s.reqs)) })
+	m.reg.GaugeFunc("beacon_store_remaining", "Sealed coins left in the store.",
+		func() float64 { return float64(s.remaining.Load()) })
+	m.reg.GaugeFunc("beacon_refill_in_flight", "1 while a pipelined Coin-Gen is running.",
+		func() float64 {
+			if s.inFlight.Load() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// rejected counts one pre-queue rejection (nil-safe).
+func (m *ServiceMetrics) rejected(reason string) {
+	if m == nil {
+		return
+	}
+	m.Rejected.With(reason).Inc()
+}
+
+// refill counts one absorbed batch of the given kind (nil-safe).
+func (m *ServiceMetrics) refill(kind string) {
+	if m == nil {
+		return
+	}
+	m.Refills.With(kind).Inc()
+}
+
+// observeDraw records one served draw (nil-safe).
+func (m *ServiceMetrics) observeDraw(t0 time.Time, need int) {
+	if m == nil {
+		return
+	}
+	m.DrawLatency.Observe(time.Since(t0).Seconds())
+	m.Draws.Inc()
+	m.Coins.Add(int64(need))
+}
+
+// blocked counts nreqs draws that hit the slow path (nil-safe).
+func (m *ServiceMetrics) blocked(nreqs int) {
+	if m == nil {
+		return
+	}
+	m.Blocked.Add(int64(nreqs))
+}
+
+// observeRefill records one Coin-Gen's wall-clock duration (nil-safe).
+func (m *ServiceMetrics) observeRefill(kind string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.RefillDuration.With(kind).Observe(seconds)
+}
+
+// DaemonMetrics declares the Daemon metric families on a registry. Attach
+// via DaemonConfig.Metrics; the position gauges (round, log length, epoch,
+// store remaining, joined, refilling) are registered as scrape-time
+// GaugeFuncs reading the daemon's state mirror.
+type DaemonMetrics struct {
+	reg *prom.Registry
+
+	// EmitLatency is beacond_emit_latency_seconds: wall-clock time of one
+	// emission iteration (a Coin-Expose round, plus an inline refill when
+	// one triggered — the long-tail bucket).
+	EmitLatency *prom.Histogram
+	// Coins is beacond_coins_total: coins appended to the public log.
+	Coins *prom.Counter
+	// Refills is beacond_refills_total; RefillDuration is
+	// beacond_refill_duration_seconds (inline blocking Coin-Gens).
+	Refills        *prom.Counter
+	RefillDuration *prom.Histogram
+	// JoinAttempts is beacond_join_attempts_total: choreography retries
+	// before the daemon entered the cluster (1 = clean first try).
+	JoinAttempts *prom.Counter
+}
+
+// NewDaemonMetrics registers the Daemon families on r (nil r → disabled).
+func NewDaemonMetrics(r *prom.Registry) *DaemonMetrics {
+	return &DaemonMetrics{
+		reg:         r,
+		EmitLatency: r.Histogram("beacond_emit_latency_seconds", "Duration of one emission iteration (exposure, plus inline refill when triggered).", nil),
+		Coins:       r.Counter("beacond_coins_total", "Coins appended to the public log."),
+		Refills:     r.Counter("beacond_refills_total", "Inline blocking Coin-Gens completed."),
+		RefillDuration: r.Histogram("beacond_refill_duration_seconds", "Wall-clock duration of inline Coin-Gens.",
+			prom.ExpBuckets(0.005, 2, 14)),
+		JoinAttempts: r.Counter("beacond_join_attempts_total", "Join choreography attempts (1 = clean first try)."),
+	}
+}
+
+// joinAttempt counts one pass through the join choreography (nil-safe).
+func (m *DaemonMetrics) joinAttempt() {
+	if m == nil {
+		return
+	}
+	m.JoinAttempts.Inc()
+}
+
+// observeEmit records one emission iteration; when the iteration absorbed
+// batches it is also an inline refill and feeds those series (nil-safe).
+func (m *DaemonMetrics) observeEmit(seconds float64, batches int) {
+	if m == nil {
+		return
+	}
+	m.EmitLatency.Observe(seconds)
+	m.Coins.Inc()
+	if batches > 0 {
+		m.Refills.Add(int64(batches))
+		m.RefillDuration.Observe(seconds)
+	}
+}
+
+// registerGauges installs the scrape-time position gauges for a daemon.
+func (m *DaemonMetrics) registerGauges(d *Daemon) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	snap := func(f func(daemonState) float64) func() float64 {
+		return func() float64 {
+			d.mu.Lock()
+			st := d.state
+			d.mu.Unlock()
+			return f(st)
+		}
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	m.reg.GaugeFunc("beacond_round", "Completed-round count of the local node.",
+		snap(func(st daemonState) float64 { return float64(st.Round) }))
+	m.reg.GaugeFunc("beacond_log_len", "Coins in the public log.",
+		snap(func(st daemonState) float64 { return float64(st.LogLen) }))
+	m.reg.GaugeFunc("beacond_epoch", "Refill epoch (batches absorbed since the ceremony).",
+		snap(func(st daemonState) float64 { return float64(st.Epoch) }))
+	m.reg.GaugeFunc("beacond_store_remaining", "Sealed coins left in the store.",
+		snap(func(st daemonState) float64 { return float64(st.Remaining) }))
+	m.reg.GaugeFunc("beacond_joined", "1 once the daemon has joined the cluster.",
+		snap(func(st daemonState) float64 { return b2f(st.Started) }))
+	m.reg.GaugeFunc("beacond_refilling", "1 while an inline Coin-Gen is running.",
+		snap(func(st daemonState) float64 { return b2f(st.Refilling) }))
+}

@@ -1,0 +1,242 @@
+package beacon
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/prom"
+	"repro/internal/simnet"
+)
+
+func scrapeRegistry(t *testing.T, r *prom.Registry) []prom.Sample {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := prom.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	return samples
+}
+
+// TestServiceMetricsEndToEnd drains a metered pipelined service and checks
+// the exported series against the Stats snapshot ground truth.
+func TestServiceMetricsEndToEnd(t *testing.T) {
+	reg := prom.NewRegistry()
+	cfg := testConfig(t, 24, 6, 16)
+	cfg.Metrics = NewServiceMetrics(reg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const draws = 60
+	for i := 0; i < draws; i++ {
+		if _, err := s.Draw(ctx); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+	mustClose(t, s)
+	st := s.Stats()
+
+	samples := scrapeRegistry(t, reg)
+	if v, ok := prom.Value(samples, "beacon_draws_total"); !ok || v != draws {
+		t.Errorf("beacon_draws_total = %v, %v; want %d", v, ok, draws)
+	}
+	if v, ok := prom.Value(samples, "beacon_coins_delivered_total"); !ok || v != draws {
+		t.Errorf("beacon_coins_delivered_total = %v, %v; want %d", v, ok, draws)
+	}
+	if v, ok := prom.Value(samples, "beacon_draw_latency_seconds_count"); !ok || v != draws {
+		t.Errorf("draw latency count = %v, %v; want %d", v, ok, draws)
+	}
+	if p99 := prom.Quantile(samples, "beacon_draw_latency_seconds", 0.99); !(p99 >= 0) {
+		t.Errorf("draw latency p99 = %v, want a finite value", p99)
+	}
+	if v, ok := prom.Value(samples, "beacon_refills_total", "kind", "pipelined"); !ok || v != float64(st.PipelinedRefills) {
+		t.Errorf("refills{pipelined} = %v, %v; want %d", v, ok, st.PipelinedRefills)
+	}
+	if v, ok := prom.Value(samples, "beacon_refill_duration_seconds_count", "kind", "pipelined"); !ok || v < 2 {
+		t.Errorf("refill duration count{pipelined} = %v, %v; want ≥ 2", v, ok)
+	}
+	if v, ok := prom.Value(samples, "beacon_store_remaining"); !ok || int(v) != st.Remaining {
+		t.Errorf("beacon_store_remaining = %v, %v; want %d", v, ok, st.Remaining)
+	}
+	if v, ok := prom.Value(samples, "beacon_queue_depth"); !ok || v != 0 {
+		t.Errorf("beacon_queue_depth = %v, %v; want 0 after drain", v, ok)
+	}
+	if v, ok := prom.Value(samples, "beacon_refill_in_flight"); !ok || v != 0 {
+		t.Errorf("beacon_refill_in_flight = %v, %v; want 0 after close", v, ok)
+	}
+}
+
+// TestServiceMetricsBlockingAndRejections covers the slow paths: a
+// HighWater-0 service refills inline (kind=blocking, draws counted as
+// blocked) and a rate-limited draw lands in beacon_rejected_total.
+func TestServiceMetricsBlockingAndRejections(t *testing.T) {
+	reg := prom.NewRegistry()
+	cfg := testConfig(t, 24, 6, 0) // no pipeline: refills block the serving network
+	cfg.Metrics = NewServiceMetrics(reg)
+	cfg.Rate = 0.000001 // one token, never replenished within the test
+	cfg.Burst = 40
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	drawsOK := 0
+	for i := 0; i < cfg.Burst+1; i++ {
+		_, err := s.Draw(ctx)
+		switch err {
+		case nil:
+			drawsOK++
+		case ErrRateLimited:
+		default:
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+	mustClose(t, s)
+	st := s.Stats()
+	if st.BlockingRefills < 1 || st.BlockedDraws < 1 {
+		t.Fatalf("test did not exercise the blocking path: %+v", st)
+	}
+
+	samples := scrapeRegistry(t, reg)
+	if v, ok := prom.Value(samples, "beacon_refills_total", "kind", "blocking"); !ok || v != float64(st.BlockingRefills) {
+		t.Errorf("refills{blocking} = %v, %v; want %d", v, ok, st.BlockingRefills)
+	}
+	if v, ok := prom.Value(samples, "beacon_refill_duration_seconds_count", "kind", "blocking"); !ok || v != float64(st.BlockingRefills) {
+		t.Errorf("refill duration count{blocking} = %v, %v; want %d", v, ok, st.BlockingRefills)
+	}
+	if v, ok := prom.Value(samples, "beacon_blocked_draws_total"); !ok || v != float64(st.BlockedDraws) {
+		t.Errorf("blocked draws = %v, %v; want %d", v, ok, st.BlockedDraws)
+	}
+	if v, ok := prom.Value(samples, "beacon_rejected_total", "reason", "rate-limited"); !ok || v != float64(st.RateLimited) || v < 1 {
+		t.Errorf("rejected{rate-limited} = %v, %v; want %d ≥ 1", v, ok, st.RateLimited)
+	}
+	if v, ok := prom.Value(samples, "beacon_draws_total"); !ok || v != float64(drawsOK) {
+		t.Errorf("draws = %v, %v; want %d", v, ok, drawsOK)
+	}
+}
+
+// TestDaemonMetricsEndToEnd runs a metered 7-daemon cluster across a refill
+// boundary and checks player 0's registry: position gauges, emit/refill
+// series, and the peer-transport epoch gauges fed by the daemon's
+// SetEpoch hook.
+func TestDaemonMetricsEndToEnd(t *testing.T) {
+	const n, emit = 7, 30
+	pc := testPeerConfig(t, n, 1, 24, 6, 24)
+	base := t.TempDir()
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = filepath.Join(base, fmt.Sprintf("p%d", i))
+	}
+	ceremony := filepath.Join(base, "deal")
+	if err := DealCluster(pc, ceremony, rand.New(rand.NewSource(99))); err != nil {
+		t.Fatalf("DealCluster: %v", err)
+	}
+	scatterStateDirs(t, ceremony, dirs)
+
+	regs := make([]*prom.Registry, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		regs[i] = prom.NewRegistry()
+		d, err := NewDaemon(DaemonConfig{
+			Peers:          pc,
+			Self:           i,
+			StateDir:       dirs[i],
+			Emit:           emit,
+			Rand:           rand.New(rand.NewSource(7 + int64(i)*1009)),
+			RoundTimeout:   2 * time.Second,
+			DialBackoffMax: 200 * time.Millisecond,
+			JoinTimeout:    20 * time.Second,
+			Metrics:        NewDaemonMetrics(regs[i]),
+			PeerMetrics:    simnet.NewPeerMetrics(regs[i]),
+		})
+		if err != nil {
+			t.Fatalf("player %d: NewDaemon: %v", i, err)
+		}
+		wg.Add(1)
+		go func(i int, d *Daemon) {
+			defer wg.Done()
+			errs[i] = d.Run(context.Background())
+		}(i, d)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("player %d: %v", i, err)
+		}
+	}
+
+	samples := scrapeRegistry(t, regs[0])
+	for name, want := range map[string]float64{
+		"beacond_coins_total":                   emit,
+		"beacond_log_len":                       emit,
+		"beacond_epoch":                         1, // seed 24, threshold 6: exactly one refill before coin 30
+		"beacond_joined":                        1,
+		"beacond_refilling":                     0,
+		"beacond_emit_latency_seconds_count":    emit,
+		"beacond_refills_total":                 1,
+		"beacond_refill_duration_seconds_count": 1,
+	} {
+		if v, ok := prom.Value(samples, name); !ok || v != want {
+			t.Errorf("%s = %v, %v; want %v", name, v, ok, want)
+		}
+	}
+	if v, ok := prom.Value(samples, "beacond_round"); !ok || v < emit {
+		t.Errorf("beacond_round = %v, %v; want ≥ %d (exposure + refill rounds)", v, ok, emit)
+	}
+	if v, ok := prom.Value(samples, "beacond_join_attempts_total"); !ok || v < 1 {
+		t.Errorf("join attempts = %v, %v; want ≥ 1", v, ok)
+	}
+	// The refill bumped the epoch to 1 and the daemon re-stamped the
+	// transport, so post-refill done frames announced epoch 1 cluster-wide.
+	for _, peer := range []string{"1", "3", "6"} {
+		if v, ok := prom.Value(samples, "simnet_peer_epoch", "peer", peer); !ok || v != 1 {
+			t.Errorf("simnet_peer_epoch{peer=%s} = %v, %v; want 1", peer, v, ok)
+		}
+	}
+}
+
+// TestServiceMetricsZeroAlloc pins the instrumentation cost contract: the
+// disabled (nil) helpers allocate nothing, and the live observation path —
+// histogram observe, counter bumps, vec child lookups — allocates nothing
+// either, so enabling metrics adds no allocations to the draw hot path.
+func TestServiceMetricsZeroAlloc(t *testing.T) {
+	var off *ServiceMetrics
+	var offD *DaemonMetrics
+	t0 := time.Now()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		off.observeDraw(t0, 1)
+		off.rejected("rate-limited")
+		off.blocked(3)
+		off.refill("pipelined")
+		off.observeRefill("blocking", 0.5)
+		offD.joinAttempt()
+		offD.observeEmit(0.01, 1)
+	}); allocs != 0 {
+		t.Fatalf("disabled metrics path allocates %v per draw, want 0", allocs)
+	}
+	on := NewServiceMetrics(prom.NewRegistry())
+	onD := NewDaemonMetrics(prom.NewRegistry())
+	if allocs := testing.AllocsPerRun(1000, func() {
+		on.observeDraw(t0, 1)
+		on.rejected("rate-limited")
+		on.blocked(3)
+		on.refill("pipelined")
+		on.observeRefill("blocking", 0.5)
+		onD.joinAttempt()
+		onD.observeEmit(0.01, 1)
+	}); allocs != 0 {
+		t.Fatalf("live metrics path allocates %v per draw, want 0", allocs)
+	}
+}

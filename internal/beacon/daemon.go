@@ -89,9 +89,19 @@ type DaemonConfig struct {
 	EmitInterval time.Duration
 	// Rand is this player's private randomness for Coin-Gen dealing.
 	Rand io.Reader
-	// Counters and Tracer instrument the protocol stack as usual.
+	// Counters and Tracer instrument the protocol stack as usual. The
+	// tracer is additionally stamped with this daemon's correlation keys
+	// (origin = Self, epoch = the store's refill epoch, re-stamped after
+	// every refill), so per-daemon trace files merge cleanly with
+	// obs.MergeJSONL.
 	Counters *metrics.Counters
 	Tracer   *obs.Tracer
+	// Metrics, when non-nil, exports the daemon's Prometheus families
+	// (position gauges, emit latency, inline refills — see
+	// NewDaemonMetrics). PeerMetrics instruments the peer transport on the
+	// same registry (watermarks, lag, demotions, handshakes).
+	Metrics     *DaemonMetrics
+	PeerMetrics *simnet.PeerMetrics
 	// RoundTimeout, WriteTimeout and DialBackoffMax tune the peer
 	// transport (zero = simnet defaults).
 	RoundTimeout   time.Duration
@@ -290,6 +300,9 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if cfg.DialBackoffMax > 0 {
 		opts = append(opts, simnet.WithDialBackoff(50*time.Millisecond, cfg.DialBackoffMax))
 	}
+	if cfg.PeerMetrics != nil {
+		opts = append(opts, simnet.WithPeerMetrics(cfg.PeerMetrics))
+	}
 	nw, err := simnet.NewPeer(cfg.Peers, cfg.Self, opts...)
 	if err != nil {
 		d.logFile.Close()
@@ -297,6 +310,12 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	d.nw = nw
 	d.nd = nw.Node(cfg.Self)
+	// Correlation keys: every trace event and peer frame this process emits
+	// carries who it is and which refill epoch it is in.
+	cfg.Tracer.SetOrigin(cfg.Self)
+	cfg.Tracer.SetEpoch(meta.Epoch)
+	nw.SetEpoch(meta.Epoch)
+	cfg.Metrics.registerGauges(d)
 	return d, nil
 }
 
@@ -396,6 +415,7 @@ func (d *Daemon) join(ctx context.Context) error {
 	meshErr := d.nw.WaitPeers(d.core.N-1, d.cfg.JoinTimeout/2)
 
 	for attempt := 0; ; attempt++ {
+		d.cfg.Metrics.joinAttempt()
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -723,6 +743,10 @@ func (d *Daemon) emit(ctx context.Context) error {
 			d.cfg.Logf("refill starting at log position %d (epoch %d)", logLen, d.epoch())
 		}
 		batchesBefore := d.gen.Stats().Batches
+		var t0 time.Time
+		if d.cfg.Metrics != nil {
+			t0 = time.Now()
+		}
 		v, err := d.gen.Next(d.nd, d.rnd)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -731,6 +755,9 @@ func (d *Daemon) emit(ctx context.Context) error {
 			return fmt.Errorf("beacon: player %d halted at log position %d: %w", d.cfg.Self, logLen, err)
 		}
 		refilled := d.gen.Stats().Batches - batchesBefore
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.observeEmit(time.Since(t0).Seconds(), refilled)
+		}
 
 		d.mu.Lock()
 		_, werr := fmt.Fprintln(d.logFile, FormatLogEntry(len(d.log), v))
@@ -744,7 +771,14 @@ func (d *Daemon) emit(ctx context.Context) error {
 			d.state.Epoch += refilled
 			d.state.Refilling = false
 		}
+		newEpoch := d.state.Epoch
 		d.mu.Unlock()
+		if refilled > 0 {
+			// Re-stamp the correlation keys: trace events and peer frames
+			// emitted from here on belong to the new epoch.
+			d.cfg.Tracer.SetEpoch(newEpoch)
+			d.nw.SetEpoch(newEpoch)
+		}
 		if werr != nil {
 			// Halt without persisting: the meta snapshot must not record a
 			// LogLen the on-disk log never reached, and the restart replays

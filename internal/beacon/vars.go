@@ -1,0 +1,72 @@
+package beacon
+
+// VarsSnapshot is the unified /debug/vars schema: both beacond modes
+// publish it under the single "beacon" expvar key, so one scraper
+// (cmd/beaconctl, dashboards) reads any deployment without caring which
+// mode it hit. Shared concepts share fields — Remaining, Epoch, Refilling,
+// Refills mean the same thing everywhere — and mode-specific fields are
+// zero in the other mode. Mode disambiguates: "service" is the
+// single-process Service, "player" a per-player Daemon.
+type VarsSnapshot struct {
+	Mode      string
+	Remaining int
+	Epoch     int
+	Refilling bool
+	Refills   int64
+
+	// Service-mode serving stats (zero in player mode).
+	QueueDepth       int
+	CoinsDelivered   int64
+	Draws            int64
+	PipelinedRefills int64
+	BlockingRefills  int64
+	BlockedDraws     int64
+	Overloaded       int64
+	RateLimited      int64
+	Resumed          bool
+
+	// Player-mode cluster position (zero in service mode).
+	Player int
+	Round  int
+	LogLen int
+	Joined bool
+	Peers  []bool `json:",omitempty"`
+}
+
+// Vars converts a Service snapshot to the unified schema. A Service has no
+// persisted epoch counter; each absorbed batch is one epoch, so Refills is
+// the epoch by construction.
+func (s Stats) Vars() VarsSnapshot {
+	return VarsSnapshot{
+		Mode:             "service",
+		Remaining:        s.Remaining,
+		Epoch:            int(s.Refills),
+		Refilling:        s.RefillInFlight,
+		Refills:          s.Refills,
+		QueueDepth:       s.QueueDepth,
+		CoinsDelivered:   s.CoinsDelivered,
+		Draws:            s.Draws,
+		PipelinedRefills: s.PipelinedRefills,
+		BlockingRefills:  s.BlockingRefills,
+		BlockedDraws:     s.BlockedDraws,
+		Overloaded:       s.Overloaded,
+		RateLimited:      s.RateLimited,
+		Resumed:          s.Resumed,
+	}
+}
+
+// Vars converts a Daemon snapshot to the unified schema.
+func (d DaemonStats) Vars() VarsSnapshot {
+	return VarsSnapshot{
+		Mode:      "player",
+		Remaining: d.Remaining,
+		Epoch:     d.Epoch,
+		Refilling: d.Refilling,
+		Refills:   int64(d.Epoch),
+		Player:    d.Player,
+		Round:     d.Round,
+		LogLen:    d.LogLen,
+		Joined:    d.Joined,
+		Peers:     d.Peers,
+	}
+}

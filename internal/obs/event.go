@@ -172,6 +172,18 @@ type Event struct {
 	// when the event was emitted.
 	Round int `json:"round"`
 
+	// Origin is the id of the process (player daemon) whose tracer emitted
+	// the event — the cross-process correlation key. Per-daemon tracers
+	// stamp it via Tracer.SetOrigin; MergeTraces re-stamps it when fusing
+	// per-daemon files so colliding local ids cannot be confused.
+	// Single-process traces leave it 0 (omitted from JSON).
+	Origin int `json:"origin,omitempty"`
+	// Epoch is the beacon epoch (refill generation) the emitting process
+	// was in, stamped via Tracer.SetEpoch. Together with Round it forms the
+	// cluster-wide correlation key: epochs only advance at round-aligned
+	// refill boundaries, so (Epoch, Round) totally orders a cluster run.
+	Epoch int `json:"epoch,omitempty"`
+
 	// Span and Parent identify span begin/end records.
 	Span   uint64   `json:"span,omitempty"`
 	Parent uint64   `json:"parent,omitempty"`

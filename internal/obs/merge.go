@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MergeTraces fuses per-process event streams into one canonically ordered
+// cluster timeline. The map key is the origin (the daemon's player id) each
+// stream was recorded by; every event in stream k is re-stamped with
+// Origin=k, so files whose tracers forgot SetOrigin — or whose local ids
+// collide — merge under the caller's authoritative identities.
+//
+// Ordering: events are stably sorted by (Epoch, Round, Origin, per-stream
+// Seq). Epoch leads because a rejoining daemon can replay earlier rounds of
+// a later epoch during backfill; within an epoch the simnet round is the
+// cluster clock, and within a round each origin's local emission order is
+// preserved. Seq is then renumbered 1..len globally, and span/parent ids —
+// which collide across independently numbered per-daemon tracers — are
+// remapped per origin in first-appearance order, mirroring CanonicalOrder.
+// The result is a pure function of the per-stream histories, so two
+// captures of the same deterministic cluster run merge identically.
+func MergeTraces(streams map[int][]Event) []Event {
+	origins := make([]int, 0, len(streams))
+	for k := range streams {
+		origins = append(origins, k)
+	}
+	sort.Ints(origins)
+
+	type key struct {
+		origin int
+		seq    uint64
+	}
+	total := 0
+	for _, evs := range streams {
+		total += len(evs)
+	}
+	out := make([]Event, 0, total)
+	srcSeq := make([]uint64, 0, total) // parallel: original per-stream Seq
+	for _, k := range origins {
+		for _, e := range streams[k] {
+			srcSeq = append(srcSeq, e.Seq)
+			e.Origin = k
+			out = append(out, e)
+		}
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := out[idx[a]], out[idx[b]]
+		if ea.Epoch != eb.Epoch {
+			return ea.Epoch < eb.Epoch
+		}
+		if ea.Round != eb.Round {
+			return ea.Round < eb.Round
+		}
+		if ea.Origin != eb.Origin {
+			return ea.Origin < eb.Origin
+		}
+		return srcSeq[idx[a]] < srcSeq[idx[b]]
+	})
+
+	merged := make([]Event, len(out))
+	spanID := make(map[key]uint64)
+	var nextSpan uint64
+	remap := func(origin int, id uint64) uint64 {
+		if id == 0 {
+			return 0
+		}
+		k := key{origin, id}
+		if v, ok := spanID[k]; ok {
+			return v
+		}
+		nextSpan++
+		spanID[k] = nextSpan
+		return nextSpan
+	}
+	for i, j := range idx {
+		e := out[j]
+		e.Seq = uint64(i + 1)
+		e.Span = remap(e.Origin, e.Span)
+		e.Parent = remap(e.Origin, e.Parent)
+		merged[i] = e
+	}
+	return merged
+}
+
+// MergeJSONL parses per-process JSONL traces (keyed by origin, as for
+// MergeTraces) and merges them into one cluster timeline. Torn tails are
+// dropped by ParseJSONL, so traces captured from SIGKILLed daemons merge
+// cleanly; any other parse failure reports which origin's stream broke.
+func MergeJSONL(streams map[int]io.Reader) ([]Event, error) {
+	parsed := make(map[int][]Event, len(streams))
+	for k, r := range streams {
+		evs, err := ParseJSONL(r)
+		if err != nil {
+			return nil, fmt.Errorf("obs: merge origin %d: %w", k, err)
+		}
+		parsed[k] = evs
+	}
+	return MergeTraces(parsed), nil
+}

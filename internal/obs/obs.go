@@ -22,6 +22,11 @@ type Tracer struct {
 	sinks    []Sink
 	seq      uint64
 	nextSpan uint64
+	// origin and epoch are stamped onto every emitted event (see
+	// Event.Origin/Event.Epoch). Both default to 0: a single-process tracer
+	// never sets them and its JSON output is unchanged.
+	origin int
+	epoch  int
 	// stack[player] holds the ids of the player's currently open spans,
 	// outermost first. New spans auto-parent to the top of the stack, so
 	// protocol modules compose into a hierarchy without threading span
@@ -51,11 +56,37 @@ func (t *Tracer) Counters() *metrics.Counters {
 	return t.ctr
 }
 
-// emitLocked assigns the sequence number and fans the event out. Caller
-// holds t.mu.
+// SetOrigin stamps all subsequently emitted events with the given process
+// id (the daemon's player id). Call it once at startup, before the first
+// span; it exists so per-daemon traces are self-identifying when merged.
+func (t *Tracer) SetOrigin(origin int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.origin = origin
+	t.mu.Unlock()
+}
+
+// SetEpoch stamps all subsequently emitted events with the given beacon
+// epoch. Daemons call it at join and after each refill, so every event
+// carries the (epoch, round) correlation key.
+func (t *Tracer) SetEpoch(epoch int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epoch = epoch
+	t.mu.Unlock()
+}
+
+// emitLocked assigns the sequence number, stamps the origin/epoch
+// correlation keys, and fans the event out. Caller holds t.mu.
 func (t *Tracer) emitLocked(e Event) {
 	t.seq++
 	e.Seq = t.seq
+	e.Origin = t.origin
+	e.Epoch = t.epoch
 	for _, s := range t.sinks {
 		s.Emit(e)
 	}

@@ -1,0 +1,232 @@
+package prom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one time-series sample from a text exposition: a metric name,
+// its label set, and the value. Histogram expositions decompose into
+// name_bucket{le=...}, name_sum and name_count samples.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the value of the named label ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseText parses a Prometheus text exposition (version 0.0.4) into its
+// samples, in document order. Comment (#) and blank lines are skipped. It
+// accepts the subset of the format WriteText emits — which is also the
+// subset every real scraper emits — and rejects structurally broken lines,
+// so the multiproc soak can use it to assert each daemon's /metrics output
+// is well-formed.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return Sample{}, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return Sample{}, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return Sample{}, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if s.Name == "" {
+		return Sample{}, fmt.Errorf("missing metric name in %q", line)
+	}
+	// rest is "value" or "value timestamp"; ignore the timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Sample{}, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return Sample{}, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, ",") // trailing comma is legal in the format
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		rest := strings.TrimSpace(s[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", name)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		i, esc := 1, false
+		for ; i < len(rest); i++ {
+			if esc {
+				esc = false
+				continue
+			}
+			switch rest[i] {
+			case '\\':
+				esc = true
+			case '"':
+				goto closed
+			}
+		}
+		return fmt.Errorf("unterminated label value for %q", name)
+	closed:
+		val, err := strconv.Unquote(rest[:i+1])
+		if err != nil {
+			return fmt.Errorf("bad label value for %q: %w", name, err)
+		}
+		into[name] = val
+		s = strings.TrimSpace(rest[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// Find returns the samples with the given metric name, in document order.
+func Find(samples []Sample, name string) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Value returns the value of the first sample matching name and all given
+// label constraints (alternating key, value), and whether one was found.
+func Value(samples []Sample, name string, kv ...string) (float64, bool) {
+	if len(kv)%2 != 0 {
+		panic("prom: Value wants alternating label key/value pairs")
+	}
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) of a histogram from its
+// _bucket samples for the metric base name, using linear interpolation
+// within the winning bucket — the same estimate Prometheus's histogram_quantile
+// gives. Extra label constraints (alternating key, value) select one child.
+// Returns NaN when the histogram is absent or empty.
+func Quantile(samples []Sample, name string, q float64, kv ...string) float64 {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var bkts []bkt
+next:
+	for _, s := range samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		for i := 0; i+1 < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue next
+			}
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		bkts = append(bkts, bkt{le: le, cum: s.Value})
+	}
+	if len(bkts) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	total := bkts[len(bkts)-1].cum
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, b := range bkts {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				// Open-ended bucket: report the highest finite bound.
+				if i > 0 {
+					return bkts[i-1].le
+				}
+				return math.NaN()
+			}
+			lower, below := 0.0, 0.0
+			if i > 0 {
+				lower, below = bkts[i-1].le, bkts[i-1].cum
+			}
+			if b.cum == below {
+				return b.le
+			}
+			return lower + (b.le-lower)*(rank-below)/(b.cum-below)
+		}
+	}
+	return bkts[len(bkts)-1].le
+}

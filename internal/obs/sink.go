@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Sink consumes trace events. Implementations must be safe for concurrent
@@ -124,27 +125,42 @@ func (j *JSONL) Err() error {
 // ParseJSONL reads a JSONL export back into the event sequence it encodes.
 // It is the inverse of the JSONL sink: exporting and parsing yields the
 // identical []Event (the round-trip property obs's tests pin down).
+//
+// A final line not terminated by '\n' is a torn tail — the writer died
+// mid-record (SIGKILL during the multiproc soak, a full disk) — and is
+// dropped rather than parsed: a truncated JSON object that happens to parse
+// would silently corrupt the last event. Terminated lines that fail to
+// parse are still hard errors, with the line number.
 func ParseJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(r, 64*1024)
 	line := 0
-	for sc.Scan() {
+	for {
+		b, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("obs: read JSONL: %w", err)
+		}
+		if err == io.EOF && len(b) > 0 {
+			// Torn tail: bytes after the last newline. Drop them.
+			return out, nil
+		}
+		if err == io.EOF {
+			return out, nil
+		}
 		line++
-		b := sc.Bytes()
+		b = b[:len(b)-1] // strip '\n'
+		if len(b) > 0 && b[len(b)-1] == '\r' {
+			b = b[:len(b)-1]
+		}
 		if len(b) == 0 {
 			continue
 		}
 		var e Event
-		if err := json.Unmarshal(b, &e); err != nil {
-			return nil, fmt.Errorf("obs: parse JSONL line %d: %w", line, err)
+		if jerr := json.Unmarshal(b, &e); jerr != nil {
+			return nil, fmt.Errorf("obs: parse JSONL line %d: %w", line, jerr)
 		}
 		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: read JSONL: %w", err)
-	}
-	return out, nil
 }
 
 // Tee fans every event out to each sink in order.
@@ -155,5 +171,52 @@ type teeSink []Sink
 func (t teeSink) Emit(e Event) {
 	for _, s := range t {
 		s.Emit(e)
+	}
+}
+
+// --- durations ----------------------------------------------------------------
+
+// DurationSink measures wall-clock span durations. Events carry no
+// timestamps (they would break the determinism goldens), so this sink
+// records time.Now at each EvSpanBegin and calls fn with the elapsed time at
+// the matching EvSpanEnd — the bridge from obs spans to latency histograms
+// (beacond feeds phase durations into prom through one of these).
+//
+// Spans that never end are forgotten when the sink exceeds its internal
+// high-water mark, bounding memory under span leaks.
+type DurationSink struct {
+	fn  func(name string, kind SpanKind, d time.Duration)
+	now func() time.Time
+
+	mu      sync.Mutex
+	started map[uint64]time.Time
+}
+
+// NewDurationSink creates a DurationSink calling fn at every span close.
+func NewDurationSink(fn func(name string, kind SpanKind, d time.Duration)) *DurationSink {
+	return &DurationSink{fn: fn, now: time.Now, started: make(map[uint64]time.Time)}
+}
+
+// Emit implements Sink.
+func (d *DurationSink) Emit(e Event) {
+	switch e.Type {
+	case EvSpanBegin:
+		d.mu.Lock()
+		if len(d.started) > 4096 { // leaked spans: reset rather than grow
+			d.started = make(map[uint64]time.Time)
+		}
+		d.started[e.Span] = d.now()
+		d.mu.Unlock()
+	case EvSpanEnd:
+		d.mu.Lock()
+		t0, ok := d.started[e.Span]
+		if ok {
+			delete(d.started, e.Span)
+		}
+		now := d.now()
+		d.mu.Unlock()
+		if ok {
+			d.fn(e.Name, e.Kind, now.Sub(t0))
+		}
 	}
 }

@@ -144,9 +144,16 @@ func AggregatePhases(events []Event, player int, rename map[string]string) []Pha
 // sequence: one block per network round with its delivery totals, listing
 // span transitions and protocol events, with per-player send/broadcast
 // traffic aggregated into one line per round.
+//
+// Merged cluster traces (MergeTraces/MergeJSONL) render too: when the
+// stream carries more than one origin, every line is prefixed with the
+// emitting node ("[n3 p3]") so one artifact shows a whole round interleaved
+// across all processes, and when it spans more than one epoch the round
+// headers carry the epoch.
 func Timeline(w io.Writer, events []Event) {
+	type roundKey struct{ epoch, round int }
 	type roundAgg struct {
-		round      int
+		key        roundKey
 		sends      int64
 		sendBytes  int64
 		bcasts     int64
@@ -154,19 +161,33 @@ func Timeline(w io.Writer, events []Event) {
 		delivBytes int64
 		lines      []string
 	}
-	byRound := make(map[int]*roundAgg)
-	order := []int{}
-	get := func(r int) *roundAgg {
-		a, ok := byRound[r]
+	origins := make(map[int]bool)
+	epochs := make(map[int]bool)
+	for _, e := range events {
+		origins[e.Origin] = true
+		epochs[e.Epoch] = true
+	}
+	multiOrigin := len(origins) > 1
+	multiEpoch := len(epochs) > 1
+	who := func(e Event) string {
+		if multiOrigin {
+			return fmt.Sprintf("[n%d p%d]", e.Origin, e.Player)
+		}
+		return fmt.Sprintf("[p%d]", e.Player)
+	}
+	byRound := make(map[roundKey]*roundAgg)
+	order := []roundKey{}
+	get := func(k roundKey) *roundAgg {
+		a, ok := byRound[k]
 		if !ok {
-			a = &roundAgg{round: r}
-			byRound[r] = a
-			order = append(order, r)
+			a = &roundAgg{key: k}
+			byRound[k] = a
+			order = append(order, k)
 		}
 		return a
 	}
 	for _, e := range events {
-		a := get(e.Round)
+		a := get(roundKey{e.Epoch, e.Round})
 		switch e.Type {
 		case EvSend:
 			a.sends++
@@ -180,33 +201,43 @@ func Timeline(w io.Writer, events []Event) {
 		case EvRound:
 			// totals already accumulated from deliveries; nothing to add
 		case EvSpanBegin:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] ▶ %s %s", e.Player, e.Kind, e.Name))
+			a.lines = append(a.lines, fmt.Sprintf("%s ▶ %s %s", who(e), e.Kind, e.Name))
 		case EvSpanEnd:
-			line := fmt.Sprintf("[p%d] ◀ %s %s", e.Player, e.Kind, e.Name)
+			line := fmt.Sprintf("%s ◀ %s %s", who(e), e.Kind, e.Name)
 			if e.Cost != nil {
 				line += fmt.Sprintf(" (%d rounds-span: msgs=%d bytes=%d interp=%d)",
 					e.Cost.Rounds, e.Cost.Messages, e.Cost.Bytes, e.Cost.Interpolations)
 			}
 			a.lines = append(a.lines, line)
 		case EvDealerBad:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] dealer %d disqualified", e.Player, e.From))
+			a.lines = append(a.lines, fmt.Sprintf("%s dealer %d disqualified", who(e), e.From))
 		case EvClique:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] clique of %d found", e.Player, e.Count))
+			a.lines = append(a.lines, fmt.Sprintf("%s clique of %d found", who(e), e.Count))
 		case EvLeader:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] leader %d elected (attempt %d)", e.Player, e.Value, e.Count))
+			a.lines = append(a.lines, fmt.Sprintf("%s leader %d elected (attempt %d)", who(e), e.Value, e.Count))
 		case EvDecision:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] BA decided %d", e.Player, e.Value))
+			a.lines = append(a.lines, fmt.Sprintf("%s BA decided %d", who(e), e.Value))
 		case EvCoinSealed:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] %d coins sealed", e.Player, e.Count))
+			a.lines = append(a.lines, fmt.Sprintf("%s %d coins sealed", who(e), e.Count))
 		case EvCoinExposed:
-			a.lines = append(a.lines, fmt.Sprintf("[p%d] coin %d exposed = %#x", e.Player, e.Count, e.Value))
+			a.lines = append(a.lines, fmt.Sprintf("%s coin %d exposed = %#x", who(e), e.Count, e.Value))
 		}
 	}
-	sort.Ints(order)
-	for _, r := range order {
-		a := byRound[r]
-		fmt.Fprintf(w, "round %d: %d sent (+%d bcast), %d delivered, %d B\n",
-			a.round, a.sends, a.bcasts, a.delivered, a.delivBytes)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].epoch != order[j].epoch {
+			return order[i].epoch < order[j].epoch
+		}
+		return order[i].round < order[j].round
+	})
+	for _, k := range order {
+		a := byRound[k]
+		if multiEpoch {
+			fmt.Fprintf(w, "epoch %d round %d: %d sent (+%d bcast), %d delivered, %d B\n",
+				k.epoch, k.round, a.sends, a.bcasts, a.delivered, a.delivBytes)
+		} else {
+			fmt.Fprintf(w, "round %d: %d sent (+%d bcast), %d delivered, %d B\n",
+				k.round, a.sends, a.bcasts, a.delivered, a.delivBytes)
+		}
 		for _, l := range a.lines {
 			fmt.Fprintf(w, "  %s\n", l)
 		}

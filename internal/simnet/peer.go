@@ -50,6 +50,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -80,6 +81,7 @@ type peerOptions struct {
 	backoffMin   time.Duration
 	backoffMax   time.Duration
 	queryHandler QueryHandler
+	metrics      *PeerMetrics
 }
 
 // WithRoundTimeout sets how long a peer-mode EndRound waits for lagging
@@ -120,8 +122,13 @@ type peerNet struct {
 	digest [32]byte
 	opts   peerOptions
 
-	ln  net.Listener
-	out []*peerConn // outgoing authenticated connections, nil at self
+	ln   net.Listener
+	out  []*peerConn      // outgoing authenticated connections, nil at self
+	inst *peerInstruments // prom instrumentation, nil when disabled
+
+	// epoch is this daemon's beacon epoch + 1 (0 = never set), stamped on
+	// every done/status frame so peers can track cluster epoch positions.
+	epoch atomic.Int64
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -131,6 +138,7 @@ type peerNet struct {
 	closeErr  error
 	watermark []int             // highest round each peer declared complete; -1 unseen
 	required  []bool            // peers the barrier waits for
+	peerEpoch []int             // epoch each peer last announced; -1 unseen
 	staged    map[int][]Message // round → staged messages (remote + self copies)
 	seq       uint64
 
@@ -210,14 +218,17 @@ func NewPeer(cfg *PeerConfig, self int, opts ...Option) (*Network, error) {
 		opts:      nw.peerOpts,
 		watermark: make([]int, cfg.N()),
 		required:  make([]bool, cfg.N()),
+		peerEpoch: make([]int, cfg.N()),
 		staged:    make(map[int][]Message),
 		inConn:    make([]net.Conn, cfg.N()),
 		qPending:  make(map[uint64]qWaiter),
 		done:      make(chan struct{}),
 	}
+	pn.inst = newPeerInstruments(nw.peerOpts.metrics, cfg.N())
 	pn.cond = sync.NewCond(&pn.mu)
 	for i := range pn.watermark {
 		pn.watermark[i] = -1
+		pn.peerEpoch[i] = -1
 		pn.required[i] = i != self
 	}
 
@@ -262,16 +273,21 @@ func (pc *peerConn) dialLoop() {
 		default:
 		}
 		conn, err := net.DialTimeout("tcp", pn.cfg.Peers[pc.to].Addr, pn.opts.writeTimeout)
-		if err == nil {
+		if err != nil {
+			pn.inst.handshake('d')
+		} else {
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			err = dialHandshake(conn, pn.cfg.Secret, pn.self, pc.to, pn.digest)
 			if err != nil {
+				pn.inst.handshake('r')
 				conn.Close()
 			} else {
+				pn.inst.handshake('o')
 				conn.SetDeadline(time.Time{})
 			}
 		}
 		if err != nil {
+			pn.inst.setBackoff(pc.to, backoff.Seconds())
 			select {
 			case <-pn.done:
 				return
@@ -284,6 +300,9 @@ func (pc *peerConn) dialLoop() {
 			continue
 		}
 		backoff = pn.opts.backoffMin
+		pn.inst.setBackoff(pc.to, 0)
+		pn.inst.connect(pc.to)
+		pn.inst.setConnected(pc.to, true)
 
 		pc.mu.Lock()
 		pc.conn = conn
@@ -297,11 +316,12 @@ func (pc *peerConn) dialLoop() {
 		// its required set at the right round. Before StartAt this is -1,
 		// which is deliberately never promoting.
 		if started || flushed >= 0 {
-			pc.write(framePeerStatus, flushed, nil)
+			pc.write(framePeerStatus, flushed, pn.epochPayload())
 		}
 
 		pc.replyRead(conn) // blocks until the connection dies
 		pc.clear(conn)
+		pn.inst.setConnected(pc.to, false)
 	}
 }
 
@@ -460,7 +480,16 @@ func (pn *peerNet) ingest(from int, conn net.Conn) {
 			}
 			pn.stageRemote(from, arg, kind, payload)
 		case frameDone, framePeerStatus:
-			pn.advanceWatermark(from, arg)
+			// Done/status frames optionally carry the sender's beacon epoch
+			// as a 4-byte little-endian payload (absent from older senders
+			// and daemons that never call SetEpoch; readers before this
+			// field existed ignored the payload entirely, so the wire
+			// version is unchanged).
+			epoch := -1
+			if len(payload) >= 4 {
+				epoch = int(binary.LittleEndian.Uint32(payload))
+			}
+			pn.advanceWatermark(from, arg, epoch)
 		case framePeerQuery:
 			if len(payload) < 8 {
 				return
@@ -527,7 +556,7 @@ func (pn *peerNet) stageRemote(from, round int, kind Kind, payload []byte) {
 // rejoining daemon's pn.round is still 0 while the cluster may legitimately
 // be thousands of rounds ahead, and that unclamped window only lasts for
 // the (bounded) join choreography.
-func (pn *peerNet) advanceWatermark(from, r int) {
+func (pn *peerNet) advanceWatermark(from, r, epoch int) {
 	pn.mu.Lock()
 	defer pn.mu.Unlock()
 	if pn.started {
@@ -537,11 +566,29 @@ func (pn *peerNet) advanceWatermark(from, r int) {
 	}
 	if r > pn.watermark[from] {
 		pn.watermark[from] = r
+		pn.inst.setWatermark(from, r)
+	}
+	if epoch > pn.peerEpoch[from] {
+		pn.peerEpoch[from] = epoch
+		pn.inst.setEpoch(from, epoch)
 	}
 	if from != pn.self && pn.watermark[from] >= pn.round-1 && pn.watermark[from] >= 0 {
 		pn.required[from] = true
 	}
 	pn.cond.Broadcast()
+}
+
+// epochPayload renders the current beacon epoch as a done/status frame
+// payload, or nil when SetEpoch was never called (keeping those frames
+// byte-identical to the pre-epoch wire format).
+func (pn *peerNet) epochPayload() []byte {
+	e := pn.epoch.Load()
+	if e == 0 {
+		return nil
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(e-1))
+	return b[:]
 }
 
 // ---------------------------------------------------------------------------
@@ -587,7 +634,7 @@ func (nw *Network) StartAt(r int) error {
 		pc.mu.Lock()
 		pc.flushed = r - 1
 		pc.mu.Unlock()
-		pc.write(framePeerStatus, r-1, nil)
+		pc.write(framePeerStatus, r-1, pn.epochPayload())
 	}
 	return nil
 }
@@ -611,6 +658,10 @@ func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
 		return nil, ErrNotStarted
 	}
 	r := nd.round
+	var t0 time.Time
+	if pn.inst != nil {
+		t0 = time.Now()
+	}
 
 	// Flush outside the lock: socket writes may block on deadlines, and the
 	// inbound readers need the lock to keep staging. Per-peer write errors
@@ -638,7 +689,7 @@ func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
 		pc.mu.Lock()
 		pc.flushed = r
 		pc.mu.Unlock()
-		pc.write(frameDone, r, nil)
+		pc.write(frameDone, r, pn.epochPayload())
 	}
 
 	pn.mu.Lock()
@@ -676,6 +727,7 @@ func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
 		for j := range pn.required {
 			if pn.required[j] && pn.watermark[j] < r {
 				pn.required[j] = false
+				pn.inst.demoted(j)
 				// A zero-length span marks the demotion on the obs timeline.
 				pn.nw.tracer.Start(pn.self, r, obs.KindPhase, fmt.Sprintf("peer-demoted-%d", j)).End(r)
 			}
@@ -684,6 +736,9 @@ func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
 	msgs := pn.commitLocked(r)
 	pn.mu.Unlock()
 
+	if pn.inst != nil {
+		pn.inst.observeRound(time.Since(t0).Seconds())
+	}
 	nd.round++
 	return msgs, nil
 }
@@ -712,6 +767,15 @@ func (pn *peerNet) commitLocked(r int) []Message {
 		return msgs[a].seq < msgs[b].seq
 	})
 	pn.round = r + 1
+	if pn.inst != nil {
+		lead := r
+		for _, w := range pn.watermark {
+			if w > lead {
+				lead = w
+			}
+		}
+		pn.inst.updateLags(pn.self, lead, pn.watermark)
+	}
 	if pn.nw.ctr != nil {
 		pn.nw.ctr.AddRounds(1)
 	}
@@ -812,6 +876,29 @@ func (nw *Network) PeerWatermark(j int) int {
 	return nw.pn.watermark[j]
 }
 
+// SetEpoch records this daemon's beacon epoch. Peer mode stamps it on every
+// subsequent done/status frame (as an optional 4-byte payload older readers
+// ignore), so peers can correlate round positions with refill generations;
+// PeerEpoch reads back what each peer announced. The other transports
+// ignore it.
+func (nw *Network) SetEpoch(epoch int) {
+	if nw.pn == nil || epoch < 0 {
+		return
+	}
+	nw.pn.epoch.Store(int64(epoch) + 1)
+}
+
+// PeerEpoch returns the beacon epoch peer j last announced on a done/status
+// frame, or -1 if it never announced one.
+func (nw *Network) PeerEpoch(j int) int {
+	if nw.pn == nil {
+		return -1
+	}
+	nw.pn.mu.Lock()
+	defer nw.pn.mu.Unlock()
+	return nw.pn.peerEpoch[j]
+}
+
 // Query sends an application request to peer `to` over the authenticated
 // connection and waits for its reply, outside the round machinery. It is the
 // rejoin catch-up channel (STATE and log-fetch requests, see
@@ -837,6 +924,10 @@ func (nw *Network) Query(to int, req []byte, timeout time.Duration) ([]byte, err
 		pn.qMu.Unlock()
 	}
 
+	var q0 time.Time
+	if pn.inst != nil {
+		q0 = time.Now()
+	}
 	payload := make([]byte, 8, 8+len(req))
 	binary.LittleEndian.PutUint64(payload, id)
 	payload = append(payload, req...)
@@ -846,6 +937,9 @@ func (nw *Network) Query(to int, req []byte, timeout time.Duration) ([]byte, err
 	}
 	select {
 	case resp := <-ch:
+		if pn.inst != nil {
+			pn.inst.observeQuery(to, time.Since(q0).Seconds())
+		}
 		return resp, nil
 	case <-time.After(timeout):
 		cancel()

@@ -107,7 +107,7 @@ func TestWatermarkClampedAfterStart(t *testing.T) {
 	nws := startPeerCluster(t, cfg)
 
 	// Not started: the declared position is recorded as-is.
-	nws[1].pn.advanceWatermark(0, 1<<30)
+	nws[1].pn.advanceWatermark(0, 1<<30, -1)
 	if got := nws[1].PeerWatermark(0); got != 1<<30 {
 		t.Fatalf("pre-start watermark = %d, want %d", got, 1<<30)
 	}
@@ -115,7 +115,7 @@ func TestWatermarkClampedAfterStart(t *testing.T) {
 	if err := nws[0].StartAt(0); err != nil {
 		t.Fatal(err)
 	}
-	nws[0].pn.advanceWatermark(1, 1<<30)
+	nws[0].pn.advanceWatermark(1, 1<<30, -1)
 	if got := nws[0].PeerWatermark(1); got != maxFutureWindow {
 		t.Fatalf("post-start watermark = %d, want clamp at %d", got, maxFutureWindow)
 	}

@@ -72,6 +72,7 @@ peers:
   - id: 0
     addr: 127.0.0.1:9400
     listen: 0.0.0.0:9400
+    http: 127.0.0.1:8433
 `
 
 func TestPeerConfigParseGood(t *testing.T) {
@@ -94,13 +95,18 @@ func TestPeerConfigParseGood(t *testing.T) {
 	if got := cfg.ListenAddr(0); got != "0.0.0.0:9400" {
 		t.Fatalf("listen override lost: %q", got)
 	}
-	// The digest pins dial addresses but not node-local listen overrides or
-	// the secret.
+	if got := cfg.Peers[0].HTTP; got != "127.0.0.1:8433" {
+		t.Fatalf("http address lost: %q", got)
+	}
+	// The digest pins dial addresses but not node-local listen overrides,
+	// observability addresses, or the secret — adding http: to a running
+	// cluster's config must not force a re-ceremony.
 	d1 := cfg.Digest()
 	cfg.Peers[0].Listen = "0.0.0.0:19400"
+	cfg.Peers[1].HTTP = "127.0.0.1:18433"
 	cfg.Secret = []byte("another-32-byte-secret-value-...!")
 	if d2 := cfg.Digest(); d2 != d1 {
-		t.Fatal("digest depends on listen override or secret")
+		t.Fatal("digest depends on listen/http override or secret")
 	}
 	cfg.Peers[0].Addr = "127.0.0.1:9409"
 	if d3 := cfg.Digest(); d3 == d1 {

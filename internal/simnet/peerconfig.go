@@ -24,6 +24,7 @@ package simnet
 //	  - id: 1
 //	    addr: 10.0.0.2:9400
 //	    listen: 0.0.0.0:9400   # optional local bind override (NAT)
+//	    http: 10.0.0.2:8433    # optional observability address (beaconctl)
 //
 // Unknown keys, tab indentation, duplicate keys and malformed scalars are
 // errors: an operator typo must fail loudly at startup, not as a protocol
@@ -48,6 +49,12 @@ type Peer struct {
 	// behind NAT). Empty means listen on Addr. Listen is deployment-local
 	// and excluded from the config digest.
 	Listen string
+	// HTTP is the peer's observability address (beacond -addr): where
+	// /metrics, /v1/healthz and /debug/trace are served. It is consumed by
+	// operator tooling (cmd/beaconctl), never by the transport, and — like
+	// Listen — is excluded from the digest so adding it to a running
+	// cluster's config does not force a re-ceremony.
+	HTTP string
 }
 
 // PeerConfig is the parsed peers.yaml: the cluster roster, the shared
@@ -269,6 +276,8 @@ func ParsePeerConfig(data []byte) (*PeerConfig, error) {
 			cur.Addr = val
 		case "listen":
 			cur.Listen = val
+		case "http":
+			cur.HTTP = val
 		default:
 			return nil, fmt.Errorf("line %d: unknown peer key %q", lineno, key)
 		}
