@@ -19,7 +19,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (e1..e15 or 'all')")
+	expFlag := flag.String("exp", "all", "experiment to run (e1..e16 or 'all')")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -38,6 +38,7 @@ func main() {
 		{"e13", "§1.2: pro-active setting — moving faulty set", runE13},
 		{"e14", "§1: randomized BA application consuming shared coins", runE14},
 		{"e15", "Thm 2 phase breakdown: per-phase cost attribution of one Coin-Gen run", runE15},
+		{"e16", "hostile-network conformance: Coin-Gen verdict/termination under schedules", runE16},
 	}
 
 	want := strings.ToLower(*expFlag)
@@ -54,7 +55,7 @@ func main() {
 		fmt.Println()
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e15 or all)\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (e1..e16 or all)\n", *expFlag)
 		os.Exit(1)
 	}
 }

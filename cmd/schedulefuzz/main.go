@@ -1,0 +1,84 @@
+// Command schedulefuzz is the nightly driver for the schedule-exploration
+// conformance harness (internal/conformance/schedules): it keeps throwing
+// freshly seeded hostile-network schedules at randomly chosen conformance
+// scenarios until a time budget expires, and treats any property violation
+// as a bug in either a protocol or the harness's fault-budget model.
+//
+// Every failure is reported as a (scenario, schedule-seed) pair — the
+// complete reproduction recipe — together with the expanded schedule, its
+// greedy shrink to a 1-minimal rule set, and (via the conformance trace
+// dump) the full canonical obs timeline of the failing run. The artifact
+// directory is self-contained: failures.txt holds the repro pairs and
+// shrunk schedules, *.jsonl the timelines, ready for CI upload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/conformance/schedules"
+)
+
+func main() {
+	duration := flag.Duration("duration", 10*time.Minute, "wall-clock fuzzing budget")
+	seed := flag.Int64("seed", 0, "base seed for the (scenario, schedule) stream; 0 draws from the clock")
+	out := flag.String("out", "schedule-fuzz-out", "artifact directory for failure repros and timelines")
+	maxFailures := flag.Int("maxfailures", 5, "stop after this many distinct failures")
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	// Failing runs dump their canonical timeline into the artifact dir.
+	if err := os.Setenv(conformance.TraceDirEnv, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "schedulefuzz: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("schedulefuzz: base seed %d, budget %s\n", *seed, *duration)
+
+	rng := rand.New(rand.NewSource(*seed))
+	scs := conformance.Scenarios()
+	deadline := time.Now().Add(*duration)
+	runs, failures := 0, 0
+	for time.Now().Before(deadline) && failures < *maxFailures {
+		sc := scs[rng.Intn(len(scs))]
+		schedSeed := rng.Int63()
+		runs++
+		if _, err := schedules.Run(sc, schedSeed); err != nil {
+			failures++
+			report(*out, sc, schedSeed, err)
+		}
+	}
+	fmt.Printf("schedulefuzz: %d runs, %d failures (base seed %d)\n", runs, failures, *seed)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// report prints a failure and appends its self-contained repro block —
+// the (scenario, schedule-seed) pair, the sampled schedule, and its
+// 1-minimal shrink — to <out>/failures.txt.
+func report(out string, sc conformance.Scenario, schedSeed int64, err error) {
+	repro := schedules.Repro(sc, schedSeed)
+	shrunk := schedules.Shrink(sc, schedules.Sample(sc, schedSeed))
+	block := fmt.Sprintf("%s\nshrunk schedule: %q\n%v\n\n", repro, shrunk, err)
+	fmt.Print(block)
+	if mkErr := os.MkdirAll(out, 0o755); mkErr != nil {
+		fmt.Fprintf(os.Stderr, "schedulefuzz: %v\n", mkErr)
+		return
+	}
+	f, fErr := os.OpenFile(filepath.Join(out, "failures.txt"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if fErr != nil {
+		fmt.Fprintf(os.Stderr, "schedulefuzz: %v\n", fErr)
+		return
+	}
+	defer f.Close()
+	if _, wErr := f.WriteString(block); wErr != nil {
+		fmt.Fprintf(os.Stderr, "schedulefuzz: %v\n", wErr)
+	}
+}

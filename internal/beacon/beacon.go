@@ -423,21 +423,55 @@ func (s *Service) DrawBits(ctx context.Context, nbits int) ([]byte, error) {
 }
 
 // DrawMod returns a shared random value in [1, m], the 1-based reduction
-// Coin-Gen's own leader election uses (Fig. 5 step 9). As with
-// core.NextMod, values are exactly uniform only when m divides 2^k.
+// Coin-Gen's own leader election uses (Fig. 5 step 9). Unlike core.NextMod
+// (which keeps the paper's raw reduction inside the protocol), the serving
+// layer draws by rejection sampling, so the result is exactly uniform for
+// every m — a draw landing in the ragged tail of [0, 2^k) is discarded and
+// a fresh coin drawn. Each coin is a shared value, so every replica rejects
+// the identical draws and consumes the identical coin count; the expected
+// overhead is below one extra coin per call (acceptance > 1/2 always).
 func (s *Service) DrawMod(ctx context.Context, m int) (int, error) {
 	if m <= 0 {
 		return 0, fmt.Errorf("beacon: invalid modulus %d", m)
 	}
-	vals, err := s.draw(ctx, 1)
-	if err != nil {
-		return 0, err
+	k := uint(s.cfg.Core.Field.K())
+	if k < 64 && uint64(m) > 1<<k {
+		return 0, fmt.Errorf("beacon: modulus %d exceeds the field's %d-bit draw space", m, k)
 	}
-	l := int(uint64(vals[0]) % uint64(m))
-	if l == 0 {
-		l = m
+	if m == 1 {
+		return 1, nil // the only outcome; no entropy to spend
 	}
-	return l, nil
+	for {
+		vals, err := s.draw(ctx, 1)
+		if err != nil {
+			return 0, err
+		}
+		v := uint64(vals[0])
+		if !modAccept(v, k, uint64(m)) {
+			continue
+		}
+		l := int(v % uint64(m))
+		if l == 0 {
+			l = m
+		}
+		return l, nil
+	}
+}
+
+// modAccept reports whether a k-bit draw v lies below the rejection cutoff
+// for modulus m: the largest multiple of m not exceeding 2^k. Draws at or
+// above the cutoff fall in the ragged tail whose residues would be
+// overrepresented by one part in ⌊2^k/m⌋, so DrawMod rejects and redraws.
+// Requires m ≥ 1 and (for k < 64) m ≤ 2^k.
+func modAccept(v uint64, k uint, m uint64) bool {
+	if k >= 64 {
+		// 2^64 overflows uint64: compute 2^64 mod m as (MaxUint64 mod m + 1)
+		// mod m and accept v < 2^64 − that remainder.
+		rem := (^uint64(0)%m + 1) % m
+		return rem == 0 || v <= ^uint64(0)-rem
+	}
+	space := uint64(1) << k
+	return v < space-space%m
 }
 
 // draw enqueues a request for `need` coins and waits for the executive.

@@ -1,0 +1,151 @@
+package beacon
+
+import (
+	"context"
+	"testing"
+)
+
+// TestModAcceptExactUniformity is the mathematical core of the rejection
+// sampler, checked exhaustively: for an 8-bit draw space and every modulus,
+// the accepted values split into residue classes of exactly equal size.
+// This is the property the old raw reduction lacked (256 mod 7 = 4, so four
+// residues used to be one count heavier).
+func TestModAcceptExactUniformity(t *testing.T) {
+	const k = 8
+	for m := uint64(1); m <= 256; m++ {
+		counts := make([]int, m)
+		accepted := 0
+		for v := uint64(0); v < 256; v++ {
+			if modAccept(v, k, m) {
+				counts[v%m]++
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			t.Fatalf("m=%d: rejection cutoff accepts nothing", m)
+		}
+		// No more than m−1 draws may be wasted, and every residue class
+		// must be hit the identical number of times.
+		if rejected := 256 - accepted; uint64(rejected) >= m {
+			t.Fatalf("m=%d: %d rejected, want < m", m, rejected)
+		}
+		for r, c := range counts {
+			if c != accepted/int(m) {
+				t.Fatalf("m=%d: residue %d accepted %d times, want %d", m, r, c, accepted/int(m))
+			}
+		}
+	}
+}
+
+// TestModAcceptFullWidth pins the k=64 branch, where 2^64 overflows uint64
+// and the cutoff must be computed from MaxUint64 arithmetic.
+func TestModAcceptFullWidth(t *testing.T) {
+	max := ^uint64(0)
+	// Powers of two divide 2^64: nothing is ever rejected.
+	for _, m := range []uint64{1, 2, 1 << 16, 1 << 63} {
+		if !modAccept(max, 64, m) || !modAccept(0, 64, m) {
+			t.Fatalf("m=%d divides 2^64 but a draw was rejected", m)
+		}
+	}
+	// 2^64 ≡ 1 (mod 3): exactly the top draw falls in the ragged tail.
+	if modAccept(max, 64, 3) {
+		t.Fatal("m=3: MaxUint64 is the one tail value and must be rejected")
+	}
+	if !modAccept(max-1, 64, 3) {
+		t.Fatal("m=3: MaxUint64-1 is below the cutoff and must be accepted")
+	}
+	// 2^64 ≡ 6 (mod 10): the top six draws are the tail.
+	for v := max - 5; v != 0; v++ {
+		if modAccept(v, 64, 10) {
+			t.Fatalf("m=10: tail draw %#x accepted", v)
+		}
+		if v == max {
+			break
+		}
+	}
+	if !modAccept(max-6, 64, 10) {
+		t.Fatal("m=10: MaxUint64-6 must be accepted")
+	}
+}
+
+// TestDrawModUniformChi runs a chi-squared uniformity check on live DrawMod
+// output for moduli that do not divide the k=8 draw space. The run is
+// deterministic (seeded dealing and refills), so the statistic is a fixed
+// number, not a flake source; the threshold is the 99.9th percentile. The
+// old raw reduction's bias on this small field (4 residues heavier by
+// 1/36th) is exactly what rejection sampling removes.
+func TestDrawModUniformChi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("draws thousands of coins through the refill pipeline")
+	}
+	s, err := New(testConfig(t, 64, 6, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	// 99.9% chi-squared critical values for m−1 degrees of freedom.
+	for _, tc := range []struct {
+		m       int
+		n       int
+		critVal float64
+	}{
+		{m: 7, n: 2100, critVal: 22.458},
+		{m: 10, n: 2000, critVal: 27.877},
+	} {
+		counts := make([]int, tc.m)
+		for i := 0; i < tc.n; i++ {
+			l, err := s.DrawMod(ctx, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l < 1 || l > tc.m {
+				t.Fatalf("DrawMod(%d) = %d outside [1,%d]", tc.m, l, tc.m)
+			}
+			counts[l-1]++
+		}
+		expect := float64(tc.n) / float64(tc.m)
+		chi := 0.0
+		for _, c := range counts {
+			d := float64(c) - expect
+			chi += d * d / expect
+		}
+		if chi > tc.critVal {
+			t.Fatalf("DrawMod(%d) residues %v: chi-squared %.2f > %.2f", tc.m, counts, chi, tc.critVal)
+		}
+	}
+}
+
+// TestDrawModEdges pins the explicit edge handling: m ≤ 0 rejected, m = 1
+// answered without spending a coin, m beyond the draw space rejected
+// before any coin is consumed.
+func TestDrawModEdges(t *testing.T) {
+	s, err := New(testConfig(t, 24, 6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ctx := context.Background()
+	for _, bad := range []int{0, -1, -7} {
+		if _, err := s.DrawMod(ctx, bad); err == nil {
+			t.Fatalf("DrawMod(%d) accepted", bad)
+		}
+	}
+	// The k=8 test field draws from [0, 256): a larger modulus cannot be
+	// served and must fail fast.
+	if _, err := s.DrawMod(ctx, 257); err == nil {
+		t.Fatal("DrawMod(257) accepted on an 8-bit field")
+	}
+	before := s.Stats().CoinsDelivered
+	l, err := s.DrawMod(ctx, 1)
+	if err != nil || l != 1 {
+		t.Fatalf("DrawMod(1) = %d, %v; want 1, nil", l, err)
+	}
+	if after := s.Stats().CoinsDelivered; after != before {
+		t.Fatalf("DrawMod(1) consumed %d coins; the single outcome needs none", after-before)
+	}
+	// m = 256 divides the space exactly: always one draw, never a rejection.
+	if l, err := s.DrawMod(ctx, 256); err != nil || l < 1 || l > 256 {
+		t.Fatalf("DrawMod(256) = %d, %v", l, err)
+	}
+}

@@ -78,16 +78,21 @@ func RunBA(sc Scenario) (*BAOutcome, error) {
 		fns[baAttacker] = adversary.Crash()
 	}
 
-	out.Honest = honestSet(sc.N, out.Corrupt)
+	// Validity is about the inputs of everyone running honest code — the
+	// schedule-disturbed players included (they vote too; the adversary
+	// delaying their packets does not change what they want). Agreement and
+	// the decision assertions then apply to the undisturbed subset.
+	codeHonest := honestSet(sc.N, out.Corrupt)
+	out.Honest = sc.assertable(out.Corrupt)
 	out.Unanimous = 0xFF
 	agree := true
-	for _, i := range out.Honest[1:] {
-		if inputs[i] != inputs[out.Honest[0]] {
+	for _, i := range codeHonest[1:] {
+		if inputs[i] != inputs[codeHonest[0]] {
 			agree = false
 		}
 	}
 	if agree {
-		out.Unanimous = inputs[out.Honest[0]]
+		out.Unanimous = inputs[codeHonest[0]]
 	}
 	results := simnet.Run(e.nw, fns)
 	if err := checkHonest(e, results, out.Honest); err != nil {
@@ -108,6 +113,9 @@ func RunBA(sc Scenario) (*BAOutcome, error) {
 // decision is that input regardless of the adversary.
 func (o *BAOutcome) Check() error {
 	e := o.Env
+	if len(o.Honest) == 0 {
+		return nil // every honest player disturbed: nothing is assertable
+	}
 	ref := o.Decisions[o.Honest[0]]
 	for _, i := range o.Honest {
 		if o.Decisions[i] != ref {

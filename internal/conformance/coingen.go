@@ -120,7 +120,7 @@ func RunCoinGen(sc Scenario) (*CoinGenOutcome, error) {
 		fns[cgAttacker] = honest(cgAttacker)
 	}
 
-	out.Honest = honestSet(sc.N, out.Corrupt)
+	out.Honest = sc.assertable(out.Corrupt)
 	results := simnet.Run(e.nw, fns)
 	if err := checkHonest(e, results, out.Honest); err != nil {
 		return nil, err
@@ -145,6 +145,9 @@ func RunCoinGen(sc Scenario) (*CoinGenOutcome, error) {
 //     players (the sealed batches describe one polynomial per coin).
 func (o *CoinGenOutcome) Check() error {
 	e := o.Env
+	if len(o.Honest) == 0 {
+		return nil // every honest player disturbed: nothing is assertable
+	}
 	ref := o.Players[o.Honest[0]]
 	if len(ref.Coins) != e.sc.M {
 		return e.failf("player %d opened %d coins, want %d", o.Honest[0], len(ref.Coins), e.sc.M)

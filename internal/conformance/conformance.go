@@ -58,6 +58,14 @@ type Scenario struct {
 	// byte-identical to the serial run — that invariance is itself part of
 	// the conformance contract.
 	Width int
+	// Schedule, when non-nil, runs the scenario under a hostile-network
+	// schedule (simnet.WithSchedule): seeded delivery jitter, partitions
+	// with heals, crash windows, within-round reordering. Players the
+	// schedule disturbs (Schedule.Disturbed — charged against the fault
+	// budget t exactly like corrupted players) are exempted from the
+	// honest-output assertions; see the runners. The schedule-exploration
+	// harness in conformance/schedules samples these.
+	Schedule *simnet.Schedule
 }
 
 // String renders the scenario as the subtest name — quoting it back into
@@ -75,6 +83,11 @@ func (s Scenario) String() string {
 	fmt.Fprintf(&b, ",seed=%d", s.Seed)
 	if s.Width > 1 {
 		fmt.Fprintf(&b, ",w=%d", s.Width)
+	}
+	if s.Schedule != nil {
+		// The schedule seed completes the (scenario-seed, schedule-seed)
+		// repro pair; the full rule list is printed by failf on failure.
+		fmt.Fprintf(&b, ",sched=%d", s.Schedule.Seed)
 	}
 	return b.String()
 }
@@ -117,11 +130,15 @@ func newEnv(sc Scenario, ic simnet.Interceptor, seedCoins int) (*env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("conformance: deal trusted seed: %w", err)
 	}
+	if err := sc.Schedule.Validate(sc.N); err != nil {
+		return nil, fmt.Errorf("conformance: %w", err)
+	}
 	ring := obs.NewRing(1 << 15)
 	nw := simnet.New(sc.N,
 		simnet.WithTracer(obs.New(nil, ring)),
 		simnet.WithMaxRounds(4096),
 		simnet.WithInterceptor(ic),
+		simnet.WithSchedule(sc.Schedule),
 	)
 	return &env{sc: sc, field: f, ring: ring, nw: nw, seeds: seeds, seedVals: vals}, nil
 }
@@ -182,6 +199,29 @@ func (e *env) dumpTrace() {
 		sink.Emit(ev)
 	}
 	_ = sink.Flush()
+}
+
+// assertable returns the players whose outputs the scenario's properties
+// are asserted on: everyone neither corrupted by the attack nor disturbed
+// by the hostile schedule. A disturbed player runs honest code, but the
+// schedule damages its connectivity in ways the paper charges against the
+// fault budget t (see simnet.Schedule.Disturbed) — its own outputs carry no
+// guarantee, exactly like a corrupted player's, while the undisturbed
+// majority's guarantees must survive.
+func (s Scenario) assertable(corrupt []int) []int {
+	exempt := append([]int(nil), corrupt...)
+	exempt = append(exempt, s.Schedule.Disturbed(s.N)...)
+	return honestSet(s.N, exempt)
+}
+
+// disturbed reports whether the scenario's schedule disturbs player i.
+func (s Scenario) disturbed(i int) bool {
+	for _, d := range s.Schedule.Disturbed(s.N) {
+		if d == i {
+			return true
+		}
+	}
+	return false
 }
 
 // honestSet returns all indices not in corrupt, ascending.

@@ -1,0 +1,159 @@
+// Package schedules is the schedule-exploration conformance harness: it
+// re-runs the conformance matrix under K sampled hostile-network schedules
+// per scenario (seeded delivery jitter, partitions with timed heals,
+// crash/recover windows, within-round reordering) and asserts that the
+// paper's guarantees survive at every undisturbed honest player.
+//
+// Reproduction contract: every run is a pure function of the pair
+// (scenario, schedule-seed). A failing case prints that pair plus the full
+// schedule rule list; feeding the same pair back through Run — or pasting
+// the schedule string through simnet.ParseSchedule into RunWith — replays
+// the identical execution, byte for byte. Failures are then greedily shrunk
+// to a 1-minimal rule set (every further single-rule removal passes), which
+// is what a human debugs.
+//
+// Fault-budget soundness: schedule disturbance is charged against the same
+// budget t as code corruption (see simnet.Schedule.Disturbed), so victims
+// are sampled only from the complement of the scenario's corrupt ∪ pinned
+// actors and capped at t − |corrupt|. A scenario whose attack already
+// spends the whole budget gets reorder-only schedules — still a real
+// adversary (delivery order within a round is worst-case), still asserted.
+package schedules
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+
+	"repro/internal/conformance"
+	"repro/internal/simnet"
+)
+
+// KEnv names the environment variable overriding the number of hostile
+// schedules sampled per scenario. CI sets it to a small value on the
+// PR-gated run and a large one nightly.
+const KEnv = "SCHEDULE_K"
+
+// DefaultK is the per-scenario schedule count when KEnv is unset.
+const DefaultK = 5
+
+// K returns the per-scenario schedule count: KEnv when set to a
+// non-negative integer, DefaultK otherwise.
+func K() int {
+	if v := os.Getenv(KEnv); v != "" {
+		if k, err := strconv.Atoi(v); err == nil && k >= 0 {
+			return k
+		}
+	}
+	return DefaultK
+}
+
+// ScheduleSeed derives the k-th schedule seed for a scenario. The scenario's
+// printed name (schedule-free) is folded in so scenarios sharing a Seed
+// still explore distinct schedules, and the result is reproducible from the
+// (scenario, k) pair alone.
+func ScheduleSeed(sc conformance.Scenario, k int) int64 {
+	sc.Schedule = nil
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for _, c := range sc.String() {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h += uint64(k+1) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int64(h &^ (1 << 63))
+}
+
+// Victims picks the players the schedule derived from schedSeed may
+// disturb: a seeded sample from the scenario's non-corrupt, non-pinned
+// players, capped at the spare fault budget t − |corrupt|.
+func Victims(sc conformance.Scenario, schedSeed int64) []int {
+	corrupt, pinned := conformance.ScenarioActors(sc)
+	spare := sc.T - len(corrupt)
+	if spare <= 0 {
+		return nil
+	}
+	off := map[int]bool{}
+	for _, i := range corrupt {
+		off[i] = true
+	}
+	for _, i := range pinned {
+		off[i] = true
+	}
+	cands := make([]int, 0, sc.N)
+	for i := 0; i < sc.N; i++ {
+		if !off[i] {
+			cands = append(cands, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(schedSeed ^ 0x76c71ca7))
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > spare {
+		cands = cands[:spare]
+	}
+	sort.Ints(cands)
+	return cands
+}
+
+// Sample builds the hostile schedule a scenario runs under for a given
+// schedule seed. Pure: same (scenario, schedSeed) → same schedule.
+func Sample(sc conformance.Scenario, schedSeed int64) *simnet.Schedule {
+	return simnet.SampleSchedule(schedSeed, sc.N, Victims(sc, schedSeed))
+}
+
+// Run executes the scenario under the schedule derived from schedSeed and
+// returns the honest-output fingerprint. This is the harness entry point:
+// Run(sc, seed) is the whole reproduction recipe for a printed failure.
+func Run(sc conformance.Scenario, schedSeed int64) (string, error) {
+	return RunWith(sc, Sample(sc, schedSeed))
+}
+
+// RunWith executes the scenario under an explicit schedule — used by the
+// shrinker and for replaying a pasted schedule string.
+func RunWith(sc conformance.Scenario, s *simnet.Schedule) (string, error) {
+	sc.Schedule = s
+	return conformance.RunScenario(sc)
+}
+
+// Repro formats the reproduction line attached to every harness failure:
+// the (scenario, schedule-seed) pair plus the expanded schedule, in the
+// exact serialization simnet.ParseSchedule accepts.
+func Repro(sc conformance.Scenario, schedSeed int64) string {
+	s := Sample(sc, schedSeed)
+	sc.Schedule = nil
+	return fmt.Sprintf("repro: scenario={%s} scheduleSeed=%d schedule=%q", sc, schedSeed, s)
+}
+
+// Shrink greedily minimizes a failing schedule: while any single rule can
+// be removed with the scenario still failing, remove it. The result is
+// 1-minimal — removing any one remaining rule makes the scenario pass — and
+// still reproduces a failure via RunWith. Returns nil when the scenario
+// does not fail under s in the first place.
+//
+// Cost: O(rules²) scenario runs in the worst case; sampled schedules carry
+// at most a handful of rules and a run is milliseconds, so shrinking is
+// cheap enough to do on every failure.
+func Shrink(sc conformance.Scenario, s *simnet.Schedule) *simnet.Schedule {
+	fails := func(c *simnet.Schedule) bool {
+		_, err := RunWith(sc, c)
+		return err != nil
+	}
+	if s == nil || !fails(s) {
+		return nil
+	}
+	cur := s.Clone()
+	for i := 0; i < cur.RuleCount(); {
+		c := cur.WithoutRule(i)
+		if fails(c) {
+			cur = c // rule i was irrelevant to the failure; index i now names the next rule
+		} else {
+			i++
+		}
+	}
+	return cur
+}

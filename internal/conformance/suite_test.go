@@ -1,155 +1,22 @@
 package conformance
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/gf2k"
 )
 
-// vssAttacks is every VSS/Batch-VSS attack the suite sweeps; gradecast,
-// ba and coingen attacks below likewise. The "honest" entry is the control
-// run that pins the attack-free baseline.
-var vssAttacks = []string{
-	"honest",
-	"wrong-degree-dealer",
-	"equivocal-dealer",
-	"silent-dealer",
-	"inconsistent-dealer-tolerated",
-	"inconsistent-dealer-overwhelming",
-	"false-complainer",
-	"delta-liar",
-	"garbage-verifier",
-	"crash-verifier",
-}
-
-var gradecastAttacks = []string{
-	"honest",
-	"grade-split-half",
-	"grade-split-one",
-	"echo-liar",
-	"silent-sender",
-	"crash-sender",
-}
-
-var baAttacks = []string{"honest", "griefer-king", "vote-equivocator", "crash"}
-
-var coingenAttacks = []string{
-	"honest",
-	"crash",
-	"silent",
-	"wrong-degree-dealer",
-	"deal-corrupt",
-	"gamma-equivocate",
-	"coin-share-liar",
-}
-
-// suiteScenarios is the full {attack × protocol × (n,t)} sweep. Every entry
-// reproduces from its printed name alone: `go test -run 'TestSuite/<name>'`.
-func suiteScenarios() []Scenario {
-	var scs []Scenario
-	// VSS at n = 3t+1 (the tight bound) for two fault levels; Batch-VSS is
-	// the same ceremony with M > 1.
-	for _, nt := range [][2]int{{4, 1}, {7, 2}} {
-		for _, a := range vssAttacks {
-			scs = append(scs,
-				Scenario{Protocol: "vss", Attack: a, N: nt[0], T: nt[1], M: 1, Seed: 1},
-				Scenario{Protocol: "batch-vss", Attack: a, N: nt[0], T: nt[1], M: 4, Seed: 2},
-			)
-		}
-		for _, a := range gradecastAttacks {
-			scs = append(scs, Scenario{Protocol: "gradecast", Attack: a, N: nt[0], T: nt[1], Seed: 3})
-		}
-	}
-	// Phase-king BA needs n ≥ 5t+1.
-	for _, nt := range [][2]int{{6, 1}, {11, 2}} {
-		for _, a := range baAttacks {
-			for _, v := range []string{"ones", "zeros", "mixed"} {
-				scs = append(scs, Scenario{Protocol: "ba", Attack: a, Variant: v, N: nt[0], T: nt[1], Seed: 4})
-			}
-		}
-	}
-	// Coin-Gen needs n ≥ 6t+1.
-	for _, nt := range [][2]int{{7, 1}, {13, 2}} {
-		for _, a := range coingenAttacks {
-			scs = append(scs, Scenario{Protocol: "coingen", Attack: a, N: nt[0], T: nt[1], M: 3, Seed: 5})
-		}
-	}
-	return scs
-}
-
-// runScenario dispatches one scenario to its runner and Check, returning a
-// fingerprint of the honest outputs (used by the determinism test).
-func runScenario(sc Scenario) (string, error) {
-	switch sc.Protocol {
-	case "vss", "batch-vss":
-		o, err := RunVSS(sc)
-		if err != nil {
-			return "", err
-		}
-		if err := o.Check(); err != nil {
-			return "", err
-		}
-		fp := ""
-		for _, i := range o.Honest {
-			fp += fmt.Sprintf("%d:%v:%x;", i, o.Players[i].Verdict, o.Players[i].Secrets)
-		}
-		return fp, nil
-	case "gradecast":
-		o, err := RunGradeCast(sc)
-		if err != nil {
-			return "", err
-		}
-		if err := o.Check(); err != nil {
-			return "", err
-		}
-		fp := ""
-		for _, i := range o.Honest {
-			for d, got := range o.Outputs[i] {
-				fp += fmt.Sprintf("%d/%d:%x/%d;", i, d, got.Value, got.Confidence)
-			}
-		}
-		return fp, nil
-	case "ba":
-		o, err := RunBA(sc)
-		if err != nil {
-			return "", err
-		}
-		if err := o.Check(); err != nil {
-			return "", err
-		}
-		fp := ""
-		for _, i := range o.Honest {
-			fp += fmt.Sprintf("%d:%d;", i, o.Decisions[i])
-		}
-		return fp, nil
-	case "coingen":
-		o, err := RunCoinGen(sc)
-		if err != nil {
-			return "", err
-		}
-		if err := o.Check(); err != nil {
-			return "", err
-		}
-		fp := ""
-		for _, i := range o.Honest {
-			p := o.Players[i]
-			fp += fmt.Sprintf("%d:a%d,c%v,x%x;", i, p.Res.Attempts, p.Res.Clique, p.Coins)
-		}
-		return fp, nil
-	}
-	return "", fmt.Errorf("conformance: unknown protocol %q", sc.Protocol)
-}
-
 // TestSuite is the seeded adversarial sweep: every scenario runs its
 // protocol under its attack and asserts the paper's properties on the
-// honest outputs. A failing entry reproduces from the subtest name.
+// honest outputs. A failing entry reproduces from the subtest name. The
+// matrix and dispatcher live in matrix.go (exported, so the schedule
+// harness and the fuzz driver share them).
 func TestSuite(t *testing.T) {
-	for _, sc := range suiteScenarios() {
+	for _, sc := range Scenarios() {
 		sc := sc
 		t.Run(sc.String(), func(t *testing.T) {
 			t.Parallel()
-			if _, err := runScenario(sc); err != nil {
+			if _, err := RunScenario(sc); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -172,11 +39,11 @@ func TestSuiteDeterministic(t *testing.T) {
 		sc := sc
 		t.Run(sc.String(), func(t *testing.T) {
 			t.Parallel()
-			first, err := runScenario(sc)
+			first, err := RunScenario(sc)
 			if err != nil {
 				t.Fatal(err)
 			}
-			second, err := runScenario(sc)
+			second, err := RunScenario(sc)
 			if err != nil {
 				t.Fatal(err)
 			}

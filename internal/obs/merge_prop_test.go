@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genStream builds a synthetic per-daemon event stream: strictly increasing
+// local Seq, events scattered across epochs and rounds (including replayed
+// earlier rounds of later epochs, as a rejoining daemon's backfill emits),
+// and locally numbered spans that collide across streams on purpose.
+func genStream(rng *rand.Rand, origin, n int) []Event {
+	types := []EventType{EvSpanBegin, EvSpanEnd, EvRound, EvSend, EvDeliver, EvCoinExposed, EvDecision}
+	evs := make([]Event, n)
+	for i := range evs {
+		e := Event{
+			Seq:    uint64(i + 1),
+			Type:   types[rng.Intn(len(types))],
+			Player: origin,
+			Round:  rng.Intn(4),
+			Epoch:  rng.Intn(3),
+			Origin: rng.Intn(7), // deliberately wrong: MergeTraces must override
+		}
+		if e.Type == EvSpanBegin || e.Type == EvSpanEnd {
+			e.Span = uint64(1 + rng.Intn(4))
+			if rng.Intn(2) == 0 {
+				e.Parent = uint64(1 + rng.Intn(4))
+			}
+			e.Kind, e.Name = KindPhase, "emit"
+		}
+		evs[i] = e
+	}
+	return evs
+}
+
+func genStreams(seed int64) map[int][]Event {
+	rng := rand.New(rand.NewSource(seed))
+	streams := map[int][]Event{}
+	for _, origin := range []int{0, 2, 3, 6} {
+		streams[origin] = genStream(rng, origin, 5+rng.Intn(20))
+	}
+	return streams
+}
+
+// canonJSONL renders a merged timeline to its canonical JSONL bytes — the
+// representation the property tests compare, because it is what CI
+// artifacts and operators actually diff.
+func canonJSONL(t *testing.T, evs []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, e := range evs {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeTracesOrderInsensitive is the permutation property: the merged
+// timeline is a pure function of the per-stream histories. Shuffling the
+// order events arrive in — both the within-stream slice order (files read
+// through racing readers) and the order streams are added to the map — must
+// produce byte-identical canonical JSONL.
+func TestMergeTracesOrderInsensitive(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		streams := genStreams(seed)
+		want := canonJSONL(t, MergeTraces(streams))
+		rng := rand.New(rand.NewSource(seed ^ 0x0bf))
+		for trial := 0; trial < 5; trial++ {
+			shuffled := map[int][]Event{}
+			for k, evs := range streams {
+				p := append([]Event(nil), evs...)
+				rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+				shuffled[k] = p
+			}
+			got := canonJSONL(t, MergeTraces(shuffled))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d trial %d: merged JSONL depends on input order:\ngot  %s\nwant %s",
+					seed, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeTracesIdempotent is the no-op property: splitting a merged
+// timeline back into per-origin streams and merging again changes nothing —
+// re-merging is byte-identical, so pipelines may merge partial captures in
+// stages without drift.
+func TestMergeTracesIdempotent(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		merged := MergeTraces(genStreams(seed))
+		split := map[int][]Event{}
+		for _, e := range merged {
+			split[e.Origin] = append(split[e.Origin], e)
+		}
+		again := MergeTraces(split)
+		if !reflect.DeepEqual(again, merged) {
+			t.Fatalf("seed %d: re-merge is not a no-op:\ngot  %+v\nwant %+v", seed, again, merged)
+		}
+		if !bytes.Equal(canonJSONL(t, again), canonJSONL(t, merged)) {
+			t.Fatalf("seed %d: re-merged JSONL differs", seed)
+		}
+	}
+}
+
+// TestMergeTracesSeqAndSpanInvariants pins the normalization MergeTraces
+// promises on top of ordering: global Seq renumbered 1..len with no gaps,
+// every event stamped with its stream's authoritative origin, and span ids
+// dense in first-appearance order.
+func TestMergeTracesSeqAndSpanInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		streams := genStreams(seed)
+		merged := MergeTraces(streams)
+		total := 0
+		for _, evs := range streams {
+			total += len(evs)
+		}
+		if len(merged) != total {
+			t.Fatalf("seed %d: merged %d events, want %d", seed, len(merged), total)
+		}
+		okOrigin := map[int]bool{}
+		for k := range streams {
+			okOrigin[k] = true
+		}
+		var maxSpan uint64
+		seen := map[uint64]bool{}
+		for i, e := range merged {
+			if e.Seq != uint64(i+1) {
+				t.Fatalf("seed %d: event %d has Seq %d, want dense renumbering", seed, i, e.Seq)
+			}
+			if !okOrigin[e.Origin] {
+				t.Fatalf("seed %d: event %d kept bogus origin %d", seed, i, e.Origin)
+			}
+			for _, id := range []uint64{e.Span, e.Parent} {
+				if id == 0 {
+					continue
+				}
+				if !seen[id] {
+					if id != maxSpan+1 {
+						t.Fatalf("seed %d: span id %d appeared before %d", seed, id, maxSpan+1)
+					}
+					maxSpan, seen[id] = id, true
+				}
+			}
+		}
+	}
+}

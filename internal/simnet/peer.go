@@ -80,6 +80,7 @@ type peerOptions struct {
 	writeTimeout time.Duration
 	backoffMin   time.Duration
 	backoffMax   time.Duration
+	scheduleUnit time.Duration
 	queryHandler QueryHandler
 	metrics      *PeerMetrics
 }
@@ -112,6 +113,15 @@ func WithDialBackoff(min, max time.Duration) Option {
 // answering framePeerQuery requests in peer mode.
 func WithQueryHandler(h QueryHandler) Option {
 	return func(nw *Network) { nw.peerOpts.queryHandler = h }
+}
+
+// WithScheduleUnit sets, for peer networks under a hostile Schedule, the
+// wall-clock length of one schedule delay round (default 50ms): a done
+// frame delayed d rounds by a DelayRule is held d×unit before it advances
+// the local watermark. The in-process transports, which enact delays as
+// round shifts, ignore it.
+func WithScheduleUnit(d time.Duration) Option {
+	return func(nw *Network) { nw.peerOpts.scheduleUnit = d }
 }
 
 // peerNet is the per-daemon transport state behind a peer-mode Network.
@@ -208,6 +218,9 @@ func NewPeer(cfg *PeerConfig, self int, opts ...Option) (*Network, error) {
 	}
 	if nw.peerOpts.backoffMax < nw.peerOpts.backoffMin {
 		nw.peerOpts.backoffMax = 3 * time.Second
+	}
+	if nw.peerOpts.scheduleUnit <= 0 {
+		nw.peerOpts.scheduleUnit = 50 * time.Millisecond
 	}
 
 	pn := &peerNet{
@@ -474,17 +487,53 @@ func (pn *peerNet) ingest(from int, conn net.Conn) {
 		}
 		switch typ {
 		case frameData, frameBroadcast:
+			// Hostile-schedule enactment, wire side: a crash or partition
+			// window covering (round, from→self) eats the frame, exactly as
+			// if the link were down.
+			if en := pn.nw.eng; en != nil && en.edgeDead(arg, from, pn.self) {
+				continue
+			}
 			kind := Unicast
 			if typ == frameBroadcast {
 				kind = Broadcast
 			}
 			pn.stageRemote(from, arg, kind, payload)
-		case frameDone, framePeerStatus:
+		case frameDone:
 			// Done/status frames optionally carry the sender's beacon epoch
 			// as a 4-byte little-endian payload (absent from older senders
 			// and daemons that never call SetEpoch; readers before this
 			// field existed ignored the payload entirely, so the wire
 			// version is unchanged).
+			epoch := -1
+			if len(payload) >= 4 {
+				epoch = int(binary.LittleEndian.Uint32(payload))
+			}
+			// Hostile-schedule enactment, barrier side: a dead edge eats the
+			// watermark advance (driving the demotion machinery, which is
+			// the peer-mode model of a crash/partition), and a delay rule
+			// holds it for d×unit of wall clock — the peer's whole round
+			// arrives late, like a slow link. The hold runs on this reader
+			// goroutine, so later frames from the same peer queue behind it,
+			// preserving per-edge FIFO.
+			if en := pn.nw.eng; en != nil {
+				if en.edgeDead(arg, from, pn.self) {
+					continue
+				}
+				if d := en.delayRounds(arg, from, pn.self); d > 0 {
+					t := time.NewTimer(time.Duration(d) * pn.opts.scheduleUnit)
+					select {
+					case <-t.C:
+					case <-pn.done:
+						t.Stop()
+						return
+					}
+				}
+			}
+			pn.advanceWatermark(from, arg, epoch)
+		case framePeerStatus:
+			// Status frames are the (re)join choreography, not round
+			// traffic: the schedule engine leaves them alone so a demoted
+			// peer's recovery path stays intact under any schedule.
 			epoch := -1
 			if len(payload) >= 4 {
 				epoch = int(binary.LittleEndian.Uint32(payload))
@@ -706,9 +755,17 @@ func (pn *peerNet) endRound(nd *Node) ([]Message, error) {
 	nd.outbox = nd.outbox[:0]
 
 	// Distributed barrier: wait for every required peer's watermark to reach
-	// r, or for the round timeout, whichever first.
+	// r, or for the round timeout, whichever first. Under a hostile
+	// Schedule the timeout is stretched by the schedule's worst-case
+	// delivery delay: a jittered honest peer can legitimately be
+	// MaxDelay×unit late (its done frame is held exactly that long, see
+	// ingest), and "slow under jitter" must not demote like "gone" does.
+	grace := pn.opts.roundTimeout
+	if pn.nw.eng != nil {
+		grace += time.Duration(pn.nw.sched.MaxDelay()) * pn.opts.scheduleUnit
+	}
 	expired := false
-	timer := time.AfterFunc(pn.opts.roundTimeout, func() {
+	timer := time.AfterFunc(grace, func() {
 		pn.mu.Lock()
 		expired = true
 		pn.cond.Broadcast()
@@ -766,6 +823,9 @@ func (pn *peerNet) commitLocked(r int) []Message {
 		}
 		return msgs[a].seq < msgs[b].seq
 	})
+	if pn.nw.eng != nil {
+		msgs = pn.nw.eng.reorder(r, pn.self, msgs)
+	}
 	pn.round = r + 1
 	if pn.inst != nil {
 		lead := r

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// plainValue reports whether a parsed string survives naive re-rendering
+// into the YAML subset: no comment or quote characters and no edge
+// whitespace (both would need quoting rules the renderer below doesn't
+// implement).
+func plainValue(s string) bool {
+	return !strings.ContainsAny(s, "#'\"\t") && s == strings.TrimSpace(s)
+}
+
+// renderPeerConfig writes a parsed config back into the peers.yaml subset.
+// Only used for round-tripping plain configs inside the fuzz target.
+func renderPeerConfig(cfg *PeerConfig) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cluster: %s\n", cfg.Cluster)
+	fmt.Fprintf(&b, "secret: %x\n", cfg.Secret)
+	fmt.Fprintf(&b, "t: %d\nk: %d\nbatch: %d\nthreshold: %d\nseedcoins: %d\n",
+		cfg.T, cfg.K, cfg.Batch, cfg.Threshold, cfg.SeedCoins)
+	fmt.Fprintf(&b, "peers:\n")
+	for _, p := range cfg.Peers {
+		fmt.Fprintf(&b, "  - id: %d\n    addr: %s\n", p.ID, p.Addr)
+		if p.Listen != "" {
+			fmt.Fprintf(&b, "    listen: %s\n", p.Listen)
+		}
+		if p.HTTP != "" {
+			fmt.Fprintf(&b, "    http: %s\n", p.HTTP)
+		}
+	}
+	return b.Bytes()
+}
+
+// FuzzParsePeerConfig: the operator-facing peers.yaml parser must never
+// panic, and every config it accepts must be fully validated — roster
+// sorted with ids covering 0..n-1, usable listen addresses, a decoded
+// secret of at least 16 bytes, a deterministic digest, and an idempotent
+// Validate. Plain accepted configs must additionally survive a
+// render → re-parse round trip with an identical handshake digest.
+func FuzzParsePeerConfig(f *testing.F) {
+	sec := "secret: " + strings.Repeat("61", 32) + "\n"
+	roster := "peers:\n  - id: 0\n    addr: 127.0.0.1:9400\n  - id: 1\n    addr: 127.0.0.1:9401\n"
+	f.Add([]byte("# demo cluster\ncluster: demo\n" + sec +
+		"t: 1\nk: 32\nbatch: 96\nthreshold: 6\nseedcoins: 24\n" +
+		"peers:\n  - id: 1\n    addr: 127.0.0.1:9401\n" +
+		"  - id: 0\n    addr: 127.0.0.1:9400\n    listen: 0.0.0.0:9400\n    http: 127.0.0.1:8433\n"))
+	f.Add([]byte(sec + roster))
+	f.Add([]byte(sec + "cluster: 'quoted name'\n" + roster))
+	f.Add([]byte(sec + "t: 1\nt: 2\n" + roster))
+	f.Add([]byte("secret: zz\n" + roster))
+	f.Add([]byte("peers:\n\t- id: 0\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParsePeerConfig(data)
+		if err != nil {
+			return
+		}
+		n := cfg.N()
+		if n != len(cfg.Peers) || n == 0 {
+			t.Fatalf("accepted config with N()=%d over %d peers", n, len(cfg.Peers))
+		}
+		for i, p := range cfg.Peers {
+			if p.ID != i {
+				t.Fatalf("roster not sorted to cover 0..n-1: slot %d holds id %d", i, p.ID)
+			}
+			if p.Addr == "" || cfg.ListenAddr(i) == "" {
+				t.Fatalf("peer %d accepted without a usable address: %+v", i, p)
+			}
+		}
+		if len(cfg.Secret) < 16 {
+			t.Fatalf("accepted %d-byte secret, parser promises ≥ 16", len(cfg.Secret))
+		}
+		d1 := cfg.Digest()
+		if d2 := cfg.Digest(); d2 != d1 {
+			t.Fatal("digest not deterministic")
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails re-validation: %v", err)
+		}
+		if d3 := cfg.Digest(); d3 != d1 {
+			t.Fatal("re-validation changed the handshake digest")
+		}
+
+		plain := plainValue(cfg.Cluster)
+		for _, p := range cfg.Peers {
+			plain = plain && plainValue(p.Addr) && plainValue(p.Listen) && plainValue(p.HTTP)
+		}
+		if !plain {
+			return
+		}
+		re, err := ParsePeerConfig(renderPeerConfig(cfg))
+		if err != nil {
+			t.Fatalf("rendered config rejected: %v\n%s", err, renderPeerConfig(cfg))
+		}
+		if re.Digest() != d1 {
+			t.Fatalf("render round trip changed the handshake digest:\n%s", renderPeerConfig(cfg))
+		}
+		if !bytes.Equal(re.Secret, cfg.Secret) || re.N() != n {
+			t.Fatal("render round trip lost the secret or the roster size")
+		}
+		for i := range cfg.Peers {
+			if re.Peers[i] != cfg.Peers[i] {
+				t.Fatalf("render round trip changed peer %d: %+v vs %+v", i, re.Peers[i], cfg.Peers[i])
+			}
+		}
+	})
+}

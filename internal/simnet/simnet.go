@@ -183,6 +183,8 @@ type Network struct {
 	ctr       *metrics.Counters
 	tracer    *obs.Tracer
 	icept     Interceptor
+	sched     *Schedule
+	eng       *schedEngine
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -190,8 +192,9 @@ type Network struct {
 	arrived   int
 	active    int
 	seq       uint64
-	staging   [][]Message // staged for the next boundary, indexed by recipient
-	delivery  [][]Message // delivered at the last boundary
+	staging   [][]Message         // staged for the next boundary, indexed by recipient
+	deferred  map[int][][]Message // schedule-delayed traffic by delivery round, then recipient
+	delivery  [][]Message         // delivered at the last boundary
 	nodes     []*Node
 	closedErr error
 
@@ -239,6 +242,19 @@ func WithInterceptor(ic Interceptor) Option {
 	return func(nw *Network) { nw.icept = ic }
 }
 
+// WithSchedule installs a hostile-network Schedule (see schedule.go): seeded
+// per-edge delivery delays, partitions with timed heals, crash/recover
+// windows, and within-round delivery reordering. It applies to all three
+// transports at the same staging/commit seam as the Interceptor, AFTER
+// interception (the message adversary acts on staged traffic; the network
+// adversary then decides when the result arrives). A nil or zero-valued
+// schedule is the benign network, byte-identical to not passing the option
+// at all. The schedule must Validate against the network size; New panics
+// otherwise, since a silently clipped schedule would not reproduce.
+func WithSchedule(s *Schedule) Option {
+	return func(nw *Network) { nw.sched = s }
+}
+
 // New creates a network of n nodes, all active.
 func New(n int, opts ...Option) *Network {
 	if n < 1 {
@@ -255,6 +271,10 @@ func New(n int, opts ...Option) *Network {
 	for _, o := range opts {
 		o(nw)
 	}
+	if err := nw.sched.Validate(n); err != nil {
+		panic(err.Error())
+	}
+	nw.eng = newSchedEngine(nw.sched, n)
 	nw.nodes = make([]*Node, n)
 	for i := range nw.nodes {
 		nw.nodes[i] = &Node{nw: nw, idx: i}
@@ -330,11 +350,70 @@ func (nw *Network) interceptStagingLocked() {
 	nw.staging = out
 }
 
+// applyScheduleLocked runs the schedule engine over the staged traffic at
+// the boundary of the current round: fresh messages are dropped (crash
+// windows), deferred to a later boundary (delays, partitions), or kept;
+// deferred traffic that has come due is merged back in. Copy indices — the
+// per-edge occurrence numbers that key jitter samples — are assigned in
+// canonical (From, seq) order so they are identical across transports and
+// goroutine interleavings. Caller holds nw.mu.
+func (nw *Network) applyScheduleLocked() {
+	r := nw.round
+	for to := 0; to < nw.n; to++ {
+		msgs := nw.staging[to]
+		if len(msgs) == 0 {
+			continue
+		}
+		sort.Slice(msgs, func(a, b int) bool {
+			if msgs[a].From != msgs[b].From {
+				return msgs[a].From < msgs[b].From
+			}
+			return msgs[a].seq < msgs[b].seq
+		})
+		occ := make(map[int]int, nw.n)
+		keep := msgs[:0]
+		for _, m := range msgs {
+			c := occ[m.From]
+			occ[m.From] = c + 1
+			at, drop := nw.eng.fate(r, m.From, to, c)
+			if drop {
+				continue
+			}
+			if at > r {
+				if nw.deferred == nil {
+					nw.deferred = make(map[int][][]Message)
+				}
+				slot := nw.deferred[at]
+				if slot == nil {
+					slot = make([][]Message, nw.n)
+					nw.deferred[at] = slot
+				}
+				slot[to] = append(slot[to], m)
+				continue
+			}
+			keep = append(keep, m)
+		}
+		nw.staging[to] = keep
+	}
+	// Deferred messages keep their original (older) sequence numbers, so
+	// after the canonical sort below they deliver ahead of same-sender
+	// fresh traffic — a delayed FIFO channel, not a shuffled one.
+	if due, ok := nw.deferred[r]; ok {
+		for to, msgs := range due {
+			nw.staging[to] = append(nw.staging[to], msgs...)
+		}
+		delete(nw.deferred, r)
+	}
+}
+
 // commitLocked delivers all staged messages and advances the round.
 // Caller holds nw.mu.
 func (nw *Network) commitLocked() {
 	if nw.icept != nil {
 		nw.interceptStagingLocked()
+	}
+	if nw.eng != nil {
+		nw.applyScheduleLocked()
 	}
 	for i := range nw.staging {
 		msgs := nw.staging[i]
@@ -344,6 +423,9 @@ func (nw *Network) commitLocked() {
 			}
 			return msgs[a].seq < msgs[b].seq
 		})
+		if nw.eng != nil {
+			nw.staging[i] = nw.eng.reorder(nw.round, i, msgs)
+		}
 	}
 	nw.delivery = nw.staging
 	nw.staging = make([][]Message, nw.n)
