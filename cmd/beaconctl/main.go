@@ -7,13 +7,16 @@
 //	beaconctl status   -config peers.yaml [-lag 3]
 //	beaconctl timeline -config peers.yaml [-n 5000] [-o merged.jsonl]
 //
-// status prints one row per player: its round/log/epoch position, coins
-// left in the store, how far it trails the cluster lead (LAG), its view of
-// peer connectivity, and latency quantiles (draw latency in -all mode,
-// emit latency in -player mode). Players lagging the lead by more than
-// -lag rounds are flagged STRAGGLER; unreachable daemons are flagged DOWN.
-// A daemon that was SIGKILLed shows DOWN until it restarts, STRAGGLER
-// while it catches up, and a clean row once rejoined.
+// status prints one row per player: its round/log/epoch position, the
+// committee generation it serves (GEN — bumped by every dealer-free
+// reshare), coins left in the store, how far it trails the cluster lead
+// (LAG), its view of peer connectivity, and latency quantiles (draw
+// latency in -all mode, emit latency in -player mode). Players lagging the
+// lead by more than -lag rounds are flagged STRAGGLER; unreachable daemons
+// are flagged DOWN; daemons armed for a handover are flagged
+// reshare-arming while the cutover is negotiated and reshare@N once it is
+// committed. A daemon that was SIGKILLed shows DOWN until it restarts,
+// STRAGGLER while it catches up, and a clean row once rejoined.
 //
 // timeline fetches every daemon's in-memory flight recorder
 // (/debug/trace), merges the per-daemon streams into one canonically
@@ -82,14 +85,17 @@ type peerView struct {
 	err  error // unreachable / malformed answer
 
 	// From /v1/healthz.
-	joined    bool
-	refilling bool
-	round     int
-	logLen    int
-	epoch     int
-	remaining int
-	peersUp   int
-	peersAll  int
+	joined     bool
+	refilling  bool
+	round      int
+	logLen     int
+	epoch      int
+	generation int
+	remaining  int
+	peersUp    int
+	peersAll   int
+	armed      bool // holds a next-generation roster (reshare pending)
+	cutover    int  // committed handover position, -1 while negotiating/unarmed
 
 	// From /metrics.
 	p50, p99   float64 // draw (service) or emit (player) latency seconds
@@ -129,11 +135,11 @@ func runStatus(args []string, stdout, stderr io.Writer) error {
 	}
 
 	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "PLAYER\tHTTP\tROUND\tLOG\tEPOCH\tSTORE\tLAG\tPEERS\tLATENCY(p50/p99)\tFLAGS")
+	fmt.Fprintln(tw, "PLAYER\tHTTP\tROUND\tLOG\tEPOCH\tGEN\tSTORE\tLAG\tPEERS\tLATENCY(p50/p99)\tFLAGS")
 	stragglers := 0
 	for _, v := range views {
 		if v.err != nil {
-			fmt.Fprintf(tw, "%d\t%s\t-\t-\t-\t-\t-\t-\t-\tDOWN (%v)\n", v.id, orDash(v.http), v.err)
+			fmt.Fprintf(tw, "%d\t%s\t-\t-\t-\t-\t-\t-\t-\t-\tDOWN (%v)\n", v.id, orDash(v.http), v.err)
 			stragglers++
 			continue
 		}
@@ -152,6 +158,15 @@ func runStatus(args []string, stdout, stderr io.Writer) error {
 		if v.refilling {
 			flags = append(flags, "refilling")
 		}
+		if v.armed {
+			// A dealer-free handover is pending: the daemon pauses (and
+			// exits for the ceremony) once its log reaches the cutover.
+			if v.cutover >= 0 {
+				flags = append(flags, fmt.Sprintf("reshare@%d", v.cutover))
+			} else {
+				flags = append(flags, "reshare-arming")
+			}
+		}
 		if v.demotions > 0 {
 			flags = append(flags, fmt.Sprintf("demoted-peers=%.0f", v.demotions))
 		}
@@ -159,8 +174,8 @@ func runStatus(args []string, stdout, stderr io.Writer) error {
 		if v.latencySrc != "" {
 			lat = fmt.Sprintf("%s %.0fms/%.0fms", v.latencySrc, v.p50*1000, v.p99*1000)
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d/%d\t%s\t%s\n",
-			v.id, v.http, v.round, v.logLen, v.epoch, v.remaining, lag,
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d/%d\t%s\t%s\n",
+			v.id, v.http, v.round, v.logLen, v.epoch, v.generation, v.remaining, lag,
 			v.peersUp, v.peersAll, lat, strings.Join(flags, ","))
 	}
 	tw.Flush()
@@ -194,13 +209,16 @@ func scrapePeer(client *http.Client, p simnet.Peer) *peerView {
 		return v
 	}
 	var hz struct {
-		Joined    bool   `json:"joined"`
-		Refilling bool   `json:"refilling"`
-		Round     int    `json:"round"`
-		Log       int    `json:"log"`
-		Epoch     int    `json:"epoch"`
-		Remaining int    `json:"remaining"`
-		Peers     []bool `json:"peers"`
+		Joined     bool   `json:"joined"`
+		Refilling  bool   `json:"refilling"`
+		Round      int    `json:"round"`
+		Log        int    `json:"log"`
+		Epoch      int    `json:"epoch"`
+		Generation int    `json:"generation"`
+		Remaining  int    `json:"remaining"`
+		Peers      []bool `json:"peers"`
+		Armed      bool   `json:"armed"`
+		Cutover    *int   `json:"cutover"` // absent on pre-reshare daemons → unarmed
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
 		v.err = fmt.Errorf("healthz: %v", err)
@@ -208,6 +226,11 @@ func scrapePeer(client *http.Client, p simnet.Peer) *peerView {
 	}
 	v.joined, v.refilling = hz.Joined, hz.Refilling
 	v.round, v.logLen, v.epoch, v.remaining = hz.Round, hz.Log, hz.Epoch, hz.Remaining
+	v.generation, v.armed = hz.Generation, hz.Armed
+	v.cutover = -1
+	if hz.Cutover != nil {
+		v.cutover = *hz.Cutover
+	}
 	v.peersAll = len(hz.Peers)
 	for _, up := range hz.Peers {
 		if up {

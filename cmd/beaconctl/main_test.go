@@ -18,16 +18,19 @@ import (
 // fakeDaemon is an httptest stand-in for one beacond -player process: it
 // serves the same three observability endpoints beaconctl scrapes.
 type fakeDaemon struct {
-	id        int
-	round     int
-	logLen    int
-	epoch     int
-	remaining int
-	joined    bool
-	refilling bool
-	peers     []bool
-	demotions int
-	trace     []obs.Event
+	id         int
+	round      int
+	logLen     int
+	epoch      int
+	generation int
+	remaining  int
+	joined     bool
+	refilling  bool
+	armed      bool
+	cutover    int
+	peers      []bool
+	demotions  int
+	trace      []obs.Event
 
 	lastTraceQuery string // recorded ?n= forwarding
 }
@@ -51,15 +54,18 @@ func (f *fakeDaemon) serve(t *testing.T) *httptest.Server {
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{
-			"status":    "ok",
-			"player":    f.id,
-			"joined":    f.joined,
-			"round":     f.round,
-			"log":       f.logLen,
-			"epoch":     f.epoch,
-			"remaining": f.remaining,
-			"refilling": f.refilling,
-			"peers":     f.peers,
+			"status":     "ok",
+			"player":     f.id,
+			"joined":     f.joined,
+			"round":      f.round,
+			"log":        f.logLen,
+			"epoch":      f.epoch,
+			"generation": f.generation,
+			"remaining":  f.remaining,
+			"refilling":  f.refilling,
+			"peers":      f.peers,
+			"armed":      f.armed,
+			"cutover":    f.cutover,
 		})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -103,10 +109,10 @@ func hostOf(srv *httptest.Server) string {
 // player 0 leads, player 1 trails beyond the -lag threshold, and player 2
 // is dead (SIGKILL stand-in): the table must flag exactly those states.
 func TestStatusTable(t *testing.T) {
-	lead := (&fakeDaemon{id: 0, round: 40, logLen: 40, epoch: 2, remaining: 17,
-		joined: true, peers: []bool{true, true, false}}).serve(t)
-	straggler := (&fakeDaemon{id: 1, round: 35, logLen: 35, epoch: 2, remaining: 22,
-		joined: true, refilling: true, demotions: 1, peers: []bool{true, true, false}}).serve(t)
+	lead := (&fakeDaemon{id: 0, round: 40, logLen: 40, epoch: 2, generation: 1, remaining: 17,
+		joined: true, armed: true, cutover: 43, peers: []bool{true, true, false}}).serve(t)
+	straggler := (&fakeDaemon{id: 1, round: 35, logLen: 35, epoch: 2, generation: 1, remaining: 22,
+		joined: true, refilling: true, demotions: 1, cutover: -1, peers: []bool{true, true, false}}).serve(t)
 	dead := httptest.NewServer(http.NotFoundHandler())
 	deadAddr := hostOf(dead)
 	dead.Close() // connection refused from now on
@@ -124,6 +130,9 @@ func TestStatusTable(t *testing.T) {
 	}
 	row := func(id int) string { return lines[1+id] }
 
+	if !strings.Contains(lines[0], "GEN") {
+		t.Errorf("header missing GEN column: %q", lines[0])
+	}
 	if strings.Contains(row(0), "STRAGGLER") || strings.Contains(row(0), "DOWN") {
 		t.Errorf("lead row flagged: %q", row(0))
 	}
@@ -132,6 +141,9 @@ func TestStatusTable(t *testing.T) {
 	}
 	if !strings.Contains(row(0), "2/3") {
 		t.Errorf("lead row missing peers 2/3: %q", row(0))
+	}
+	if !strings.Contains(row(0), "reshare@43") {
+		t.Errorf("armed lead not flagged with its committed cutover: %q", row(0))
 	}
 	if !strings.Contains(row(1), "STRAGGLER") {
 		t.Errorf("straggler (lag 5 > 3) not flagged: %q", row(1))

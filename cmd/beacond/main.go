@@ -26,6 +26,19 @@
 //
 //	beacond -player 3 -config peers.yaml -data /var/lib/beacond
 //
+// Resharing (-reshare, -reshare-join, -reshare-stale): a daemon given the
+// NEXT generation's roster arms for a dealer-free handover — it negotiates
+// a common cutover position with its peers, pauses the public log there,
+// runs the resharing ceremony in-process, writes the next generation's
+// state files and exits for a restart against the new peers.yaml. A pure
+// joiner (a machine not in the old roster) takes part with -reshare-join;
+// a member whose store missed a refill recovers through the same ceremony
+// with -reshare-stale. See docs/OPERATIONS.md ("Membership change &
+// proactive refresh").
+//
+//	beacond -player 3 -config peers.yaml -data DIR -reshare peers-g2.yaml
+//	beacond -reshare-join 7 -config peers.yaml -reshare peers-g2.yaml -data DIR
+//
 // HTTP endpoints (single-process mode; daemon mode serves the observability
 // endpoints only — /v1/healthz, /metrics, /debug/vars, /debug/trace — on
 // -addr when set):
@@ -109,7 +122,14 @@ type config struct {
 	emitInterval time.Duration
 	roundTimeout time.Duration
 	dialBackoff  time.Duration
+	joinTimeout  time.Duration
 	trace        string
+
+	// Dealer-free resharing (see usageModes and docs/OPERATIONS.md).
+	resharePath   string
+	reshareJoin   int
+	reshareStale  bool
+	reshareLinger time.Duration
 }
 
 // usageModes names the invocation shapes; every mode-selection error points
@@ -117,7 +137,10 @@ type config struct {
 const usageModes = `modes:
   beacond -all    [-n 7 -t 1 ...]                     single process hosting all n players (default)
   beacond -deal   -config peers.yaml -data DIR        one-time dealer ceremony for a multi-process cluster
-  beacond -player I -config peers.yaml -data DIR      one player's daemon, peered over authenticated TCP`
+  beacond -player I -config peers.yaml -data DIR      one player's daemon, peered over authenticated TCP
+  beacond -player I ... -reshare next.yaml            armed daemon: serve, then hand over to the next roster
+  beacond -reshare-join J -config old.yaml -reshare next.yaml -data DIR
+                                                      pure joiner: take part in the handover ceremony only`
 
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("beacond", flag.ContinueOnError)
@@ -145,7 +168,12 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.DurationVar(&c.emitInterval, "emit-interval", 0, "daemon mode: minimum delay between coin openings (0 = as fast as rounds allow)")
 	fs.DurationVar(&c.roundTimeout, "round-timeout", 0, "daemon mode: barrier timeout before lagging peers are dropped from a round (0 = transport default)")
 	fs.DurationVar(&c.dialBackoff, "dial-backoff", 0, "daemon mode: maximum reconnect backoff between dial attempts (0 = transport default)")
+	fs.DurationVar(&c.joinTimeout, "join-timeout", 0, "daemon mode: bound on join choreography and reshare mesh formation (0 = default 30s)")
 	fs.StringVar(&c.trace, "trace", "", "write an obs JSONL protocol trace to this file (-all: refill spans; -player: the full protocol)")
+	fs.StringVar(&c.resharePath, "reshare", "", "next-generation peers.yaml: arm the daemon for a dealer-free handover (with -player), or name the target roster (with -reshare-join)")
+	fs.IntVar(&c.reshareJoin, "reshare-join", -1, "run only the handover ceremony, as NEW-roster player J joining the committee (requires -config OLD -reshare NEXT -data DIR)")
+	fs.BoolVar(&c.reshareStale, "reshare-stale", false, "with -player and -reshare: this member's store missed a refill; skip serving and recover fresh shares through the ceremony")
+	fs.DurationVar(&c.reshareLinger, "reshare-linger", 0, "keep the observability endpoints up this long after a successful handover before exiting")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -162,13 +190,13 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 // and that it has what it needs.
 func (c *config) validateModes() error {
 	modes := 0
-	for _, on := range []bool{c.all, c.deal, c.player >= 0} {
+	for _, on := range []bool{c.all, c.deal, c.player >= 0, c.reshareJoin >= 0} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("beacond: -all, -deal and -player are mutually exclusive")
+		return fmt.Errorf("beacond: -all, -deal, -player and -reshare-join are mutually exclusive")
 	}
 	switch {
 	case c.deal:
@@ -178,6 +206,9 @@ func (c *config) validateModes() error {
 		if c.data == "" {
 			return fmt.Errorf("beacond: -deal requires -data (where to write the ceremony output)")
 		}
+		if c.resharePath != "" || c.reshareStale {
+			return fmt.Errorf("beacond: -reshare flags are only meaningful with -player or -reshare-join")
+		}
 	case c.player >= 0:
 		if c.configPath == "" {
 			return fmt.Errorf("beacond: -player requires -config peers.yaml (without it there is no cluster to join; use -all for the single-process mode)")
@@ -185,10 +216,26 @@ func (c *config) validateModes() error {
 		if c.data == "" {
 			return fmt.Errorf("beacond: -player requires -data (the player's state directory from the -deal ceremony)")
 		}
+		if c.reshareStale && c.resharePath == "" {
+			return fmt.Errorf("beacond: -reshare-stale requires -reshare next-peers.yaml (the generation being reshared into)")
+		}
+	case c.reshareJoin >= 0:
+		if c.configPath == "" || c.resharePath == "" {
+			return fmt.Errorf("beacond: -reshare-join requires both -config (the OLD roster) and -reshare (the NEXT roster)")
+		}
+		if c.data == "" {
+			return fmt.Errorf("beacond: -reshare-join requires -data (where this joiner's state files will be written)")
+		}
+		if c.reshareStale {
+			return fmt.Errorf("beacond: -reshare-stale is for old members (-player); a joiner has no store to be stale")
+		}
 	default:
 		// Single-process mode (explicit -all or no mode flag at all).
 		if c.configPath != "" {
-			return fmt.Errorf("beacond: -config is only meaningful with -deal or -player")
+			return fmt.Errorf("beacond: -config is only meaningful with -deal, -player or -reshare-join")
+		}
+		if c.resharePath != "" || c.reshareStale {
+			return fmt.Errorf("beacond: -reshare flags are only meaningful with -player or -reshare-join")
 		}
 	}
 	return nil
@@ -289,6 +336,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runDeal(c, stdout)
 	case c.player >= 0:
 		return runPlayer(ctx, c, stdout, stderr)
+	case c.reshareJoin >= 0:
+		return runReshareJoin(ctx, c, stdout)
 	}
 	ctr := &metrics.Counters{}
 	cfg, err := c.beaconConfig(ctr)
@@ -473,15 +522,29 @@ func runDeal(c *config, stdout io.Writer) error {
 	return nil
 }
 
-// runPlayer runs one player's daemon until the context is cancelled or the
-// -emit target is reached.
+// runPlayer runs one player's daemon until the context is cancelled, the
+// -emit target is reached, or — when armed with -reshare — the negotiated
+// cutover is reached, at which point it runs the handover ceremony
+// in-process and exits for a restart against the next-generation roster.
 func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 	pc, err := simnet.LoadPeerConfig(c.configPath)
 	if err != nil {
 		return err
 	}
+	var next *simnet.PeerConfig
+	if c.resharePath != "" {
+		if next, err = simnet.LoadPeerConfig(c.resharePath); err != nil {
+			return err
+		}
+	}
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stdout, "beacond[player %d]: "+format+"\n", append([]any{c.player}, args...)...)
+	}
+	if c.reshareStale {
+		// The store missed a refill (ErrEpochMismatch): there is nothing to
+		// serve, so go straight to the ceremony and recover fresh shares.
+		logf("stale member: skipping serving, joining the resharing ceremony to generation %d", next.Generation)
+		return runReshareCeremony(ctx, c, pc, next, c.player, nil, nil, nil, logf)
 	}
 	ctr := &metrics.Counters{}
 	// The flight recorder is always on: every daemon retains its recent
@@ -502,6 +565,8 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 	}
 	tracer := obs.New(ctr, sinks...)
 	reg := prom.NewRegistry()
+	dm := beacon.NewDaemonMetrics(reg)
+	pm := simnet.NewPeerMetrics(reg)
 	d, err := beacon.NewDaemon(beacon.DaemonConfig{
 		Peers:          pc,
 		Self:           c.player,
@@ -511,10 +576,12 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 		Rand:           playerRand(c),
 		Counters:       ctr,
 		Tracer:         tracer,
-		Metrics:        beacon.NewDaemonMetrics(reg),
-		PeerMetrics:    simnet.NewPeerMetrics(reg),
+		Metrics:        dm,
+		PeerMetrics:    pm,
 		RoundTimeout:   c.roundTimeout,
 		DialBackoffMax: c.dialBackoff,
+		JoinTimeout:    c.joinTimeout,
+		ReshareNext:    next,
 		Logf:           logf,
 	})
 	if err != nil {
@@ -531,6 +598,7 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 				"status": "ok", "player": st.Player, "joined": st.Joined,
 				"round": st.Round, "log": st.LogLen, "epoch": st.Epoch,
 				"remaining": st.Remaining, "refilling": st.Refilling, "peers": st.Peers,
+				"generation": st.Generation, "armed": st.ReshareArmed, "cutover": st.Cutover,
 			})
 		})
 		mux.Handle("GET /metrics", reg.Handler())
@@ -548,6 +616,23 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 	logf("joining cluster %q as player %d of %d (log %s)",
 		pc.Cluster, c.player, pc.N(), beacon.CoinLogFile(c.data, c.player))
 	runErr := d.Run(ctx)
+	reshared := false
+	if next != nil && errors.Is(runErr, beacon.ErrReshareCutover) {
+		// The whole committee paused at the same log position; the ceremony
+		// runs in-process on the same state dir, with the observability
+		// endpoints still up so the reshare metrics can be scraped.
+		logf("cutover reached at log %d; starting the resharing ceremony to generation %d",
+			d.Stats().Cutover, next.Generation)
+		runErr = runReshareCeremony(ctx, c, pc, next, c.player, dm, pm, tracer, logf)
+		reshared = runErr == nil
+		if reshared && c.reshareLinger > 0 {
+			logf("observability endpoints linger %v for a final scrape", c.reshareLinger)
+			select {
+			case <-ctx.Done():
+			case <-time.After(c.reshareLinger):
+			}
+		}
+	}
 	if srv != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
@@ -556,8 +641,104 @@ func runPlayer(ctx context.Context, c *config, stdout, stderr io.Writer) error {
 	if runErr != nil {
 		return fmt.Errorf("beacond: player %d: %w", c.player, runErr)
 	}
+	if reshared {
+		return nil
+	}
 	st := d.Stats()
 	logf("stopped cleanly at log position %d (epoch %d, %d coins in store)", st.LogLen, st.Epoch, st.Remaining)
+	return nil
+}
+
+// runReshareJoin is the pure joiner's entry point: a machine that is not
+// in the old roster takes part in the handover ceremony, receives its
+// shares and the public log, and writes its first state files under -data.
+func runReshareJoin(ctx context.Context, c *config, stdout io.Writer) error {
+	old, err := simnet.LoadPeerConfig(c.configPath)
+	if err != nil {
+		return err
+	}
+	next, err := simnet.LoadPeerConfig(c.resharePath)
+	if err != nil {
+		return err
+	}
+	j := c.reshareJoin
+	var addr string
+	for _, p := range next.Peers {
+		if p.ID == j {
+			addr = p.Addr
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("beacond: -reshare-join %d is not in the next roster (%d peers)", j, next.N())
+	}
+	for _, p := range old.Peers {
+		if p.Addr == addr {
+			return fmt.Errorf("beacond: %s is already old-roster player %d — an existing member hands over with -player %d -reshare, not -reshare-join",
+				addr, p.ID, p.ID)
+		}
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stdout, "beacond[joiner %d]: "+format+"\n", append([]any{j}, args...)...)
+	}
+	logf("joining the resharing ceremony to generation %d as new player %d (%s)", next.Generation, j, addr)
+	return runReshareCeremony(ctx, c, old, next, -1, nil, nil, nil, logf)
+}
+
+// nextIndexOf maps an old-roster member to its index in the next roster by
+// dial address (-1: the member is leaving the committee).
+func nextIndexOf(old, next *simnet.PeerConfig, oldSelf int) int {
+	var addr string
+	for _, p := range old.Peers {
+		if p.ID == oldSelf {
+			addr = p.Addr
+		}
+	}
+	for _, p := range next.Peers {
+		if p.Addr == addr {
+			return p.ID
+		}
+	}
+	return -1
+}
+
+// runReshareCeremony executes this process's side of the dealer-free
+// handover (beacon.RunReshare) and tells the operator what to run next.
+func runReshareCeremony(ctx context.Context, c *config, old, next *simnet.PeerConfig,
+	oldSelf int, dm *beacon.DaemonMetrics, pm *simnet.PeerMetrics, tracer *obs.Tracer,
+	logf func(string, ...any)) error {
+	newSelf := c.reshareJoin
+	if oldSelf >= 0 {
+		newSelf = nextIndexOf(old, next, oldSelf)
+	}
+	res, err := beacon.RunReshare(ctx, beacon.ReshareConfig{
+		Old:          old,
+		Next:         next,
+		OldSelf:      oldSelf,
+		NewSelf:      newSelf,
+		StateDir:     c.data,
+		Stale:        c.reshareStale,
+		Rand:         reshareRand(c, oldSelf, newSelf),
+		JoinTimeout:  c.joinTimeout,
+		RoundTimeout: c.roundTimeout,
+		Metrics:      dm,
+		PeerMetrics:  pm,
+		Tracer:       tracer,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Resumed {
+		logf("reshare to generation %d had already completed; journal cleared", res.Generation)
+	} else {
+		logf("handover complete: generation %d at cutover %d (%d coins reshared, cheaters %v, attempt %d)",
+			res.Generation, res.Cutover, res.Coins, res.Cheaters, res.Attempt)
+	}
+	if newSelf < 0 {
+		logf("this member left the committee; its share store has been retired (the public log under %s remains)", c.data)
+		return nil
+	}
+	logf("restart with: beacond -player %d -config %s -data %s", newSelf, c.resharePath, c.data)
 	return nil
 }
 
@@ -576,4 +757,19 @@ func playerRand(c *config) io.Reader {
 		return rand.New(rand.NewSource(c.rngSeed + int64(c.player)*1009))
 	}
 	return cryptorand.Reader
+}
+
+// reshareRand is one participant's private sub-dealing randomness for the
+// handover ceremony. With -insecure-rand the stream is keyed away from the
+// serving daemons' streams (and joiners away from old members) so no
+// polynomial coefficients repeat across the two protocols.
+func reshareRand(c *config, oldSelf, newSelf int) io.Reader {
+	if !c.insecureRand {
+		return cryptorand.Reader
+	}
+	idx := oldSelf
+	if idx < 0 {
+		idx = 100_000 + newSelf
+	}
+	return rand.New(rand.NewSource(c.rngSeed + 500_009 + int64(idx)*1009))
 }

@@ -241,9 +241,19 @@ func TestModeFlagValidation(t *testing.T) {
 		{"player plus all", []string{"-player", "0", "-config", "p.yaml", "-data", "d", "-all"}, "mutually exclusive"},
 		{"deal plus player", []string{"-deal", "-player", "0", "-config", "p.yaml", "-data", "d"}, "mutually exclusive"},
 		{"config without mode", []string{"-config", "peers.yaml"}, "only meaningful"},
+		{"join plus player", []string{"-reshare-join", "7", "-player", "0", "-config", "p.yaml", "-reshare", "n.yaml", "-data", "d"}, "mutually exclusive"},
+		{"join without rosters", []string{"-reshare-join", "7", "-data", "d"}, "-reshare-join requires both"},
+		{"join without data", []string{"-reshare-join", "7", "-config", "p.yaml", "-reshare", "n.yaml"}, "-reshare-join requires -data"},
+		{"stale without reshare", []string{"-player", "0", "-config", "p.yaml", "-data", "d", "-reshare-stale"}, "-reshare-stale requires -reshare"},
+		{"stale joiner", []string{"-reshare-join", "7", "-config", "p.yaml", "-reshare", "n.yaml", "-data", "d", "-reshare-stale"}, "no store to be stale"},
+		{"reshare with deal", []string{"-deal", "-config", "p.yaml", "-data", "d", "-reshare", "n.yaml"}, "only meaningful"},
+		{"reshare single process", []string{"-reshare", "n.yaml"}, "only meaningful"},
 		{"default single process", []string{"-n", "7", "-t", "1"}, ""},
 		{"explicit all", []string{"-all"}, ""},
 		{"player mode", []string{"-player", "2", "-config", "p.yaml", "-data", "d"}, ""},
+		{"armed player", []string{"-player", "2", "-config", "p.yaml", "-data", "d", "-reshare", "n.yaml"}, ""},
+		{"stale player", []string{"-player", "2", "-config", "p.yaml", "-data", "d", "-reshare", "n.yaml", "-reshare-stale"}, ""},
+		{"joiner mode", []string{"-reshare-join", "7", "-config", "p.yaml", "-reshare", "n.yaml", "-data", "d"}, ""},
 		{"deal mode", []string{"-deal", "-config", "p.yaml", "-data", "d"}, ""},
 	}
 	for _, tc := range cases {

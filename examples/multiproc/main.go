@@ -24,6 +24,13 @@
 //	go run ./examples/multiproc
 //	go run ./examples/multiproc -n 7 -kill 1 -emit 50 -workdir soak-out -keep
 //
+// Unless -reshare=false, a third leg (reshare.go) then exercises the
+// dealer-free resharing machinery over the same CLI surface: a live 7→9
+// committee change with the leaving member SIGKILLed mid-reshare, a
+// byte-identity check of the post-handover stream against a never-reshared
+// reference, and a proactive share refresh that must rotate every share
+// store on disk without perturbing the public log.
+//
 // The CI multiproc job runs exactly this with -workdir so the per-daemon
 // obs traces and stdout logs can be uploaded as artifacts when it fails.
 // Parameters are tuned so the kill lands after the cluster's first refill:
@@ -58,6 +65,7 @@ var (
 	workdir  = flag.String("workdir", "", "working directory (default: a temp dir)")
 	keep     = flag.Bool("keep", false, "keep the working directory on success")
 	verbose  = flag.Bool("v", false, "stream daemon stdout to the console")
+	reshare  = flag.Bool("reshare", true, "also run the dealer-free resharing leg (7→9 handover + proactive refresh)")
 )
 
 func main() {
@@ -140,6 +148,16 @@ func run() error {
 
 	fmt.Printf("soak: PASS — %d daemons, %d killed+restarted, %d coins, all logs byte-identical to the uninterrupted reference\n",
 		*n, *kill, *emit)
+
+	// Leg 3: the dealer-free resharing leg — a live 7→9 committee change
+	// under a mid-reshare SIGKILL of the leaving member, a stream-identity
+	// check against a never-reshared reference, and a proactive share
+	// refresh that must rotate every store without touching the public log.
+	if *reshare {
+		if err := runReshareLeg(bin, ctl, filepath.Join(dir, "reshare")); err != nil {
+			return fmt.Errorf("reshare leg: %w (artifacts in %s)", err, dir)
+		}
+	}
 	if !*keep && *workdir == "" {
 		os.RemoveAll(dir)
 	}

@@ -136,6 +136,11 @@ type DaemonMetrics struct {
 	// JoinAttempts is beacond_join_attempts_total: choreography retries
 	// before the daemon entered the cluster (1 = clean first try).
 	JoinAttempts *prom.Counter
+	// ReshareAttempts is beacond_reshare_attempts_total{result}: ceremony
+	// attempts by outcome (ok, failed). ReshareDuration is
+	// beacond_reshare_duration_seconds: wall-clock time per attempt.
+	ReshareAttempts *prom.CounterVec
+	ReshareDuration *prom.Histogram
 }
 
 // NewDaemonMetrics registers the Daemon families on r (nil r → disabled).
@@ -147,8 +152,24 @@ func NewDaemonMetrics(r *prom.Registry) *DaemonMetrics {
 		Refills:     r.Counter("beacond_refills_total", "Inline blocking Coin-Gens completed."),
 		RefillDuration: r.Histogram("beacond_refill_duration_seconds", "Wall-clock duration of inline Coin-Gens.",
 			prom.ExpBuckets(0.005, 2, 14)),
-		JoinAttempts: r.Counter("beacond_join_attempts_total", "Join choreography attempts (1 = clean first try)."),
+		JoinAttempts:    r.Counter("beacond_join_attempts_total", "Join choreography attempts (1 = clean first try)."),
+		ReshareAttempts: r.CounterVec("beacond_reshare_attempts_total", "Resharing ceremony attempts by outcome (ok, failed).", "result"),
+		ReshareDuration: r.Histogram("beacond_reshare_duration_seconds", "Wall-clock duration of one resharing ceremony attempt.",
+			prom.ExpBuckets(0.005, 2, 14)),
 	}
+}
+
+// observeReshare records one ceremony attempt (nil-safe).
+func (m *DaemonMetrics) observeReshare(seconds float64, ok bool) {
+	if m == nil {
+		return
+	}
+	result := "failed"
+	if ok {
+		result = "ok"
+	}
+	m.ReshareAttempts.With(result).Inc()
+	m.ReshareDuration.Observe(seconds)
 }
 
 // joinAttempt counts one pass through the join choreography (nil-safe).
@@ -204,4 +225,6 @@ func (m *DaemonMetrics) registerGauges(d *Daemon) {
 		snap(func(st daemonState) float64 { return b2f(st.Started) }))
 	m.reg.GaugeFunc("beacond_refilling", "1 while an inline Coin-Gen is running.",
 		snap(func(st daemonState) float64 { return b2f(st.Refilling) }))
+	m.reg.GaugeFunc("beacond_generation", "Committee generation (0 = dealt, +1 per reshare).",
+		snap(func(st daemonState) float64 { return float64(st.Generation) }))
 }

@@ -35,9 +35,14 @@ package beacon
 //
 // A daemon that was down across a refill cannot rejoin (its store lacks
 // the shares of the batch minted while it was gone) — it fails with a
-// clear epoch-mismatch error; re-dealing (or future resharing support) is
-// the operator's move. This is inherent: shares are secrets, so no honest
-// peer can hand them over.
+// clear epoch-mismatch error, and the operator recovers it with a
+// proactive reshare: the member re-enters the ceremony as a stale
+// participant (ReshareConfig.Stale) and receives fresh shares. This is
+// inherent: shares are secrets, so no honest peer can hand them over
+// directly — only a resharing ceremony can re-arm the member. The same
+// machinery rotates the committee itself: arm the daemons with the
+// next-generation roster (DaemonConfig.ReshareNext), let them negotiate a
+// cutover and run RunReshare — see reshare.go and docs/OPERATIONS.md.
 
 import (
 	"context"
@@ -48,6 +53,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -59,8 +65,10 @@ import (
 
 // ErrEpochMismatch marks a rejoin attempt by a daemon that missed a refill
 // while it was down: its store no longer contains shares for the cluster's
-// current batches and cannot be repaired without a new dealer ceremony.
-var ErrEpochMismatch = errors.New("beacon: refill epoch mismatch (this player missed a Coin-Gen; re-deal the cluster)")
+// current batches. No peer can hand shares over — recover the member with
+// a proactive reshare, rejoining the ceremony as a stale participant
+// (docs/OPERATIONS.md, "Membership change & proactive refresh").
+var ErrEpochMismatch = errors.New("beacon: refill epoch mismatch (this player missed a Coin-Gen; recover it with a proactive reshare — docs/OPERATIONS.md)")
 
 // errLogAppend marks a failed write to the on-disk public coin log (disk
 // full, I/O error). Once an append fails the in-memory log may be ahead of
@@ -110,6 +118,14 @@ type DaemonConfig struct {
 	// JoinTimeout bounds the whole join choreography — mesh wait, state
 	// queries, backfill (default 30s).
 	JoinTimeout time.Duration
+	// ReshareNext, when non-nil, ARMS the daemon for a dealer-free
+	// handover to this next-generation roster (generation must be
+	// Peers.Generation+1). An armed daemon negotiates a common cutover
+	// position with its armed peers over the Query channel, journals it,
+	// pauses emission there and returns ErrReshareCutover from Run once a
+	// quorum of peers has confirmed the same position — the caller then
+	// runs the RunReshare ceremony and restarts against ReshareNext.
+	ReshareNext *simnet.PeerConfig
 	// Logf, when non-nil, receives human-readable progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -195,18 +211,29 @@ type daemonState struct {
 	LogLen    int  `json:"logLen"`
 	Epoch     int  `json:"epoch"`
 	Remaining int  `json:"remaining"`
+	// Generation is the committee generation this daemon serves (from its
+	// meta file; bumped only by a completed reshare + restart).
+	Generation int `json:"generation"`
+	// Cutover is the committed reshare cutover position, -1 while unarmed
+	// or still negotiating.
+	Cutover int `json:"cutover"`
 }
 
 // DaemonStats is a point-in-time snapshot for expvar/health reporting.
 type DaemonStats struct {
-	Player    int
-	Round     int
-	LogLen    int
-	Epoch     int
-	Remaining int
-	Refilling bool
-	Joined    bool
-	Peers     []bool // outgoing connection liveness, self always false
+	Player     int
+	Round      int
+	LogLen     int
+	Epoch      int
+	Remaining  int
+	Generation int
+	Refilling  bool
+	Joined     bool
+	// ReshareArmed is true when the daemon holds a next-generation roster;
+	// Cutover is the committed handover position (-1 while negotiating).
+	ReshareArmed bool
+	Cutover      int
+	Peers        []bool // outgoing connection liveness, self always false
 }
 
 // Daemon is one player's beacon process. Create with NewDaemon, drive with
@@ -220,6 +247,15 @@ type Daemon struct {
 	rnd  io.Reader
 
 	logFile *os.File
+
+	// reshareAttempt mirrors the journal's attempt counter so cutover
+	// re-commits do not clobber it (guarded by mu); resharePause marks
+	// when the daemon reached the cutover and reshareArmedSeen records
+	// which peers have ever answered a RESHARE probe as armed (both used
+	// only by the emit goroutine).
+	reshareAttempt   int
+	resharePause     time.Time
+	reshareArmedSeen []bool
 
 	mu    sync.Mutex
 	state daemonState
@@ -255,6 +291,20 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Generation fencing: a daemon restarted against the wrong roster file
+	// — or against state a reshare already superseded — must fail loudly
+	// here, not desync later. (The config digest separates the meshes
+	// regardless; this check turns a confusing connect-timeout into a
+	// pointed error.)
+	if st.Generation != cfg.Peers.Generation || meta.Generation != cfg.Peers.Generation {
+		return nil, fmt.Errorf("beacon: player %d state is generation %d/%d (store/meta) but peers.yaml says %d — finish the reshare or point the daemon at the matching roster file",
+			cfg.Self, st.Generation, meta.Generation, cfg.Peers.Generation)
+	}
+	if cfg.ReshareNext != nil {
+		if _, _, err := CombinedConfig(cfg.Peers, cfg.ReshareNext, 0); err != nil {
+			return nil, err
+		}
+	}
 	log, err := LoadCoinLog(CoinLogFile(cfg.StateDir, cfg.Self))
 	if err != nil {
 		return nil, err
@@ -279,7 +329,26 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 
 	d := &Daemon{cfg: cfg, core: coreCfg, gen: gen, rnd: cfg.Rand, logFile: logFile, log: log}
-	d.state = daemonState{Epoch: meta.Epoch, LogLen: len(log), Remaining: gen.Remaining()}
+	d.state = daemonState{Epoch: meta.Epoch, LogLen: len(log), Remaining: gen.Remaining(),
+		Generation: meta.Generation, Cutover: -1}
+	if cfg.ReshareNext != nil {
+		// A crash after the cutover was journaled must not renegotiate a
+		// different position: re-adopt the committed one.
+		j, err := LoadReshareJournal(cfg.StateDir)
+		if err != nil {
+			logFile.Close()
+			return nil, err
+		}
+		if j != nil {
+			if j.ToGeneration != cfg.ReshareNext.Generation {
+				logFile.Close()
+				return nil, fmt.Errorf("beacon: reshare journal targets generation %d but -reshare says %d — mixed roster files?",
+					j.ToGeneration, cfg.ReshareNext.Generation)
+			}
+			d.state.Cutover = j.Cutover
+			d.reshareAttempt = j.Attempt
+		}
+	}
 
 	opts := []simnet.Option{
 		simnet.WithMaxRounds(serveMaxRounds),
@@ -325,14 +394,17 @@ func (d *Daemon) Stats() DaemonStats {
 	st := d.state
 	d.mu.Unlock()
 	return DaemonStats{
-		Player:    d.cfg.Self,
-		Round:     st.Round,
-		LogLen:    st.LogLen,
-		Epoch:     st.Epoch,
-		Remaining: st.Remaining,
-		Refilling: st.Refilling,
-		Joined:    st.Started,
-		Peers:     d.nw.PeerConnected(),
+		Player:       d.cfg.Self,
+		Round:        st.Round,
+		LogLen:       st.LogLen,
+		Epoch:        st.Epoch,
+		Remaining:    st.Remaining,
+		Generation:   st.Generation,
+		Refilling:    st.Refilling,
+		Joined:       st.Started,
+		ReshareArmed: d.cfg.ReshareNext != nil,
+		Cutover:      st.Cutover,
+		Peers:        d.nw.PeerConnected(),
 	}
 }
 
@@ -354,6 +426,13 @@ func (d *Daemon) handleQuery(from int, req []byte) []byte {
 		d.mu.Unlock()
 		return []byte(fmt.Sprintf("%t %t %d %d %d %d",
 			st.Started, st.Refilling, st.Round, st.LogLen, st.Epoch, st.Remaining))
+	case s == "RESHARE":
+		// Reshare negotiation probe: whether this daemon is armed, and the
+		// cutover it has committed (-1 while undecided).
+		d.mu.Lock()
+		cut := d.state.Cutover
+		d.mu.Unlock()
+		return []byte(fmt.Sprintf("%t %d", d.cfg.ReshareNext != nil, cut))
 	case strings.HasPrefix(s, "LOG "):
 		var lo, count int
 		if _, err := fmt.Sscanf(s, "LOG %d %d", &lo, &count); err != nil || lo < 0 || count < 1 {
@@ -402,9 +481,131 @@ func (d *Daemon) Run(ctx context.Context) error {
 		return err
 	}
 	if err := d.emit(ctx); err != nil {
+		if errors.Is(err, ErrReshareCutover) {
+			// The pause position is the handover state: snapshot it so the
+			// ceremony (a separate process invocation) reshapes exactly the
+			// tail behind the cutover.
+			if perr := d.persist(); perr != nil {
+				return perr
+			}
+		}
 		return err
 	}
 	return d.persist()
+}
+
+// reshareStep runs one iteration of the armed daemon's cutover
+// negotiation, between coins. It returns (true, nil) while the daemon
+// should keep emitting toward the cutover, (false, nil) while paused at it
+// waiting for the peer quorum, and (false, ErrReshareCutover) once a
+// quorum of peers reports the same committed position.
+//
+// The negotiation is sticky and raise-only: the committed cutover is the
+// maximum over every committed value seen, and a daemon whose log already
+// passed the committed position raises a fresh proposal instead of
+// adopting one it can no longer honor. Raising strictly increases the
+// committed value and proposals are bounded by logLen+margin, so the
+// cluster converges within a few rounds of the last arm — without any
+// leader, matching the join choreography's self-synchronizing style. A
+// quorum of n−t ARMED daemons gates the first proposal, so rolling `kill;
+// restart -reshare` across the fleet cannot strand an early-armed daemon
+// at a position the others never heard of.
+func (d *Daemon) reshareStep(ctx context.Context, logLen int) (bool, error) {
+	// margin is how many more coins the cluster emits between proposal and
+	// pause — enough rounds for every armed peer to poll and adopt.
+	const margin = 3
+	n, t := d.core.N, d.core.T
+	d.mu.Lock()
+	committed := d.state.Cutover
+	attempt := d.reshareAttempt
+	d.mu.Unlock()
+
+	if d.reshareArmedSeen == nil {
+		d.reshareArmedSeen = make([]bool, d.core.N)
+	}
+	// departed counts peers that were armed earlier but no longer answer:
+	// they have left serving mode for the ceremony (or died — in which
+	// case the ceremony tolerates them as one of its ≤ t absentees), so
+	// they must not stall the confirmation quorum.
+	armedCount, confirm, departed, maxSeen := 1, 0, 0, committed
+	for j, up := range d.nw.PeerConnected() {
+		if j == d.cfg.Self {
+			continue
+		}
+		answered := false
+		if up {
+			if resp, err := d.nw.Query(j, []byte("RESHARE"), 2*time.Second); err == nil {
+				var armed bool
+				var cut int
+				if _, err := fmt.Sscanf(string(resp), "%t %d", &armed, &cut); err == nil {
+					answered = true
+					if armed {
+						armedCount++
+						d.reshareArmedSeen[j] = true
+					}
+					if cut > maxSeen {
+						maxSeen = cut
+					}
+					if committed >= 0 && cut == committed {
+						confirm++
+					}
+				}
+			}
+		}
+		if !answered && d.reshareArmedSeen[j] {
+			departed++
+		}
+	}
+
+	cut := committed
+	switch {
+	case maxSeen > committed:
+		cut = maxSeen
+	case committed < 0 && armedCount >= n-t:
+		cut = logLen + margin
+	}
+	if cut >= 0 && cut < logLen {
+		// Armed too late to stop there: raise. Peers adopt the maximum.
+		cut = logLen + margin
+	}
+	if cut != committed {
+		if err := SaveReshareJournal(d.cfg.StateDir, ReshareJournal{
+			ToGeneration: d.cfg.ReshareNext.Generation, Cutover: cut, Attempt: attempt,
+		}); err != nil {
+			return false, err
+		}
+		d.mu.Lock()
+		d.state.Cutover = cut
+		d.mu.Unlock()
+		d.cfg.Logf("reshare cutover committed at log position %d (→ generation %d)",
+			cut, d.cfg.ReshareNext.Generation)
+		committed = cut
+		confirm = 0 // peer answers counted against the old value
+	}
+	if committed < 0 || logLen < committed {
+		return true, nil
+	}
+
+	// Paused at the cutover. Leave once n−t daemons (self included) agree
+	// on this exact position, counting departed peers as agreement — they
+	// paused before they left. A patience valve covers the pathological
+	// remainder; the ceremony itself tolerates ≤ t absentees.
+	if d.resharePause.IsZero() {
+		d.resharePause = time.Now()
+	}
+	if confirm+departed+1 >= n-t {
+		return false, ErrReshareCutover
+	}
+	if time.Since(d.resharePause) > d.cfg.JoinTimeout {
+		d.cfg.Logf("reshare quorum wait timed out (%d/%d confirmed); proceeding to the ceremony", confirm+1, n-t)
+		return false, ErrReshareCutover
+	}
+	select {
+	case <-ctx.Done():
+		return false, ctx.Err()
+	case <-time.After(150 * time.Millisecond):
+	}
+	return false, nil
 }
 
 // join runs the self-synchronizing entry choreography described on the
@@ -689,15 +890,15 @@ func (d *Daemon) fetchLogRange(lo, count int, peers []int, quorum int) ([]gf2k.E
 
 // shuffledCopy is a deterministic rotation (not a random shuffle — the
 // daemon's randomness budget belongs to the protocol) so repeated fetches
-// spread load across peers.
-var fetchRotation int
+// spread load across peers. The counter is atomic: in-process clusters
+// (tests) and concurrent reshare participants share it.
+var fetchRotation atomic.Int64
 
 func shuffledCopy(peers []int) []int {
 	out := append([]int(nil), peers...)
 	sort.Ints(out)
 	if len(out) > 1 {
-		fetchRotation++
-		r := fetchRotation % len(out)
+		r := int(fetchRotation.Add(1)) % len(out)
 		out = append(out[r:], out[:r]...)
 	}
 	return out
@@ -733,6 +934,15 @@ func (d *Daemon) emit(ctx context.Context) error {
 		}
 		if ctx.Err() != nil {
 			return nil // graceful: Run persists on the way out
+		}
+		if d.cfg.ReshareNext != nil {
+			emitCoin, err := d.reshareStep(ctx, logLen)
+			if err != nil {
+				return err
+			}
+			if !emitCoin {
+				continue // paused at the cutover, polling for quorum
+			}
 		}
 
 		willRefill := d.gen.Remaining() < d.core.Threshold
@@ -822,7 +1032,7 @@ func (d *Daemon) persist() error {
 		return err
 	}
 	d.mu.Lock()
-	meta := Meta{Epoch: d.state.Epoch, LogLen: len(d.log)}
+	meta := Meta{Epoch: d.state.Epoch, LogLen: len(d.log), Generation: d.state.Generation}
 	d.mu.Unlock()
 	if err := SaveStore(d.cfg.StateDir, d.cfg.Self, d.gen.Store()); err != nil {
 		return err

@@ -115,13 +115,20 @@ func LoadStore(dir string, player int) (*coin.Store, error) {
 
 // Meta is the per-player daemon metadata persisted next to the store.
 type Meta struct {
-	// Epoch counts absorbed Coin-Gen refills since the dealer ceremony. A
-	// rejoining daemon whose epoch differs from the cluster's has missed a
-	// refill and cannot catch up without resharing.
+	// Epoch counts absorbed Coin-Gen refills since the current committee
+	// took over (the dealer ceremony, or the last reshare). A rejoining
+	// daemon whose epoch differs from the cluster's has missed a refill and
+	// catches up with a proactive reshare (docs/OPERATIONS.md).
 	Epoch int
 	// LogLen is the public-log length at the moment the store snapshot was
 	// written; the recovery discard is len(log) − LogLen.
 	LogLen int
+	// Generation counts committee handovers: 0 for the dealt committee,
+	// bumped by every reshare. Must match the store's generation and the
+	// peers.yaml generation field, so a daemon restarted against the wrong
+	// roster generation fails loudly instead of joining a mesh it cannot
+	// serve (the config digest separates the meshes anyway).
+	Generation int `json:",omitempty"`
 }
 
 func metaFile(dir string, player int) string {
@@ -231,8 +238,9 @@ func openCoinLog(path string, entries []gf2k.Element) (*os.File, error) {
 	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o600)
 }
 
-// writeAtomic writes data to path via a temp file and rename, so a crash
-// mid-write never leaves a truncated store behind.
+// writeAtomic writes data to path via a temp file, fsync and rename, so a
+// crash mid-write never leaves a truncated store behind and the rename
+// target is durable before it becomes visible.
 func writeAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".store-*")
@@ -245,6 +253,10 @@ func writeAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}

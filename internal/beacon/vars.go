@@ -26,11 +26,12 @@ type VarsSnapshot struct {
 	Resumed          bool
 
 	// Player-mode cluster position (zero in service mode).
-	Player int
-	Round  int
-	LogLen int
-	Joined bool
-	Peers  []bool `json:",omitempty"`
+	Player     int
+	Round      int
+	LogLen     int
+	Joined     bool
+	Generation int
+	Peers      []bool `json:",omitempty"`
 }
 
 // Vars converts a Service snapshot to the unified schema. A Service has no
@@ -58,15 +59,16 @@ func (s Stats) Vars() VarsSnapshot {
 // Vars converts a Daemon snapshot to the unified schema.
 func (d DaemonStats) Vars() VarsSnapshot {
 	return VarsSnapshot{
-		Mode:      "player",
-		Remaining: d.Remaining,
-		Epoch:     d.Epoch,
-		Refilling: d.Refilling,
-		Refills:   int64(d.Epoch),
-		Player:    d.Player,
-		Round:     d.Round,
-		LogLen:    d.LogLen,
-		Joined:    d.Joined,
-		Peers:     d.Peers,
+		Mode:       "player",
+		Remaining:  d.Remaining,
+		Epoch:      d.Epoch,
+		Refilling:  d.Refilling,
+		Refills:    int64(d.Epoch),
+		Player:     d.Player,
+		Round:      d.Round,
+		LogLen:     d.LogLen,
+		Joined:     d.Joined,
+		Generation: d.Generation,
+		Peers:      d.Peers,
 	}
 }

@@ -46,8 +46,9 @@ func FuzzUnmarshalBatch(f *testing.F) {
 }
 
 // FuzzUnmarshalStore: the store decoder (the beacon's on-disk restart
-// format) must never panic, and everything it accepts must re-marshal to
-// the same bytes — a restored-then-persisted store is a fixed point.
+// format) must never panic, and everything it accepts must re-marshal to a
+// stable encoding — a v2 input is a fixed point byte-for-byte, a legacy v1
+// input upgrades to v2 once and is a fixed point from then on.
 func FuzzUnmarshalStore(f *testing.F) {
 	field := gf2k.MustNew(16)
 	rng := rand.New(rand.NewSource(2))
@@ -67,8 +68,12 @@ func FuzzUnmarshalStore(f *testing.F) {
 	}
 	f.Add(good)
 	f.Add([]byte{})
-	f.Add([]byte(storeMagic))
+	f.Add([]byte(storeMagicV2))
+	f.Add([]byte(storeMagicV1))
 	f.Add(append([]byte{}, good[:len(good)-1]...))
+	// A legacy v1 framing of the same batches.
+	v1 := append([]byte(storeMagicV1), good[len(storeMagicV2)+8:]...)
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := UnmarshalStore(data)
@@ -79,8 +84,26 @@ func FuzzUnmarshalStore(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted store fails to re-marshal: %v", err)
 		}
-		if string(re) != string(data) {
-			t.Fatal("accepted store encoding is not canonical")
+		if len(data) >= len(storeMagicV2) && string(data[:len(storeMagicV2)]) == storeMagicV2 {
+			if string(re) != string(data) {
+				t.Fatal("accepted v2 store encoding is not canonical")
+			}
+			return
+		}
+		// v1 input: the upgrade must be a fixed point.
+		s2, err := UnmarshalStore(re)
+		if err != nil {
+			t.Fatalf("upgraded v1 store rejected: %v", err)
+		}
+		re2, err := s2.MarshalBinary()
+		if err != nil {
+			t.Fatalf("upgraded v1 store fails to re-marshal: %v", err)
+		}
+		if string(re2) != string(re) {
+			t.Fatal("v1 upgrade is not a fixed point")
+		}
+		if s2.Universe != 0 || s2.Generation != 0 || s2.Remaining() != s.Remaining() {
+			t.Fatal("v1 decode changed semantics")
 		}
 	})
 }

@@ -17,7 +17,15 @@ import (
 
 const (
 	batchMagic = "DPRBGv1\x00"
-	storeMagic = "DPRBGs1\x00"
+	// storeMagicV1 framed the batches alone; the universe binding was
+	// "configuration, not state" and had to be re-established with
+	// BindUniverse after restoring. That made a store restored under the
+	// wrong roster indistinguishable from a correct one until exposures
+	// desynced. storeMagicV2 persists the binding (and the reshare
+	// generation) so Resume rejects the mismatch up front. v1 blobs still
+	// load, with an unbound universe and generation 0.
+	storeMagicV1 = "DPRBGs1\x00"
+	storeMagicV2 = "DPRBGs2\x00"
 )
 
 var (
@@ -106,13 +114,21 @@ func UnmarshalBatch(data []byte) (*Batch, error) {
 
 // MarshalBinary serializes the whole store — every batch, in FIFO order,
 // each with its own cursor — as a sequence of length-prefixed Batch
-// encodings. This is the beacon's shutdown format: a restored store resumes
-// exposures exactly where it stopped, so the trusted dealer is never
-// consulted again (§1.2's "the new seed is stored until the next execution
-// of the application"). The Universe binding is configuration, not state,
-// and is not serialized; re-bind with BindUniverse after restoring.
+// encodings, preceded by the universe binding and the reshare generation.
+// This is the beacon's shutdown format: a restored store resumes exposures
+// exactly where it stopped, so the trusted dealer is never consulted again
+// (§1.2's "the new seed is stored until the next execution of the
+// application"). Because the universe is persisted, BindUniverse on a
+// restored store rejects a different roster size instead of silently
+// rebinding; a legitimate committee change goes through RebindUniverse (the
+// internal/reshare migration path).
 func (s *Store) MarshalBinary() ([]byte, error) {
-	buf := append([]byte(nil), storeMagic...)
+	if s.Universe < 0 || s.Generation < 0 {
+		return nil, fmt.Errorf("coin: store universe %d / generation %d must not be negative", s.Universe, s.Generation)
+	}
+	buf := append([]byte(nil), storeMagicV2...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Universe))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Generation))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.batches)))
 	for _, b := range s.batches {
 		enc, err := b.MarshalBinary()
@@ -125,20 +141,34 @@ func (s *Store) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalStore restores a store serialized with Store.MarshalBinary. The
-// batches pass the same structural-compatibility checks Add enforces, so a
-// corrupted or mixed-up file fails here instead of desyncing exposures.
+// UnmarshalStore restores a store serialized with Store.MarshalBinary —
+// either the current v2 encoding (universe + generation + batches) or the
+// legacy v1 encoding (batches only; the universe comes back unbound and the
+// generation zero, exactly the pre-resharing semantics those blobs were
+// written under). The batches pass the same structural-compatibility checks
+// Add enforces, so a corrupted or mixed-up file fails here instead of
+// desyncing exposures.
 func UnmarshalStore(data []byte) (*Store, error) {
-	if len(data) < len(storeMagic)+4 || string(data[:len(storeMagic)]) != storeMagic {
+	s := &Store{}
+	switch {
+	case len(data) >= len(storeMagicV2)+12 && string(data[:len(storeMagicV2)]) == storeMagicV2:
+		data = data[len(storeMagicV2):]
+		s.Universe = int(binary.LittleEndian.Uint32(data))
+		s.Generation = int(binary.LittleEndian.Uint32(data[4:]))
+		data = data[8:]
+		if s.Universe < 0 || s.Universe > 1<<20 || s.Generation < 0 || s.Generation > 1<<20 {
+			return nil, errBadStoreEncoding
+		}
+	case len(data) >= len(storeMagicV1)+4 && string(data[:len(storeMagicV1)]) == storeMagicV1:
+		data = data[len(storeMagicV1):]
+	default:
 		return nil, errBadStoreEncoding
 	}
-	data = data[len(storeMagic):]
 	count := int(binary.LittleEndian.Uint32(data))
 	data = data[4:]
 	if count < 0 || count > 1<<16 {
 		return nil, errBadStoreEncoding
 	}
-	s := &Store{}
 	for i := 0; i < count; i++ {
 		if len(data) < 4 {
 			return nil, errBadStoreEncoding

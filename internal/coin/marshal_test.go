@@ -102,6 +102,86 @@ func TestBatchMarshalPreservesCursor(t *testing.T) {
 	}
 }
 
+func TestStoreMarshalPersistsUniverseAndGeneration(t *testing.T) {
+	f := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(7))
+	batches, _, err := DealTrusted(f, 7, 1, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Generation: 3}
+	if err := st.Add(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindUniverse(7); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := UnmarshalStore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Universe != 7 || r.Generation != 3 {
+		t.Fatalf("restored universe/generation = %d/%d, want 7/3", r.Universe, r.Generation)
+	}
+	// The persisted binding makes a wrong-roster resume fail loudly…
+	if err := r.BindUniverse(9); err == nil {
+		t.Fatal("BindUniverse accepted a different roster on a bound store")
+	}
+	// …while the same roster and the explicit migration path both work.
+	if err := r.BindUniverse(7); err != nil {
+		t.Fatalf("BindUniverse with the persisted roster: %v", err)
+	}
+	if err := r.RebindUniverse(9); err != nil {
+		t.Fatalf("RebindUniverse: %v", err)
+	}
+	if r.Universe != 9 {
+		t.Fatalf("RebindUniverse left universe %d, want 9", r.Universe)
+	}
+	// RebindUniverse still refuses a universe the batches cannot fit.
+	if err := r.RebindUniverse(3); err == nil {
+		t.Fatal("RebindUniverse accepted a universe smaller than the reconstruction set")
+	}
+}
+
+func TestUnmarshalStoreAcceptsLegacyV1(t *testing.T) {
+	f := gf2k.MustNew(16)
+	rng := rand.New(rand.NewSource(8))
+	batches, _, err := DealTrusted(f, 4, 1, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{}
+	if err := st.Add(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reframe as the legacy v1 encoding: old magic, no universe/generation
+	// header. Old blobs written before the v2 format must still load, with
+	// the universe unbound (pre-resharing semantics).
+	v1 := append([]byte(storeMagicV1), v2[len(storeMagicV2)+8:]...)
+	r, err := UnmarshalStore(v1)
+	if err != nil {
+		t.Fatalf("legacy v1 store rejected: %v", err)
+	}
+	if r.Universe != 0 || r.Generation != 0 {
+		t.Fatalf("v1 decode invented universe/generation %d/%d", r.Universe, r.Generation)
+	}
+	if r.Remaining() != 3 {
+		t.Fatalf("v1 decode remaining = %d, want 3", r.Remaining())
+	}
+	// An unbound restored store binds to any workable roster, as before.
+	if err := r.BindUniverse(9); err != nil {
+		t.Fatalf("BindUniverse on v1 store: %v", err)
+	}
+}
+
 func TestUnmarshalBatchRejectsMalformed(t *testing.T) {
 	f := gf2k.MustNew(16)
 	rng := rand.New(rand.NewSource(3))

@@ -18,8 +18,18 @@ type Store struct {
 	// Universe, when > 0, is the number of players in the deployment. Add
 	// rejects batches whose reconstruction set references a player outside
 	// [0, Universe). Zero leaves the universe unchecked (it is then bound
-	// by the first batch added after BindUniverse, or never).
+	// by the first batch added after BindUniverse, or never). The binding
+	// is persisted by MarshalBinary, and once set it only changes through
+	// RebindUniverse — the explicit committee-migration path used by
+	// internal/reshare.
 	Universe int
+
+	// Generation counts dealer-free reshares: 0 for the store the trusted
+	// dealer created, bumped by one each time internal/reshare hands the
+	// tail to a new committee (or refreshes it in place). It tags the
+	// persisted store so a daemon can tell a pre-reshare blob from a
+	// post-reshare one and refuse the stale roster.
+	Generation int
 
 	batches []*Batch
 
@@ -75,9 +85,27 @@ func (s *Store) Add(b *Batch) error {
 
 // BindUniverse fixes the player-id universe to [0, n) and re-checks every
 // batch already stored against it — the entry point for stores restored
-// from disk, whose batches were accepted before the deployment size was
-// known.
+// from disk. A store whose universe is already bound (set by a previous
+// BindUniverse, or restored from a v2 encoding) refuses a different n: a
+// store restored under the wrong roster must fail at resume time, not
+// desync exposures rounds later. Changing the universe legitimately — a
+// committee change — goes through RebindUniverse.
 func (s *Store) BindUniverse(n int) error {
+	if s.Universe > 0 && s.Universe != n {
+		return fmt.Errorf("coin: store is bound to a %d-player universe (generation %d); restoring it under a %d-player roster needs RebindUniverse (the reshare migration path)",
+			s.Universe, s.Generation, n)
+	}
+	return s.RebindUniverse(n)
+}
+
+// RebindUniverse sets the player-id universe to [0, n) even when a
+// different universe is already bound, re-checking every stored batch
+// against the new size. This is the explicit migration path for committee
+// changes: internal/reshare builds the new committee's store with
+// RebindUniverse after the old shares have been re-dealt, and nothing else
+// should call it — accidental roster mismatches are BindUniverse's job to
+// reject.
+func (s *Store) RebindUniverse(n int) error {
 	if n < 1 {
 		return fmt.Errorf("coin: invalid universe size %d", n)
 	}
@@ -115,7 +143,7 @@ func (s *Store) DetachTail(count int) (*Store, error) {
 	if rem := s.Remaining(); count >= rem {
 		return nil, fmt.Errorf("coin: cannot detach %d of %d remaining coins (at least one must stay)", count, rem)
 	}
-	out := &Store{Universe: s.Universe, bound: s.bound, fieldK: s.fieldK, fieldM: s.fieldM, t: s.t}
+	out := &Store{Universe: s.Universe, Generation: s.Generation, bound: s.bound, fieldK: s.fieldK, fieldM: s.fieldM, t: s.t}
 	var detached []*Batch
 	for i := len(s.batches) - 1; i >= 0 && count > 0; i-- {
 		b := s.batches[i]

@@ -198,7 +198,7 @@ func TestUnmarshalStoreRejectsMalformed(t *testing.T) {
 		"truncated":    enc[:len(enc)-3],
 		"trailing":     append(append([]byte{}, enc...), 0xff),
 		"batch magic":  bytes.Replace(enc, []byte(batchMagic), []byte("XXXXXXXX"), 1),
-		"count too hi": append(append([]byte{}, enc[:len(storeMagic)]...), 0xff, 0xff, 0xff, 0x7f),
+		"count too hi": append(append([]byte{}, enc[:len(storeMagicV2)+8]...), 0xff, 0xff, 0xff, 0x7f),
 	}
 	for name, data := range cases {
 		if _, err := UnmarshalStore(data); err == nil {
@@ -223,10 +223,10 @@ func TestUnmarshalStoreRejectsMalformed(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Forge a two-batch file: the valid GF(2^32) batch followed by a
-	// GF(2^16) batch.
-	forged := append([]byte{}, menc[:len(storeMagic)]...)
+	// GF(2^16) batch. The v2 header (universe + generation) is kept as-is.
+	forged := append([]byte{}, menc[:len(storeMagicV2)+8]...)
 	forged = append(forged, 2, 0, 0, 0)
-	body := menc[len(storeMagic)+4:]
+	body := menc[len(storeMagicV2)+12:]
 	forged = append(forged, body...)
 	forged = append(forged, byte(len(e16)), byte(len(e16)>>8), byte(len(e16)>>16), byte(len(e16)>>24))
 	forged = append(forged, e16...)

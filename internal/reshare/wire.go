@@ -1,0 +1,132 @@
+package reshare
+
+import (
+	"repro/internal/gf2k"
+)
+
+// Wire formats for the three resharing rounds, exported (like vss's wire
+// flags) so adversarial harnesses can speak — and deliberately abuse — the
+// protocol's messages. All payloads begin with a flag byte; field elements
+// use the coin field's fixed-width encoding.
+const (
+	// WireSubShares prefixes a sub-dealing column (old sub-dealer →
+	// one new player, point-to-point): the flag byte, the mask sub-share
+	// μ_o(y_j), then the m coin sub-shares g_{o,h}(y_j) in tail order.
+	WireSubShares = 0x10
+	// WireChallenge prefixes a challenge-coin share (old member → all):
+	// the flag byte followed by exactly one field element.
+	WireChallenge = 0x11
+	// WireCombination prefixes a combination broadcast (new player → all):
+	// the flag byte, then one entry per old-committee member o — a
+	// CombiValue byte followed by w_{o,j}, or a bare CombiComplaint byte
+	// when the player holds no well-formed column from o.
+	WireCombination = 0x12
+
+	// CombiValue / CombiComplaint are the per-dealer entry markers inside
+	// a WireCombination broadcast.
+	CombiValue     = 0x00
+	CombiComplaint = 0x01
+)
+
+// encodeSubShares builds a WireSubShares column: mask sub-share first, then
+// the per-coin sub-shares.
+func encodeSubShares(f gf2k.Field, mask gf2k.Element, subs []gf2k.Element) []byte {
+	buf := make([]byte, 0, 1+(len(subs)+1)*f.ByteLen())
+	buf = append(buf, WireSubShares)
+	buf = f.AppendElement(buf, mask)
+	return f.AppendElements(buf, subs)
+}
+
+// parseSubShares decodes a WireSubShares column, returning the mask
+// sub-share, the coin sub-shares and the coin count. ok is false for
+// anything malformed; the caller separately checks the count against the
+// cluster-wide majority (a column of the wrong length is a complaint, not
+// an error).
+func parseSubShares(f gf2k.Field, payload []byte) (mask gf2k.Element, subs []gf2k.Element, ok bool) {
+	if len(payload) < 1 || payload[0] != WireSubShares {
+		return 0, nil, false
+	}
+	body := payload[1:]
+	el := f.ByteLen()
+	if len(body) < el || len(body)%el != 0 {
+		return 0, nil, false
+	}
+	m := len(body)/el - 1
+	mask, rest, err := f.ReadElement(body)
+	if err != nil {
+		return 0, nil, false
+	}
+	subs, rest, err = f.ReadElements(rest, m)
+	if err != nil || len(rest) != 0 {
+		return 0, nil, false
+	}
+	return mask, subs, true
+}
+
+// encodeChallenge builds a WireChallenge share payload.
+func encodeChallenge(f gf2k.Field, share gf2k.Element) []byte {
+	return f.AppendElement([]byte{WireChallenge}, share)
+}
+
+// parseChallenge decodes a WireChallenge payload.
+func parseChallenge(f gf2k.Field, payload []byte) (gf2k.Element, bool) {
+	if len(payload) < 1 || payload[0] != WireChallenge {
+		return 0, false
+	}
+	v, rest, err := f.ReadElement(payload[1:])
+	if err != nil || len(rest) != 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// encodeCombination builds a WireCombination broadcast: for each old member
+// o, the value w[o] when present[o], a complaint marker otherwise.
+func encodeCombination(f gf2k.Field, w []gf2k.Element, present []bool) []byte {
+	buf := make([]byte, 0, 1+len(w)*(1+f.ByteLen()))
+	buf = append(buf, WireCombination)
+	for o := range w {
+		if present[o] {
+			buf = append(buf, CombiValue)
+			buf = f.AppendElement(buf, w[o])
+		} else {
+			buf = append(buf, CombiComplaint)
+		}
+	}
+	return buf
+}
+
+// parseCombination decodes a WireCombination broadcast for an old committee
+// of oldN members. ok is false when the payload is malformed or does not
+// cover exactly oldN entries.
+func parseCombination(f gf2k.Field, oldN int, payload []byte) (w []gf2k.Element, present []bool, ok bool) {
+	if len(payload) < 1 || payload[0] != WireCombination {
+		return nil, nil, false
+	}
+	body := payload[1:]
+	w = make([]gf2k.Element, oldN)
+	present = make([]bool, oldN)
+	for o := 0; o < oldN; o++ {
+		if len(body) < 1 {
+			return nil, nil, false
+		}
+		marker := body[0]
+		body = body[1:]
+		switch marker {
+		case CombiValue:
+			v, rest, err := f.ReadElement(body)
+			if err != nil {
+				return nil, nil, false
+			}
+			w[o], present[o] = v, true
+			body = rest
+		case CombiComplaint:
+		default:
+			return nil, nil, false
+		}
+	}
+	if len(body) != 0 {
+		return nil, nil, false
+	}
+	return w, present, true
+}

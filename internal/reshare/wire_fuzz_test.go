@@ -1,0 +1,52 @@
+package reshare
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gf2k"
+)
+
+// FuzzParseReshareWire: the three reshare wire parsers consume bytes sent
+// by potentially Byzantine peers, so they must never panic, and every
+// payload they accept must re-encode byte-identically (canonicality — a
+// malleable encoding would let an attacker ship two byte-distinct messages
+// that honest players judge as one).
+func FuzzParseReshareWire(f *testing.F) {
+	fld := gf2k.MustNew(32)
+	col := encodeSubShares(fld, 7, []gf2k.Element{1, 2, 3})
+	f.Add(uint8(3), col)
+	f.Add(uint8(3), encodeChallenge(fld, 42))
+	f.Add(uint8(3), encodeCombination(fld, []gf2k.Element{9, 0, 11}, []bool{true, false, true}))
+	f.Add(uint8(0), []byte{WireCombination})
+	f.Add(uint8(1), []byte{WireSubShares, 1, 2})
+	f.Add(uint8(255), col[:len(col)-1])
+
+	f.Fuzz(func(t *testing.T, oldN uint8, data []byte) {
+		if mask, subs, ok := parseSubShares(fld, data); ok {
+			re := encodeSubShares(fld, mask, subs)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("sub-shares not canonical:\n in %x\nout %x", data, re)
+			}
+		}
+		if v, ok := parseChallenge(fld, data); ok {
+			if !bytes.Equal(encodeChallenge(fld, v), data) {
+				t.Fatalf("challenge not canonical: %x", data)
+			}
+		}
+		n := int(oldN%64) + 1
+		if w, present, ok := parseCombination(fld, n, data); ok {
+			if len(w) != n || len(present) != n {
+				t.Fatalf("combination covers %d/%d of %d dealers", len(w), len(present), n)
+			}
+			for o, p := range present {
+				if !p && w[o] != 0 {
+					t.Fatalf("complaint slot %d carries value %#x", o, w[o])
+				}
+			}
+			if !bytes.Equal(encodeCombination(fld, w, present), data) {
+				t.Fatalf("combination not canonical: %x", data)
+			}
+		}
+	})
+}

@@ -114,6 +114,39 @@ func TestPeerConfigParseGood(t *testing.T) {
 	}
 }
 
+// TestPeerConfigGenerationRotatesDigest: the committee generation is part
+// of the handshake digest — a reshared roster is a new cluster even when
+// every peer row is identical — while generation 0 digests exactly like a
+// config written before the field existed.
+func TestPeerConfigGenerationRotatesDigest(t *testing.T) {
+	sec := "secret: " + strings.Repeat("61", 32) + "\n"
+	roster := "peers:\n  - id: 0\n    addr: 127.0.0.1:9400\n  - id: 1\n    addr: 127.0.0.1:9401\n"
+	base, err := ParsePeerConfig([]byte(sec + roster))
+	if err != nil {
+		t.Fatalf("ParsePeerConfig: %v", err)
+	}
+	gen0, err := ParsePeerConfig([]byte(sec + "generation: 0\n" + roster))
+	if err != nil {
+		t.Fatalf("ParsePeerConfig generation 0: %v", err)
+	}
+	gen2, err := ParsePeerConfig([]byte(sec + "generation: 2\n" + roster))
+	if err != nil {
+		t.Fatalf("ParsePeerConfig generation 2: %v", err)
+	}
+	if gen2.Generation != 2 {
+		t.Fatalf("generation parsed as %d, want 2", gen2.Generation)
+	}
+	if gen0.Digest() != base.Digest() {
+		t.Fatal("explicit generation 0 changed the digest of a pre-resharing config")
+	}
+	if gen2.Digest() == base.Digest() {
+		t.Fatal("generation bump did not rotate the handshake digest")
+	}
+	if _, err := ParsePeerConfig([]byte(sec + "generation: -1\n" + roster)); err == nil {
+		t.Fatal("negative generation accepted")
+	}
+}
+
 // TestPeerConfigParseErrors locks in the loud-failure contract: operator
 // typos are startup errors with line numbers, never silent defaults.
 func TestPeerConfigParseErrors(t *testing.T) {

@@ -18,6 +18,7 @@ package simnet
 //	batch: 96                  # Coin-Gen batch size M
 //	threshold: 6               # blocking refill threshold
 //	seedcoins: 24              # one-time trusted-dealer seed size
+//	generation: 0              # committee generation (bumped by reshares)
 //	peers:
 //	  - id: 0
 //	    addr: 127.0.0.1:9400
@@ -78,6 +79,16 @@ type PeerConfig struct {
 	// not interpret them beyond the digest; internal/beacon validates them
 	// against core.Config. Zero values take the daemon's defaults.
 	T, K, Batch, Threshold, SeedCoins int
+
+	// Generation is the committee generation: 0 for the roster the trusted
+	// dealer seeded, bumped by one for each dealer-free reshare
+	// (internal/reshare) that hands the seed to a new roster or refreshes
+	// it in place. It is folded into the config digest, so a
+	// generation-g mesh and a generation-g+1 mesh for the *same* roster
+	// refuse to interconnect: during a handoff the old and new committees
+	// are distinct clusters, and after an in-place refresh a stale daemon
+	// still running the old generation's config cannot rejoin and desync.
+	Generation int
 }
 
 // N returns the cluster size.
@@ -132,7 +143,7 @@ func (c *PeerConfig) Validate() error {
 	for _, v := range []struct {
 		name string
 		val  int
-	}{{"t", c.T}, {"k", c.K}, {"batch", c.Batch}, {"threshold", c.Threshold}, {"seedcoins", c.SeedCoins}} {
+	}{{"t", c.T}, {"k", c.K}, {"batch", c.Batch}, {"threshold", c.Threshold}, {"seedcoins", c.SeedCoins}, {"generation", c.Generation}} {
 		if v.val < 0 {
 			return fmt.Errorf("simnet: peer config %s must not be negative, got %d", v.name, v.val)
 		}
@@ -149,6 +160,13 @@ func (c *PeerConfig) Digest() [32]byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "dprbg-peers-v1\ncluster=%s\nt=%d k=%d batch=%d threshold=%d seedcoins=%d\n",
 		c.Cluster, c.T, c.K, c.Batch, c.Threshold, c.SeedCoins)
+	// Generation 0 contributes nothing, so a config that has never been
+	// reshared keeps the digest it had before the field existed — adding
+	// resharing support to a live cluster does not force a re-ceremony —
+	// and an explicit `generation: 0` digests the same as an absent key.
+	if c.Generation > 0 {
+		fmt.Fprintf(&b, "generation=%d\n", c.Generation)
+	}
 	for _, p := range c.Peers {
 		fmt.Fprintf(&b, "peer %d %s\n", p.ID, p.Addr)
 	}
@@ -213,7 +231,7 @@ func ParsePeerConfig(data []byte) (*PeerConfig, error) {
 					return nil, fmt.Errorf("line %d: secret is not valid hex: %v", lineno, err)
 				}
 				cfg.Secret = sec
-			case "t", "k", "batch", "threshold", "seedcoins":
+			case "t", "k", "batch", "threshold", "seedcoins", "generation":
 				iv, err := strconv.Atoi(val)
 				if err != nil {
 					return nil, fmt.Errorf("line %d: %s wants an integer, got %q", lineno, key, val)
@@ -229,6 +247,8 @@ func ParsePeerConfig(data []byte) (*PeerConfig, error) {
 					cfg.Threshold = iv
 				case "seedcoins":
 					cfg.SeedCoins = iv
+				case "generation":
+					cfg.Generation = iv
 				}
 			case "peers":
 				if val != "" {

@@ -21,8 +21,8 @@ func renderPeerConfig(cfg *PeerConfig) []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "cluster: %s\n", cfg.Cluster)
 	fmt.Fprintf(&b, "secret: %x\n", cfg.Secret)
-	fmt.Fprintf(&b, "t: %d\nk: %d\nbatch: %d\nthreshold: %d\nseedcoins: %d\n",
-		cfg.T, cfg.K, cfg.Batch, cfg.Threshold, cfg.SeedCoins)
+	fmt.Fprintf(&b, "t: %d\nk: %d\nbatch: %d\nthreshold: %d\nseedcoins: %d\ngeneration: %d\n",
+		cfg.T, cfg.K, cfg.Batch, cfg.Threshold, cfg.SeedCoins, cfg.Generation)
 	fmt.Fprintf(&b, "peers:\n")
 	for _, p := range cfg.Peers {
 		fmt.Fprintf(&b, "  - id: %d\n    addr: %s\n", p.ID, p.Addr)
