@@ -6,6 +6,15 @@
 //
 //	beaconctl status   -config peers.yaml [-lag 3]
 //	beaconctl timeline -config peers.yaml [-n 5000] [-o merged.jsonl]
+//	beaconctl cells    -gw host:8544 [-interval 1s]
+//
+// cells inspects a multi-cell gateway (cmd/beacongw) instead of a daemon
+// roster: it scrapes the gateway's /metrics twice, -interval apart, and
+// prints one row per cell — store depth, refill lag below the high-water
+// mark, queued draws, whether a pipelined Coin-Gen is in flight, routed
+// draws/sec over the sampling window (from the multicell_routed_draws_total
+// deltas), draws shed away from the cell, and its down flag. The footer
+// sums cluster throughput and reports live streams and router rejections.
 //
 // status prints one row per player: its round/log/epoch position, the
 // committee generation it serves (GEN — bumped by every dealer-free
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -51,8 +61,10 @@ const usage = `beaconctl: inspect a multi-process beacon cluster over its observ
 usage:
   beaconctl status   -config peers.yaml [-lag 3] [-timeout 2s]
   beaconctl timeline -config peers.yaml [-n 5000] [-o merged.jsonl] [-timeout 2s]
+  beaconctl cells    -gw host:8544 [-interval 1s] [-timeout 2s]
 
-the peers.yaml roster needs an http: field per peer (the daemon's -addr).`
+the peers.yaml roster needs an http: field per peer (the daemon's -addr);
+cells talks to a beacongw gateway instead and needs only its /metrics port.`
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -70,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runStatus(args[1:], stdout, stderr)
 	case "timeline":
 		return runTimeline(args[1:], stdout, stderr)
+	case "cells":
+		return runCells(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		fmt.Fprintln(stdout, usage)
 		return nil
@@ -337,6 +351,145 @@ func runTimeline(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "cluster timeline: %d events from %d daemons\n", len(merged), fetched)
 	obs.Timeline(stdout, merged)
+	return nil
+}
+
+// cellView is everything cells learned about one gateway cell from the
+// two /metrics snapshots.
+type cellView struct {
+	depth, lag, queue float64
+	refilling, down   bool
+	routed            float64 // draws served over the window, all routes
+	shedAway          float64 // draws this cell was primary for but lost, over the window
+}
+
+// runCells renders the per-cell table of a beacongw gateway from two
+// /metrics scrapes taken -interval apart: gauges (depth, lag, queue,
+// refill, down) come from the second snapshot, rates (DRAWS/S, SHED/S)
+// from the counter deltas over the window.
+func runCells(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("beaconctl cells", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gw := fs.String("gw", "", "beacongw address (host:port of its -addr)")
+	interval := fs.Duration("interval", time.Second, "sampling window between the two /metrics scrapes")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gw == "" {
+		return fmt.Errorf("beaconctl: cells requires -gw host:port\n%s", usage)
+	}
+	client := &http.Client{Timeout: *timeout}
+	first, err := scrapeGateway(client, *gw)
+	if err != nil {
+		return fmt.Errorf("beaconctl: gateway %s: %w", *gw, err)
+	}
+	time.Sleep(*interval)
+	second, err := scrapeGateway(client, *gw)
+	if err != nil {
+		return fmt.Errorf("beaconctl: gateway %s: %w", *gw, err)
+	}
+	return renderCells(stdout, first, second, *interval)
+}
+
+// scrapeGateway fetches and parses one /metrics exposition.
+func scrapeGateway(client *http.Client, gw string) ([]prom.Sample, error) {
+	resp, err := client.Get("http://" + gw + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	return prom.ParseText(resp.Body)
+}
+
+// renderCells turns the two snapshots into the operator table.
+func renderCells(stdout io.Writer, first, second []prom.Sample, window time.Duration) error {
+	cells := map[string]*cellView{}
+	view := func(id string) *cellView {
+		if cells[id] == nil {
+			cells[id] = &cellView{}
+		}
+		return cells[id]
+	}
+	for _, s := range prom.Find(second, "beacon_cell_depth") {
+		view(s.Label("cell")).depth = s.Value
+	}
+	for _, s := range prom.Find(second, "beacon_cell_refill_lag") {
+		view(s.Label("cell")).lag = s.Value
+	}
+	for _, s := range prom.Find(second, "beacon_cell_queue_depth") {
+		view(s.Label("cell")).queue = s.Value
+	}
+	for _, s := range prom.Find(second, "beacon_cell_refill_in_flight") {
+		view(s.Label("cell")).refilling = s.Value > 0
+	}
+	for _, s := range prom.Find(second, "beacon_cell_down") {
+		view(s.Label("cell")).down = s.Value > 0
+	}
+	// Counter deltas over the window. Counters are monotonic, so a missing
+	// first-snapshot sample (cell served nothing yet) reads as 0.
+	counterAt := func(samples []prom.Sample, name string) map[string]float64 {
+		out := map[string]float64{}
+		for _, s := range prom.Find(samples, name) {
+			out[s.Label("cell")] += s.Value // sums routed_draws over its route label
+		}
+		return out
+	}
+	for name, into := range map[string]func(*cellView, float64){
+		"multicell_routed_draws_total": func(v *cellView, d float64) { v.routed = d },
+		"multicell_shed_total":         func(v *cellView, d float64) { v.shedAway = d },
+	} {
+		before, after := counterAt(first, name), counterAt(second, name)
+		for id, a := range after {
+			into(view(id), a-before[id])
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("beaconctl: no beacon_cell_* series in the exposition — is -gw pointing at a beacongw /metrics port?")
+	}
+
+	ids := make([]string, 0, len(cells))
+	for id := range cells {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, aerr := strconv.Atoi(ids[i])
+		b, berr := strconv.Atoi(ids[j])
+		if aerr != nil || berr != nil {
+			return ids[i] < ids[j]
+		}
+		return a < b
+	})
+	secs := window.Seconds()
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tDEPTH\tLAG\tQUEUE\tREFILL\tDRAWS/S\tSHED/S\tFLAGS")
+	var totalRate float64
+	for _, id := range ids {
+		v := cells[id]
+		rate := v.routed / secs
+		totalRate += rate
+		refill := "-"
+		if v.refilling {
+			refill = "yes"
+		}
+		flags := ""
+		if v.down {
+			flags = "DOWN"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%s\t%.1f\t%.1f\t%s\n",
+			id, v.depth, v.lag, v.queue, refill, rate, v.shedAway/secs, flags)
+	}
+	tw.Flush()
+	streams, _ := prom.Value(second, "multicell_streams_active")
+	var rejected float64
+	for _, s := range prom.Find(second, "multicell_rejected_total") {
+		rejected += s.Value
+	}
+	fmt.Fprintf(stdout, "cluster: %.1f draws/s across %d cells, %.0f live streams, %.0f draws rejected since start\n",
+		totalRate, len(cells), streams, rejected)
 	return nil
 }
 

@@ -292,6 +292,120 @@ func TestTimelineSurvivesDeadDaemon(t *testing.T) {
 	}
 }
 
+// gatewayMetrics are two canned beacongw /metrics expositions: the second
+// snapshot advances cell 0's routed and shed counters by 50 and 5 over the
+// sampling window while cell 1 sits down and idle.
+var gatewayMetrics = [2]string{
+	`beacon_cell_depth{cell="0"} 60
+beacon_cell_depth{cell="1"} 12
+beacon_cell_refill_lag{cell="0"} 4
+beacon_cell_refill_lag{cell="1"} 52
+beacon_cell_queue_depth{cell="0"} 2
+beacon_cell_queue_depth{cell="1"} 0
+beacon_cell_refill_in_flight{cell="0"} 1
+beacon_cell_refill_in_flight{cell="1"} 0
+beacon_cell_down{cell="0"} 0
+beacon_cell_down{cell="1"} 1
+multicell_routed_draws_total{cell="0",route="hash"} 30
+multicell_routed_draws_total{cell="0",route="rr"} 20
+multicell_shed_total{cell="0"} 1
+multicell_streams_active 3
+multicell_rejected_total{reason="ratelimit"} 7
+multicell_rejected_total{reason="saturated"} 2
+`,
+	`beacon_cell_depth{cell="0"} 60
+beacon_cell_depth{cell="1"} 12
+beacon_cell_refill_lag{cell="0"} 4
+beacon_cell_refill_lag{cell="1"} 52
+beacon_cell_queue_depth{cell="0"} 2
+beacon_cell_queue_depth{cell="1"} 0
+beacon_cell_refill_in_flight{cell="0"} 1
+beacon_cell_refill_in_flight{cell="1"} 0
+beacon_cell_down{cell="0"} 0
+beacon_cell_down{cell="1"} 1
+multicell_routed_draws_total{cell="0",route="hash"} 60
+multicell_routed_draws_total{cell="0",route="rr"} 40
+multicell_shed_total{cell="0"} 6
+multicell_streams_active 3
+multicell_rejected_total{reason="ratelimit"} 7
+multicell_rejected_total{reason="saturated"} 2
+`,
+}
+
+// TestCellsTable drives beaconctl cells against a fake gateway serving the
+// two canned snapshots: DRAWS/S and SHED/S must come from the counter
+// deltas over the window, gauges from the second snapshot, and the down
+// cell must be flagged.
+func TestCellsTable(t *testing.T) {
+	var scrapes int
+	gw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		i := scrapes
+		if i > 1 {
+			i = 1
+		}
+		scrapes++
+		fmt.Fprint(w, gatewayMetrics[i])
+	}))
+	t.Cleanup(gw.Close)
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"cells", "-gw", hostOf(gw), "-interval", "100ms"}, &out, &errBuf); err != nil {
+		t.Fatalf("cells: %v", err)
+	}
+	if scrapes != 2 {
+		t.Fatalf("want exactly 2 scrapes, got %d", scrapes)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 { // header + 2 cells + cluster footer
+		t.Fatalf("want 4 output lines, got %d:\n%s", len(lines), got)
+	}
+	for _, col := range []string{"CELL", "DEPTH", "LAG", "QUEUE", "REFILL", "DRAWS/S", "SHED/S"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header missing %s column: %q", col, lines[0])
+		}
+	}
+	// Cell 0: 50 routed draws over the 100ms window = 500.0/s; 5 shed = 50.0/s.
+	for _, want := range []string{"60", "4", "2", "yes", "500.0", "50.0"} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("cell 0 row missing %q: %q", want, lines[1])
+		}
+	}
+	if strings.Contains(lines[1], "DOWN") {
+		t.Errorf("healthy cell 0 flagged DOWN: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "DOWN") {
+		t.Errorf("dead cell 1 not flagged DOWN: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "0.0") {
+		t.Errorf("idle cell 1 should show a zero rate: %q", lines[2])
+	}
+	for _, want := range []string{"500.0 draws/s", "2 cells", "3 live streams", "9 draws rejected"} {
+		if !strings.Contains(lines[3], want) {
+			t.Errorf("footer missing %q: %q", want, lines[3])
+		}
+	}
+}
+
+// TestCellsRejectsNonGateway points cells at a daemon-style /metrics with
+// no beacon_cell_* series: it must error instead of printing an empty table.
+func TestCellsRejectsNonGateway(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "beacond_emit_latency_seconds_count 8\n")
+	}))
+	t.Cleanup(srv.Close)
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"cells", "-gw", hostOf(srv), "-interval", "1ms"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "beacon_cell_") {
+		t.Fatalf("want no-cells error, got %v", err)
+	}
+}
+
 // TestCLIErrors covers argument validation: missing subcommand, unknown
 // subcommand, and a missing -config all fail with usage guidance.
 func TestCLIErrors(t *testing.T) {
@@ -301,6 +415,7 @@ func TestCLIErrors(t *testing.T) {
 		{"bogus"},
 		{"status"},
 		{"timeline"},
+		{"cells"},
 	} {
 		if err := run(args, &out, &errBuf); err == nil {
 			t.Errorf("run(%v): want error, got nil", args)

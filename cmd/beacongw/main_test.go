@@ -1,0 +1,302 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/multicell"
+	"repro/internal/obs/prom"
+)
+
+// testServer boots a small in-process cluster behind the real mux.
+func testServer(t *testing.T, mod func(*config)) (*httptest.Server, *multicell.Cluster) {
+	t.Helper()
+	c := &config{
+		cells: 2, n: 7, t: 1, k: 16,
+		batch: 96, threshold: 8, highWater: 64, queue: 256,
+		maxStreams:   2,
+		insecureRand: true, rngSeed: 7,
+	}
+	if mod != nil {
+		mod(c)
+	}
+	reg := prom.NewRegistry()
+	mets := multicell.NewMetrics(reg)
+	cfg, err := c.clusterConfig(mets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := multicell.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(cl, mets, reg, c.k))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := cl.Close(ctx); err != nil {
+			t.Errorf("close cluster: %v", err)
+		}
+	})
+	return srv, cl
+}
+
+func getJSON(t *testing.T, url string, hdr map[string]string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestCoinEndpoint(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	var got struct {
+		Cell int    `json:"cell"`
+		Seq  int64  `json:"seq"`
+		Coin string `json:"coin"`
+		K    int    `json:"k"`
+	}
+	resp := getJSON(t, srv.URL+"/v1/coin", map[string]string{"X-Tenant": "alice"}, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(got.Coin, "0x") || got.K != 16 {
+		t.Fatalf("malformed coin payload: %+v", got)
+	}
+	// A tenant's successive coins stay on one cell with advancing seqs.
+	var second struct {
+		Cell int   `json:"cell"`
+		Seq  int64 `json:"seq"`
+	}
+	getJSON(t, srv.URL+"/v1/coin", map[string]string{"X-Tenant": "alice"}, &second)
+	if second.Cell != got.Cell {
+		t.Fatalf("tenant moved cells %d → %d with both healthy", got.Cell, second.Cell)
+	}
+	if second.Seq <= got.Seq {
+		t.Fatalf("seq did not advance: %d then %d", got.Seq, second.Seq)
+	}
+}
+
+func TestCoinsBatchEndpoint(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	var got struct {
+		Cell  int      `json:"cell"`
+		Seq   int64    `json:"seq"`
+		Coins []string `json:"coins"`
+	}
+	resp := getJSON(t, srv.URL+"/v1/coins?n=8&tenant=bob", nil, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Coins) != 8 {
+		t.Fatalf("batch of %d coins, want 8", len(got.Coins))
+	}
+	for _, resp := range []*http.Response{
+		getJSON(t, srv.URL+"/v1/coins", nil, nil),
+		getJSON(t, srv.URL+"/v1/coins?n=0", nil, nil),
+		getJSON(t, srv.URL+"/v1/coins?n=100000", nil, nil),
+	} {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad ?n= answered %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamSSE(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	resp, err := http.Get(srv.URL + "/v1/stream?n=5&tenant=carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var seqs []int64
+	cell := -1
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var coin struct {
+			Cell int    `json:"cell"`
+			Seq  int64  `json:"seq"`
+			Coin string `json:"coin"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &coin); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if cell == -1 {
+			cell = coin.Cell
+		} else if coin.Cell != cell {
+			t.Fatalf("stream moved cells %d → %d", cell, coin.Cell)
+		}
+		seqs = append(seqs, coin.Seq)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("stream delivered %d coins, want 5", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("per-cell seqs not increasing: %v", seqs)
+		}
+	}
+}
+
+// TestStreamQuotaRejected: past the per-tenant cap, /v1/stream answers 429
+// before any event is sent.
+func TestStreamQuotaRejected(t *testing.T) {
+	srv, _ := testServer(t, func(c *config) { c.maxStreams = 1 })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/stream?tenant=dave", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one event so the stream is definitely admitted.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	second, err := http.Get(srv.URL + "/v1/stream?tenant=dave&n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second stream answered %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	srv, _ := testServer(t, func(c *config) { c.tenantRate = 0.001; c.tenantBurst = 2 })
+	hdr := map[string]string{"X-Tenant": "greedy"}
+	for i := 0; i < 2; i++ {
+		if resp := getJSON(t, srv.URL+"/v1/coin", hdr, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("draw %d within burst answered %d", i, resp.StatusCode)
+		}
+	}
+	resp := getJSON(t, srv.URL+"/v1/coin", hdr, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget draw answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant is unaffected.
+	if resp := getJSON(t, srv.URL+"/v1/coin", map[string]string{"X-Tenant": "modest"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("isolated tenant answered %d", resp.StatusCode)
+	}
+}
+
+func TestCellsAndHealthz(t *testing.T) {
+	srv, cl := testServer(t, nil)
+	getJSON(t, srv.URL+"/v1/coin", nil, nil)
+	var cells struct {
+		Cells  []multicell.CellStats `json:"cells"`
+		Router multicell.RouterStats `json:"router"`
+	}
+	if resp := getJSON(t, srv.URL+"/v1/cells", nil, &cells); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cells status %d", resp.StatusCode)
+	}
+	if len(cells.Cells) != 2 {
+		t.Fatalf("%d cells reported, want 2", len(cells.Cells))
+	}
+	var health struct {
+		Status    string `json:"status"`
+		CellsDown int    `json:"cells_down"`
+	}
+	getJSON(t, srv.URL+"/v1/healthz", nil, &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz %+v", health)
+	}
+	// Kill a cell: healthz degrades but still answers 200.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cl.CloseCell(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp := getJSON(t, srv.URL+"/v1/healthz", nil, &health)
+	if resp.StatusCode != http.StatusOK || health.Status != "degraded" || health.CellsDown != 1 {
+		t.Fatalf("degraded healthz: status %d, %+v", resp.StatusCode, health)
+	}
+	// Draws still succeed on the survivor.
+	if resp := getJSON(t, srv.URL+"/v1/coin", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draw with one cell down answered %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: the scrape carries the per-cell gauge families,
+// refreshed at scrape time (depth present for every cell without any
+// explicit Refresh call in between).
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t, nil)
+	getJSON(t, srv.URL+"/v1/coin", map[string]string{"X-Tenant": "alice"}, nil)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`beacon_cell_depth{cell="0"}`,
+		`beacon_cell_depth{cell="1"}`,
+		`beacon_cell_refill_lag{cell="0"}`,
+		`multicell_routed_draws_total{cell=`,
+		"multicell_cells 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestParseFlagsRejectsArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"stray"}, &strings.Builder{}); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+	if _, err := parseFlags([]string{"-cells", "3"}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

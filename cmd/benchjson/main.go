@@ -27,10 +27,26 @@
 //	go run ./cmd/benchjson -compare -baseline BENCH_2026-08-05.json \
 //	    -candidate fresh.json -tolerance 0.25 -series Interpolate,BatchVSS,BeaconDraw
 //
-// Only ns/op is gated (allocation counts are exact and caught by tests;
-// custom metrics are informational). Entries present in just one document
-// are reported but never fail the gate, so a targeted benchmark subset can
-// be compared against a full baseline.
+// A gated name present in only one document FAILS the comparison: a
+// benchmark that silently disappears (renamed, deleted, build-tagged away)
+// would otherwise turn its gate into a no-op forever. Intentional
+// one-sided names — a candidate subset run against a full baseline, or a
+// brand-new benchmark with no baseline yet — are declared with
+// -allow-missing substrings. Relative gating uses ns/op only (allocation
+// counts are exact and caught by tests).
+//
+// -floor, -ceiling and -ratio add absolute gates on the CANDIDATE
+// document, each against any Result metric (including custom ReportMetric
+// units). All three are repeatable; a spec that matches no candidate entry
+// is itself a failure, for the same no-silent-no-op reason:
+//
+//	-floor   'MultiCellLoad/cells=4:draws/s:5000'   every match ≥ 5000
+//	-ceiling 'MultiCellLoad/cells=4:p99-ns:2e8'     every match ≤ 2e8
+//	-ratio   'cells=4/clients=16:cells=1/clients=16:draws/s:2.5'
+//	         metric(unique match A) ≥ 2.5 × metric(unique match B)
+//
+// Specs are colon-separated because benchmark names never contain ':'
+// (they do contain '/', '=' and '-').
 package main
 
 import (
@@ -64,6 +80,7 @@ type Document struct {
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus,omitempty"`
 	Benchtime string   `json:"benchtime,omitempty"`
 	Command   string   `json:"command"`
 	Results   []Result `json:"results"`
@@ -71,17 +88,26 @@ type Document struct {
 
 func main() {
 	var (
-		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
-		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 100x)")
-		pkgs      = flag.String("pkgs", "./...", "package pattern to benchmark")
-		out       = flag.String("out", "", "output JSON file (default stdout)")
-		merge     = flag.Bool("merge", false, "merge results by name into an existing -out file instead of replacing it")
-		compare   = flag.Bool("compare", false, "compare -candidate against -baseline instead of running benchmarks")
-		baseline  = flag.String("baseline", "", "baseline JSON document for -compare")
-		candidate = flag.String("candidate", "", "fresh JSON document for -compare")
-		tolerance = flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare (0.25 = +25%)")
-		series    = flag.String("series", "", "comma-separated name substrings gated by -compare (empty = every common entry)")
+		bench        = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime    = flag.String("benchtime", "", "passed to go test -benchtime (e.g. 1s, 100x)")
+		pkgs         = flag.String("pkgs", "./...", "package pattern to benchmark")
+		out          = flag.String("out", "", "output JSON file (default stdout)")
+		merge        = flag.Bool("merge", false, "merge results by name into an existing -out file instead of replacing it")
+		compare      = flag.Bool("compare", false, "compare -candidate against -baseline instead of running benchmarks")
+		baseline     = flag.String("baseline", "", "baseline JSON document for -compare")
+		candidate    = flag.String("candidate", "", "fresh JSON document for -compare")
+		tolerance    = flag.Float64("tolerance", 0.25, "relative ns/op regression allowed by -compare (0.25 = +25%)")
+		series       = flag.String("series", "", "comma-separated name substrings gated by -compare (empty = every common entry)")
+		allowMissing = flag.String("allow-missing", "", "comma-separated name substrings allowed to be present in only one document")
 	)
+	var floors, ceilings []gateSpec
+	var ratios []ratioSpec
+	flag.Func("floor", "candidate gate 'substr:metric:min' — every matching entry's metric must be ≥ min (repeatable)",
+		func(s string) error { g, err := parseGateSpec(s); floors = append(floors, g); return err })
+	flag.Func("ceiling", "candidate gate 'substr:metric:max' — every matching entry's metric must be ≤ max (repeatable)",
+		func(s string) error { g, err := parseGateSpec(s); ceilings = append(ceilings, g); return err })
+	flag.Func("ratio", "candidate gate 'substrA:substrB:metric:min' — metric(A) must be ≥ min × metric(B), each substring matching exactly one entry (repeatable)",
+		func(s string) error { r, err := parseRatioSpec(s); ratios = append(ratios, r); return err })
 	flag.Parse()
 
 	if *compare {
@@ -96,12 +122,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report := compareDocs(base, cand, splitSeries(*series), *tolerance)
+		report := compareDocs(base, cand, splitSeries(*series), splitSeries(*allowMissing), *tolerance)
+		report.applyGates(cand, floors, ceilings, ratios)
 		fmt.Fprint(os.Stderr, report.String())
-		if len(report.Regressions) > 0 {
+		if report.Failed() {
 			os.Exit(1)
 		}
 		return
+	}
+	if len(floors) > 0 || len(ceilings) > 0 || len(ratios) > 0 {
+		log.Fatal("benchjson: -floor/-ceiling/-ratio are only meaningful with -compare")
 	}
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", *pkgs}
@@ -130,6 +160,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
 		Benchtime: *benchtime,
 		Command:   "go " + strings.Join(args, " "),
 		Results:   results,
@@ -231,13 +262,24 @@ type Delta struct {
 }
 
 // Report is the outcome of compareDocs: gated entries that regressed beyond
-// tolerance, gated entries that passed, and names skipped because they were
-// present in only one document or carried no ns/op metric.
+// tolerance, gated entries that passed, gated names missing from one of the
+// documents (failures unless allowlisted), names skipped because they
+// carried no ns/op metric or were allowlisted one-sided, and the absolute
+// gate verdicts from applyGates.
 type Report struct {
 	Tolerance   float64
 	Regressions []Delta
 	Passed      []Delta
+	Missing     []string
 	Skipped     []string
+	GateFailed  []string
+	GatePassed  []string
+}
+
+// Failed reports whether any gate tripped: a relative regression, a gated
+// name that disappeared, or an absolute floor/ceiling/ratio violation.
+func (r Report) Failed() bool {
+	return len(r.Regressions) > 0 || len(r.Missing) > 0 || len(r.GateFailed) > 0
 }
 
 // String renders the report as the CI log block: every comparison with its
@@ -254,17 +296,146 @@ func (r Report) String() string {
 	for _, d := range r.Regressions {
 		line("FAIL", d)
 	}
-	for _, name := range r.Skipped {
-		fmt.Fprintf(&b, "%-6s %s (no common ns/op)\n", "skip", name)
+	for _, name := range r.Missing {
+		fmt.Fprintf(&b, "%-6s %s\n", "FAIL", name)
 	}
-	if len(r.Regressions) > 0 {
-		fmt.Fprintf(&b, "benchjson: %d series regressed beyond +%.0f%% tolerance\n",
-			len(r.Regressions), 100*r.Tolerance)
+	for _, name := range r.Skipped {
+		fmt.Fprintf(&b, "%-6s %s\n", "skip", name)
+	}
+	for _, g := range r.GatePassed {
+		fmt.Fprintf(&b, "%-6s %s\n", "ok", g)
+	}
+	for _, g := range r.GateFailed {
+		fmt.Fprintf(&b, "%-6s %s\n", "FAIL", g)
+	}
+	if r.Failed() {
+		fmt.Fprintf(&b, "benchjson: %d relative regressions (tolerance +%.0f%%), %d gated series missing, %d absolute gates violated\n",
+			len(r.Regressions), 100*r.Tolerance, len(r.Missing), len(r.GateFailed))
 	} else {
-		fmt.Fprintf(&b, "benchjson: %d series within +%.0f%% tolerance\n",
-			len(r.Passed), 100*r.Tolerance)
+		fmt.Fprintf(&b, "benchjson: %d series within +%.0f%% tolerance, %d absolute gates satisfied\n",
+			len(r.Passed), 100*r.Tolerance, len(r.GatePassed))
 	}
 	return b.String()
+}
+
+// gateSpec is one -floor/-ceiling: every candidate entry whose name
+// contains Pattern must carry Metric on the right side of Value.
+type gateSpec struct {
+	Pattern string
+	Metric  string
+	Value   float64
+}
+
+func parseGateSpec(s string) (gateSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return gateSpec{}, fmt.Errorf("benchjson: gate %q is not 'substr:metric:value'", s)
+	}
+	v, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return gateSpec{}, fmt.Errorf("benchjson: gate %q: bad value: %v", s, err)
+	}
+	return gateSpec{Pattern: parts[0], Metric: parts[1], Value: v}, nil
+}
+
+// ratioSpec is one -ratio: Metric of the unique candidate entry matching A
+// must be at least Min times Metric of the unique entry matching B.
+type ratioSpec struct {
+	A, B   string
+	Metric string
+	Min    float64
+}
+
+func parseRatioSpec(s string) (ratioSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return ratioSpec{}, fmt.Errorf("benchjson: ratio %q is not 'substrA:substrB:metric:min'", s)
+	}
+	min, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return ratioSpec{}, fmt.Errorf("benchjson: ratio %q: bad minimum: %v", s, err)
+	}
+	return ratioSpec{A: parts[0], B: parts[1], Metric: parts[2], Min: min}, nil
+}
+
+// uniqueMetric finds the single candidate entry whose name contains pattern
+// and returns its metric value; zero or multiple matches (or a match
+// without the metric) are errors — an ambiguous or vanished gate target
+// must fail loudly, not gate the wrong series.
+func uniqueMetric(cand Document, pattern, metric string) (string, float64, error) {
+	name, val, found := "", 0.0, 0
+	for _, r := range cand.Results {
+		if !strings.Contains(r.Name, pattern) {
+			continue
+		}
+		found++
+		name = r.Name
+		var ok bool
+		if val, ok = r.Metrics[metric]; !ok {
+			return "", 0, fmt.Errorf("%s has no %s metric", r.Name, metric)
+		}
+	}
+	switch found {
+	case 0:
+		return "", 0, fmt.Errorf("no candidate entry matches %q", pattern)
+	case 1:
+		return name, val, nil
+	default:
+		return "", 0, fmt.Errorf("%d candidate entries match %q — need exactly one", found, pattern)
+	}
+}
+
+// applyGates evaluates the absolute -floor/-ceiling/-ratio gates against
+// the candidate document, appending verdicts to GatePassed/GateFailed. A
+// spec matching no entry fails: a gate must never become a silent no-op
+// because its benchmark disappeared.
+func (r *Report) applyGates(cand Document, floors, ceilings []gateSpec, ratios []ratioSpec) {
+	bound := func(g gateSpec, kind string, violated func(v float64) bool) {
+		matched := 0
+		for _, res := range cand.Results {
+			if !strings.Contains(res.Name, g.Pattern) {
+				continue
+			}
+			matched++
+			v, ok := res.Metrics[g.Metric]
+			if !ok {
+				r.GateFailed = append(r.GateFailed, fmt.Sprintf("%s %s: %s has no %s metric", kind, g.Pattern, res.Name, g.Metric))
+				continue
+			}
+			if violated(v) {
+				r.GateFailed = append(r.GateFailed, fmt.Sprintf("%s violated: %s %s = %g vs %g", kind, res.Name, g.Metric, v, g.Value))
+			} else {
+				r.GatePassed = append(r.GatePassed, fmt.Sprintf("%s: %s %s = %g vs %g", kind, res.Name, g.Metric, v, g.Value))
+			}
+		}
+		if matched == 0 {
+			r.GateFailed = append(r.GateFailed, fmt.Sprintf("%s %s: no candidate entry matches", kind, g.Pattern))
+		}
+	}
+	for _, g := range floors {
+		bound(g, "floor", func(v float64) bool { return v < g.Value })
+	}
+	for _, g := range ceilings {
+		bound(g, "ceiling", func(v float64) bool { return v > g.Value })
+	}
+	for _, rt := range ratios {
+		an, av, aerr := uniqueMetric(cand, rt.A, rt.Metric)
+		bn, bv, berr := uniqueMetric(cand, rt.B, rt.Metric)
+		switch {
+		case aerr != nil:
+			r.GateFailed = append(r.GateFailed, fmt.Sprintf("ratio %s/%s: %v", rt.A, rt.B, aerr))
+		case berr != nil:
+			r.GateFailed = append(r.GateFailed, fmt.Sprintf("ratio %s/%s: %v", rt.A, rt.B, berr))
+		case bv == 0:
+			r.GateFailed = append(r.GateFailed, fmt.Sprintf("ratio %s/%s: %s %s is zero", rt.A, rt.B, bn, rt.Metric))
+		case av/bv < rt.Min:
+			r.GateFailed = append(r.GateFailed, fmt.Sprintf("ratio violated: %s %s = %g is %.2fx %s (need ≥ %.2fx)",
+				an, rt.Metric, av, av/bv, bn, rt.Min))
+		default:
+			r.GatePassed = append(r.GatePassed, fmt.Sprintf("ratio: %s is %.2fx %s on %s (need ≥ %.2fx)",
+				an, av/bv, bn, rt.Metric, rt.Min))
+		}
+	}
 }
 
 // matchesSeries reports whether a benchmark name belongs to one of the gated
@@ -284,17 +455,28 @@ func matchesSeries(name string, series []string) bool {
 
 // compareDocs gates candidate against baseline: every gated name present in
 // both documents with an ns/op metric is compared, and a relative slowdown
-// above tolerance is a regression. One-sided names are skipped, not failed —
-// a targeted candidate run may legitimately cover a subset of the baseline,
-// and new benchmarks have no baseline yet. Speedups always pass (the
-// committed baseline is refreshed by PRs that improve it).
-func compareDocs(base, cand Document, series []string, tolerance float64) Report {
+// above tolerance is a regression. Speedups always pass (the committed
+// baseline is refreshed by PRs that improve it). A gated name present in
+// only ONE document is a failure unless it matches allowMissing: a renamed
+// or deleted benchmark must trip its gate, not quietly retire it.
+// Both-sided names without an ns/op metric are skipped (never emitted by
+// `go test -bench`, only by hand-built documents).
+func compareDocs(base, cand Document, series, allowMissing []string, tolerance float64) Report {
 	rep := Report{Tolerance: tolerance}
+	baseNames := make(map[string]bool, len(base.Results))
 	baseNS := make(map[string]float64, len(base.Results))
 	for _, r := range base.Results {
+		baseNames[r.Name] = true
 		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
 			baseNS[r.Name] = ns
 		}
+	}
+	oneSided := func(name, where string) {
+		if matchesSeries(name, allowMissing) && len(allowMissing) > 0 {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s (missing from %s, allowlisted)", name, where))
+			return
+		}
+		rep.Missing = append(rep.Missing, fmt.Sprintf("%s missing from %s (gate would be a no-op; allowlist intentional one-sided names with -allow-missing)", name, where))
 	}
 	seen := make(map[string]bool, len(cand.Results))
 	for _, r := range cand.Results {
@@ -302,10 +484,14 @@ func compareDocs(base, cand Document, series []string, tolerance float64) Report
 			continue
 		}
 		seen[r.Name] = true
+		if !baseNames[r.Name] {
+			oneSided(r.Name, "baseline")
+			continue
+		}
 		ns, ok := r.Metrics["ns/op"]
 		bns, bok := baseNS[r.Name]
 		if !ok || ns <= 0 || !bok {
-			rep.Skipped = append(rep.Skipped, r.Name)
+			rep.Skipped = append(rep.Skipped, r.Name+" (no common ns/op)")
 			continue
 		}
 		d := Delta{Name: r.Name, Base: bns, Cand: ns, Change: (ns - bns) / bns}
@@ -317,7 +503,7 @@ func compareDocs(base, cand Document, series []string, tolerance float64) Report
 	}
 	for _, r := range base.Results {
 		if matchesSeries(r.Name, series) && !seen[r.Name] {
-			rep.Skipped = append(rep.Skipped, r.Name)
+			oneSided(r.Name, "candidate")
 		}
 	}
 	return rep

@@ -115,7 +115,7 @@ func TestCompareDocsFlagsRegression(t *testing.T) {
 		"BenchmarkBatchVSSScale-8":    2100, // +5%: within tolerance
 		"BenchmarkBeaconDraw-8":       400,  // faster: always passes
 	})
-	rep := compareDocs(base, cand, []string{"Interpolate", "BatchVSS", "BeaconDraw"}, 0.25)
+	rep := compareDocs(base, cand, []string{"Interpolate", "BatchVSS", "BeaconDraw"}, nil, 0.25)
 	if len(rep.Regressions) != 1 || rep.Regressions[0].Name != "BenchmarkInterpolate/n=64-8" {
 		t.Fatalf("regressions = %+v, want just Interpolate", rep.Regressions)
 	}
@@ -133,13 +133,42 @@ func TestCompareDocsFlagsRegression(t *testing.T) {
 func TestCompareDocsExactlyAtToleranceIsNotRegression(t *testing.T) {
 	base := doc(map[string]float64{"BenchmarkInterpolate-8": 1000})
 	cand := doc(map[string]float64{"BenchmarkInterpolate-8": 1250})
-	rep := compareDocs(base, cand, nil, 0.25)
+	rep := compareDocs(base, cand, nil, nil, 0.25)
 	if len(rep.Regressions) != 0 || len(rep.Passed) != 1 {
 		t.Fatalf("+25%% at 0.25 tolerance must pass: %+v", rep)
 	}
 }
 
-func TestCompareDocsSkipsOneSidedEntries(t *testing.T) {
+// TestCompareDocsMissingNamesFail pins the disappearing-benchmark fix: a
+// gated name present in only one document fails the comparison (in BOTH
+// directions) instead of silently turning its gate into a no-op.
+func TestCompareDocsMissingNamesFail(t *testing.T) {
+	base := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 1000,
+		"BenchmarkOnlyInBase-8":  50, // deleted/renamed benchmark
+	})
+	cand := doc(map[string]float64{
+		"BenchmarkInterpolate-8": 900,
+		"BenchmarkBrandNew-8":    75, // new benchmark, no baseline yet
+	})
+	rep := compareDocs(base, cand, nil, nil, 0.25)
+	if len(rep.Missing) != 2 {
+		t.Fatalf("missing = %v, want both one-sided names", rep.Missing)
+	}
+	if !rep.Failed() {
+		t.Fatal("one-sided gated names must fail the comparison")
+	}
+	if len(rep.Regressions) != 0 || len(rep.Passed) != 1 {
+		t.Fatalf("common entry not compared normally: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Fatalf("report does not flag missing names:\n%s", rep.String())
+	}
+}
+
+// TestCompareDocsAllowMissing: the allowlist downgrades declared one-sided
+// names to skips — and only those.
+func TestCompareDocsAllowMissing(t *testing.T) {
 	base := doc(map[string]float64{
 		"BenchmarkInterpolate-8": 1000,
 		"BenchmarkOnlyInBase-8":  50,
@@ -148,12 +177,16 @@ func TestCompareDocsSkipsOneSidedEntries(t *testing.T) {
 		"BenchmarkInterpolate-8": 900,
 		"BenchmarkBrandNew-8":    75,
 	})
-	rep := compareDocs(base, cand, nil, 0.25)
-	if len(rep.Regressions) != 0 {
-		t.Fatalf("one-sided entries failed the gate: %+v", rep.Regressions)
+	rep := compareDocs(base, cand, nil, []string{"BrandNew"}, 0.25)
+	if len(rep.Missing) != 1 || !strings.Contains(rep.Missing[0], "OnlyInBase") {
+		t.Fatalf("missing = %v, want only the unlisted OnlyInBase", rep.Missing)
 	}
-	if len(rep.Skipped) != 2 {
-		t.Fatalf("skipped = %v, want the two one-sided names", rep.Skipped)
+	if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], "BrandNew") {
+		t.Fatalf("skipped = %v, want the allowlisted BrandNew", rep.Skipped)
+	}
+	rep = compareDocs(base, cand, nil, []string{"BrandNew", "OnlyInBase"}, 0.25)
+	if rep.Failed() {
+		t.Fatalf("fully allowlisted one-sided names still fail: %+v", rep)
 	}
 }
 
@@ -166,7 +199,7 @@ func TestCompareDocsSeriesFilter(t *testing.T) {
 		"BenchmarkInterpolate-8": 1010,
 		"BenchmarkUnrelated-8":   900, // 9x slower, but not a gated series
 	})
-	rep := compareDocs(base, cand, []string{"Interpolate"}, 0.25)
+	rep := compareDocs(base, cand, []string{"Interpolate"}, nil, 0.25)
 	if len(rep.Regressions) != 0 {
 		t.Fatalf("ungated series failed the gate: %+v", rep.Regressions)
 	}
@@ -178,8 +211,99 @@ func TestCompareDocsSeriesFilter(t *testing.T) {
 func TestCompareDocsMissingNsOpSkipped(t *testing.T) {
 	base := doc(map[string]float64{"BenchmarkX-8": 1000})
 	cand := doc(map[string]float64{"BenchmarkX-8": 0}) // no ns/op metric
-	rep := compareDocs(base, cand, nil, 0.25)
+	rep := compareDocs(base, cand, nil, nil, 0.25)
 	if len(rep.Regressions) != 0 || len(rep.Skipped) != 1 {
 		t.Fatalf("entry without ns/op must be skipped: %+v", rep)
+	}
+}
+
+func gdoc(entries map[string]map[string]float64) Document {
+	var d Document
+	for name, m := range entries {
+		d.Results = append(d.Results, Result{Name: name, Iterations: 1, Metrics: m})
+	}
+	return d
+}
+
+func TestParseGateSpec(t *testing.T) {
+	g, err := parseGateSpec("MultiCellLoad/cells=4:draws/s:5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Pattern != "MultiCellLoad/cells=4" || g.Metric != "draws/s" || g.Value != 5000 {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{"", "a:b", "a:b:c:d", "a:b:notanumber"} {
+		if _, err := parseGateSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+	r, err := parseRatioSpec("cells=4:cells=1:draws/s:2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.A != "cells=4" || r.B != "cells=1" || r.Metric != "draws/s" || r.Min != 2.5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"a:b:c", "a:b:c:d:e", "a:b:c:nan2"} {
+		if _, err := parseRatioSpec(bad); err == nil {
+			t.Fatalf("ratio %q accepted", bad)
+		}
+	}
+}
+
+func TestApplyGatesFloorCeiling(t *testing.T) {
+	cand := gdoc(map[string]map[string]float64{
+		"BenchmarkLoad/cells=4-8": {"draws/s": 8000, "p99-ns": 1e6},
+		"BenchmarkLoad/cells=1-8": {"draws/s": 3000, "p99-ns": 5e5},
+	})
+	cases := []struct {
+		name     string
+		floors   []gateSpec
+		ceilings []gateSpec
+		fail     bool
+	}{
+		{"floor holds", []gateSpec{{"cells=4", "draws/s", 5000}}, nil, false},
+		{"floor violated", []gateSpec{{"cells=4", "draws/s", 10000}}, nil, true},
+		{"floor over several entries", []gateSpec{{"Load", "draws/s", 2000}}, nil, false},
+		{"ceiling holds", nil, []gateSpec{{"cells=4", "p99-ns", 2e6}}, false},
+		{"ceiling violated", nil, []gateSpec{{"cells=4", "p99-ns", 1e5}}, true},
+		{"vanished benchmark fails the gate", []gateSpec{{"cells=16", "draws/s", 1}}, nil, true},
+		{"missing metric fails the gate", []gateSpec{{"cells=4", "coins/s", 1}}, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rep Report
+			rep.applyGates(cand, tc.floors, tc.ceilings, nil)
+			if rep.Failed() != tc.fail {
+				t.Fatalf("failed=%v want %v: %+v", rep.Failed(), tc.fail, rep)
+			}
+		})
+	}
+}
+
+func TestApplyGatesRatio(t *testing.T) {
+	cand := gdoc(map[string]map[string]float64{
+		"BenchmarkLoad/cells=4/clients=16-8": {"draws/s": 9000},
+		"BenchmarkLoad/cells=1/clients=16-8": {"draws/s": 3000},
+	})
+	run := func(spec ratioSpec) Report {
+		var rep Report
+		rep.applyGates(cand, nil, nil, []ratioSpec{spec})
+		return rep
+	}
+	if rep := run(ratioSpec{"cells=4/", "cells=1/", "draws/s", 2.5}); rep.Failed() {
+		t.Fatalf("3.0x scaling failed a 2.5x gate: %+v", rep)
+	}
+	if rep := run(ratioSpec{"cells=4/", "cells=1/", "draws/s", 3.5}); !rep.Failed() {
+		t.Fatal("3.0x scaling passed a 3.5x gate")
+	}
+	// An ambiguous pattern (both entries match "cells=") must fail loudly.
+	if rep := run(ratioSpec{"cells=", "cells=1/", "draws/s", 1}); !rep.Failed() {
+		t.Fatal("ambiguous ratio numerator accepted")
+	}
+	// A vanished side must fail, not no-op.
+	if rep := run(ratioSpec{"cells=8/", "cells=1/", "draws/s", 1}); !rep.Failed() {
+		t.Fatal("ratio with a vanished numerator passed")
 	}
 }

@@ -71,6 +71,10 @@ var (
 // the cluster for an unbounded number of exposure rounds.
 const MaxDrawBits = 4096
 
+// MaxDrawBatch bounds a single DrawN request for the same reason: a batch
+// spends one exposure round per coin.
+const MaxDrawBatch = 256
+
 // serveMaxRounds is the round budget for the long-lived serving network
 // and for refill networks: effectively unlimited (the default simnet
 // budget of 1e5 exists to catch diverging protocols under test, but a
@@ -237,6 +241,7 @@ type workerResult struct {
 
 type drawResult struct {
 	vals []gf2k.Element
+	seq  int64 // stream position of vals[0] (see DrawN)
 	err  error
 }
 
@@ -393,11 +398,25 @@ func (s *Service) Stats() Stats {
 
 // Draw returns one shared coin: a uniform element of GF(2^k).
 func (s *Service) Draw(ctx context.Context) (gf2k.Element, error) {
-	vals, err := s.draw(ctx, 1)
+	vals, _, err := s.draw(ctx, 1)
 	if err != nil {
 		return 0, err
 	}
 	return vals[0], nil
+}
+
+// DrawN returns n shared coins in one request, plus the sequence number of
+// the first one: coins are numbered 0,1,2,… in the order this Service
+// exposed them, so DrawN(ctx, 3) returning seq 17 means the caller holds
+// coins 17, 18 and 19 of this beacon's stream. Batches are contiguous — the
+// executive exposes all n coins in one coalesced sweep — which is what lets
+// a front end serve per-cell verifiable positions without a round trip per
+// coin. n must be in [1, MaxDrawBatch].
+func (s *Service) DrawN(ctx context.Context, n int) ([]gf2k.Element, int64, error) {
+	if n < 1 || n > MaxDrawBatch {
+		return nil, 0, fmt.Errorf("beacon: batch size %d outside [1,%d]", n, MaxDrawBatch)
+	}
+	return s.draw(ctx, n)
 }
 
 // DrawBits returns nbits shared random bits packed LSB-first into
@@ -410,7 +429,7 @@ func (s *Service) DrawBits(ctx context.Context, nbits int) ([]byte, error) {
 		return nil, fmt.Errorf("beacon: bit count %d outside [1,%d]", nbits, MaxDrawBits)
 	}
 	k := s.cfg.Core.Field.K()
-	vals, err := s.draw(ctx, (nbits+k-1)/k)
+	vals, _, err := s.draw(ctx, (nbits+k-1)/k)
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +461,7 @@ func (s *Service) DrawMod(ctx context.Context, m int) (int, error) {
 		return 1, nil // the only outcome; no entropy to spend
 	}
 	for {
-		vals, err := s.draw(ctx, 1)
+		vals, _, err := s.draw(ctx, 1)
 		if err != nil {
 			return 0, err
 		}
@@ -475,14 +494,15 @@ func modAccept(v uint64, k uint, m uint64) bool {
 }
 
 // draw enqueues a request for `need` coins and waits for the executive.
-func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, error) {
+// The returned int64 is the stream sequence number of the first coin.
+func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, int64, error) {
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if s.limiter != nil && !s.limiter.allow() {
 		s.rateLimited.Add(1)
 		s.cfg.Metrics.rejected("rate-limited")
-		return nil, ErrRateLimited
+		return nil, 0, ErrRateLimited
 	}
 	// The disabled-metrics path must not pay for a clock read: time.Now is
 	// taken only when a latency histogram will consume it.
@@ -496,27 +516,27 @@ func (s *Service) draw(ctx context.Context, need int) ([]gf2k.Element, error) {
 	default:
 		s.overloaded.Add(1)
 		s.cfg.Metrics.rejected("overloaded")
-		return nil, ErrOverloaded
+		return nil, 0, ErrOverloaded
 	}
 	select {
 	case r := <-req.resp:
 		if r.err == nil {
 			s.cfg.Metrics.observeDraw(t0, need)
 		}
-		return r.vals, r.err
+		return r.vals, r.seq, r.err
 	case <-ctx.Done():
 		// The executive may still expose coins for this request; the
 		// buffered resp channel absorbs the late result.
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	case <-s.execDone:
 		select {
 		case r := <-req.resp:
 			if r.err == nil {
 				s.cfg.Metrics.observeDraw(t0, need)
 			}
-			return r.vals, r.err
+			return r.vals, r.seq, r.err
 		default:
-			return nil, ErrClosed
+			return nil, 0, ErrClosed
 		}
 	}
 }
@@ -600,7 +620,11 @@ gathered:
 	}
 	off := 0
 	for _, r := range batch {
-		r.resp <- drawResult{vals: vals[off : off+r.need]}
+		// coinsDelivered doubles as the stream cursor: every exposed coin is
+		// handed to exactly one request in exposure order, so the counter's
+		// value before this request IS the sequence number of its first
+		// coin. Only the executive mutates it, so load-then-add is safe.
+		r.resp <- drawResult{vals: vals[off : off+r.need], seq: s.coinsDelivered.Load()}
 		off += r.need
 		s.draws.Add(1)
 		s.coinsDelivered.Add(int64(r.need))

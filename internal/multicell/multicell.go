@@ -1,0 +1,539 @@
+// Package multicell is the horizontal-scale serving layer: M independent
+// beacon cells behind one router. The paper's Coin-Gen pipeline is
+// inherently sequential — one beacon.Service is one coin stream, and its
+// throughput is capped by a single protocol executive no matter how fast
+// the hot path gets — so the way to serve "millions of clients" (ROADMAP)
+// is sideways: run many full Services, each with its own simnet network,
+// its own store and its own domain-separated dealer seed, sharing no
+// protocol state whatsoever. Each cell's stream stays byte-reproducible on
+// its own (TestCellStreamsMatchSingleCellReference pins cell i of an
+// M-cell cluster against a standalone Service with the same seed), and the
+// cluster's aggregate throughput scales with cell count because the cells
+// never synchronize.
+//
+// The router in front implements the serving policy:
+//
+//   - Draw routing: a tenant key is consistent-hashed onto a cell (Ring),
+//     so one tenant observes one cell's contiguous stream; anonymous draws
+//     round-robin across healthy cells.
+//   - Degrade: when a cell's refill pipeline falls behind (store depth
+//     below the point where a draw would have to wait), the router sheds
+//     the draw to the next healthy cell in ring order; when a cell's queue
+//     is full it does the same; when every live cell is saturated the draw
+//     fails with ErrSaturated, which front ends map to 429 + Retry-After.
+//     A cell that fails terminally (closed or protocol-dead) is marked
+//     down and routed around.
+//   - Tenancy: per-tenant token-bucket rate limits (ErrRateLimited) and
+//     live-stream quotas (ErrStreamQuota), enforced before routing so an
+//     abusive tenant is rejected without touching any cell.
+//
+// Batched draws (DrawN) return the serving cell and the sequence number of
+// the first coin in that cell's stream, so every response names a
+// verifiable position: (cell, seq, value) can be checked against the
+// cell's public stream after the fact. Streams (Stream) push coins the
+// same way, one callback per coin.
+//
+// cmd/beacongw is the HTTP face of this package; docs/OPERATIONS.md §9 is
+// the operator runbook.
+package multicell
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/beacon"
+	"repro/internal/core"
+	"repro/internal/gf2k"
+)
+
+var (
+	// ErrSaturated is returned when every live cell rejected the draw with
+	// a full queue — the cluster-wide backpressure signal (HTTP 429).
+	ErrSaturated = errors.New("multicell: all cells saturated")
+	// ErrAllCellsDown is returned when no cell is serving at all (503).
+	ErrAllCellsDown = errors.New("multicell: no live cells")
+	// ErrRateLimited is returned when the tenant's token bucket is empty.
+	ErrRateLimited = errors.New("multicell: tenant rate limit exceeded")
+	// ErrStreamQuota is returned when the tenant is at its live-stream cap.
+	ErrStreamQuota = errors.New("multicell: tenant stream quota exhausted")
+	// ErrClosed is returned after Close has begun.
+	ErrClosed = errors.New("multicell: cluster closed")
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Cells is the number of independent beacon cells (M ≥ 1).
+	Cells int
+	// Cell is the per-cell beacon configuration template. Rand and Metrics
+	// must be left nil (see CellRand; cell metrics are exported with a cell
+	// label by the cluster), and Rate must be 0 — rate limiting is
+	// per-tenant at the router, not per-cell. HighWater must be large
+	// enough that a loaded cell never falls back to a blocking refill
+	// (HighWater ≥ Threshold + SeedReserve + MaxBatch): blocking refills
+	// consume a different randomness stream than pipelined ones, which
+	// would break the per-cell stream-reproducibility guarantee.
+	Cell beacon.Config
+	// CellRand supplies the domain-separated randomness for cell `cell`,
+	// player `player`: both the one-time dealer seed and every refill.
+	// Distinct cells MUST receive computationally independent streams —
+	// that is the whole cross-cell isolation argument. Nil defaults to
+	// crypto/rand (trivially independent); deterministic deployments and
+	// tests must key their generators by (cell, player, call#).
+	CellRand func(cell, player int) io.Reader
+	// TenantRate and TenantBurst configure each tenant's token bucket in
+	// draws per second. TenantRate == 0 disables per-tenant limiting.
+	TenantRate  float64
+	TenantBurst int
+	// MaxStreamsPerTenant caps concurrent Stream calls per tenant.
+	// Defaults to 4; negative disables the quota.
+	MaxStreamsPerTenant int
+	// MaxTenants bounds the tenant table (attacker-invented keys must not
+	// grow memory without limit); past it, new tenants share one overflow
+	// bucket. Defaults to 8192.
+	MaxTenants int
+	// Replicas is the consistent-hash virtual-node count per cell
+	// (DefaultReplicas when 0).
+	Replicas int
+	// StreamInterval paces Stream pushes (0 = as fast as draws allow).
+	StreamInterval time.Duration
+	// Metrics, when non-nil, exports the cluster's Prometheus families
+	// (beacon_cell_* gauges, routed-draw counters — see NewMetrics).
+	Metrics *Metrics
+
+	// now is the injectable clock for rate-limiter tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxStreamsPerTenant == 0 {
+		c.MaxStreamsPerTenant = 4
+	}
+	if c.MaxStreamsPerTenant < 0 {
+		c.MaxStreamsPerTenant = 0 // quota disabled
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 8192
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Validate checks the configuration, including the stream-reproducibility
+// invariant on the cell template (see Config.Cell).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Cells < 1 {
+		return fmt.Errorf("multicell: need at least one cell, got %d", c.Cells)
+	}
+	if c.Cell.Rand != nil {
+		return errors.New("multicell: set Config.CellRand, not Cell.Rand — per-cell randomness must be domain-separated by cell index")
+	}
+	if c.Cell.Metrics != nil {
+		return errors.New("multicell: leave Cell.Metrics nil; the cluster exports per-cell families with a cell label")
+	}
+	if c.Cell.Rate != 0 {
+		return errors.New("multicell: leave Cell.Rate 0; rate limiting is per-tenant at the router")
+	}
+	threshold := c.Cell.Core.Threshold
+	if threshold == 0 {
+		threshold = core.DefaultThreshold
+	}
+	reserve := c.Cell.SeedReserve
+	if reserve == 0 {
+		reserve = threshold
+	}
+	maxBatch := c.Cell.MaxBatch
+	if maxBatch == 0 {
+		maxBatch = 32
+	}
+	if c.Cell.Core.HighWater < threshold+reserve+maxBatch {
+		return fmt.Errorf("multicell: Cell.Core.HighWater %d < Threshold+SeedReserve+MaxBatch = %d — a loaded cell could fall back to a blocking refill, breaking per-cell stream reproducibility",
+			c.Cell.Core.HighWater, threshold+reserve+maxBatch)
+	}
+	if c.TenantRate < 0 {
+		return fmt.Errorf("multicell: negative tenant rate %v", c.TenantRate)
+	}
+	return nil
+}
+
+// Coin is one routed coin: the cell that served it, the coin's sequence
+// number in that cell's stream, and its value.
+type Coin struct {
+	Cell int
+	Seq  int64
+	Val  gf2k.Element
+}
+
+// Batch is one routed batched draw: n contiguous coins of one cell's
+// stream starting at Seq.
+type Batch struct {
+	Cell int
+	Seq  int64
+	Vals []gf2k.Element
+}
+
+// cellCounters is one cell's routing accounting (mirrored to Prometheus
+// when Config.Metrics is set; always kept here so CellStats works bare).
+type cellCounters struct {
+	hash, rr, shed atomic.Int64 // draws served, by how they arrived
+	shedAway       atomic.Int64 // draws this cell was primary for but lost
+}
+
+// Cluster is a running multi-cell beacon. Create with New; all exported
+// methods are safe for concurrent use.
+type Cluster struct {
+	cfg      Config
+	lowWater int // a draw leaving less than this behind would wait on a refill
+	cells    []*beacon.Service
+	ring     *Ring
+	rr       atomic.Uint64
+	tenants  *tenantTable
+	down     []atomic.Bool
+	routed   []cellCounters
+	closed   atomic.Bool
+
+	rateLimited   atomic.Int64
+	saturated     atomic.Int64
+	streamQuota   atomic.Int64
+	streamsActive atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New starts M cells, each a full beacon.Service on its own network with
+// its own domain-separated dealer seed, and the router in front of them.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cellRand := cfg.CellRand
+	if cellRand == nil {
+		cellRand = func(int, int) io.Reader { return cryptorand.Reader }
+	}
+	threshold := cfg.Cell.Core.Threshold
+	if threshold == 0 {
+		threshold = core.DefaultThreshold
+	}
+	reserve := cfg.Cell.SeedReserve
+	if reserve == 0 {
+		reserve = threshold
+	}
+	cl := &Cluster{
+		cfg:      cfg,
+		lowWater: threshold + reserve,
+		cells:    make([]*beacon.Service, cfg.Cells),
+		tenants:  newTenantTable(cfg.TenantRate, cfg.TenantBurst, cfg.MaxStreamsPerTenant, cfg.MaxTenants, cfg.now),
+		down:     make([]atomic.Bool, cfg.Cells),
+		routed:   make([]cellCounters, cfg.Cells),
+	}
+	ids := make([]int, cfg.Cells)
+	for i := range ids {
+		ids[i] = i
+	}
+	cl.ring = NewRing(ids, cfg.Replicas)
+	for i := 0; i < cfg.Cells; i++ {
+		i := i
+		c := cfg.Cell
+		c.Rand = func(player int) io.Reader { return cellRand(i, player) }
+		svc, err := beacon.New(c)
+		if err != nil {
+			// Unwind the cells already started so no goroutines leak.
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for j := 0; j < i; j++ {
+				cl.cells[j].Close(ctx) //nolint:errcheck // best-effort unwind
+			}
+			return nil, fmt.Errorf("multicell: start cell %d: %w", i, err)
+		}
+		cl.cells[i] = svc
+	}
+	cfg.Metrics.registerGauges(cl)
+	return cl, nil
+}
+
+// Cells returns the configured cell count.
+func (cl *Cluster) Cells() int { return len(cl.cells) }
+
+// Draw routes one coin for the tenant ("" = anonymous, round-robin).
+func (cl *Cluster) Draw(ctx context.Context, tenant string) (Coin, error) {
+	b, err := cl.DrawN(ctx, tenant, 1)
+	if err != nil {
+		return Coin{}, err
+	}
+	return Coin{Cell: b.Cell, Seq: b.Seq, Val: b.Vals[0]}, nil
+}
+
+// DrawN routes one batched draw of n coins for the tenant. All n coins
+// come from one cell, contiguous in its stream from the returned Seq.
+func (cl *Cluster) DrawN(ctx context.Context, tenant string, n int) (Batch, error) {
+	if cl.closed.Load() {
+		return Batch{}, ErrClosed
+	}
+	// Validate here, not in the cell: a cell's DrawN error for a bad n
+	// would otherwise read as a terminal cell failure and poison routing.
+	if n < 1 || n > beacon.MaxDrawBatch {
+		return Batch{}, fmt.Errorf("multicell: batch size %d outside [1,%d]", n, beacon.MaxDrawBatch)
+	}
+	if !cl.tenants.allow(tenant) {
+		cl.rateLimited.Add(1)
+		cl.cfg.Metrics.rejected("rate-limited")
+		return Batch{}, ErrRateLimited
+	}
+	return cl.drawRouted(ctx, tenant, n)
+}
+
+// drawRouted is the routing core, past tenancy checks (Stream pushes come
+// here directly: stream admission is governed by the quota and pacing, not
+// the per-draw bucket).
+func (cl *Cluster) drawRouted(ctx context.Context, tenant string, n int) (Batch, error) {
+	order, route := cl.routeOrder(tenant)
+	// Pass 0 skips cells whose refill has fallen behind (the draw would
+	// wait on a Coin-Gen round — shed to a deeper cell instead); pass 1
+	// accepts waiting, because when every live cell lags, a slow coin
+	// beats no coin. Queue-full (ErrOverloaded) and terminal errors shed
+	// to the next cell in ring order on both passes.
+	for pass := 0; pass < 2; pass++ {
+		for i, c := range order {
+			if cl.down[c].Load() {
+				continue
+			}
+			if pass == 0 && cl.lagging(c, n) {
+				continue
+			}
+			vals, seq, err := cl.cells[c].DrawN(ctx, n)
+			switch {
+			case err == nil:
+				r := route
+				if i > 0 {
+					r = routeShed
+					cl.routed[order[0]].shedAway.Add(1)
+					cl.cfg.Metrics.shed(order[0])
+				}
+				cl.count(c, r)
+				return Batch{Cell: c, Seq: seq, Vals: vals}, nil
+			case errors.Is(err, beacon.ErrOverloaded):
+				continue
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				return Batch{}, err
+			default:
+				// ErrClosed or a terminal protocol error: the cell is gone.
+				cl.markDown(c)
+				continue
+			}
+		}
+	}
+	// Nothing served: every cell is either down or rejected with a full
+	// queue (pass 1 waits on lagging cells rather than erroring).
+	for _, c := range order {
+		if !cl.down[c].Load() {
+			cl.saturated.Add(1)
+			cl.cfg.Metrics.rejected("saturated")
+			return Batch{}, ErrSaturated
+		}
+	}
+	cl.cfg.Metrics.rejected("down")
+	return Batch{}, ErrAllCellsDown
+}
+
+const (
+	routeHash = "hash"
+	routeRR   = "rr"
+	routeShed = "shed"
+)
+
+// routeOrder returns the cells to try, in order, and how the primary was
+// chosen. Tenants get their consistent-hash successor chain; anonymous
+// draws start round-robin and continue in index order.
+func (cl *Cluster) routeOrder(tenant string) ([]int, string) {
+	if tenant != "" {
+		return cl.ring.Successors(tenant), routeHash
+	}
+	start := int(cl.rr.Add(1)-1) % len(cl.cells)
+	order := make([]int, len(cl.cells))
+	for i := range order {
+		order[i] = (start + i) % len(cl.cells)
+	}
+	return order, routeRR
+}
+
+// lagging reports whether a draw of n coins on cell c would have to wait
+// on a Coin-Gen round: its refill pipeline has fallen behind demand.
+func (cl *Cluster) lagging(c, n int) bool {
+	return cl.cells[c].Stats().Remaining < n+cl.lowWater
+}
+
+// markDown retires a terminally failed cell from routing.
+func (cl *Cluster) markDown(c int) {
+	if !cl.down[c].Swap(true) {
+		cl.cfg.Metrics.cellDown(c)
+	}
+}
+
+// count attributes one served draw (and its coins) to a cell.
+func (cl *Cluster) count(c int, route string) {
+	switch route {
+	case routeHash:
+		cl.routed[c].hash.Add(1)
+	case routeRR:
+		cl.routed[c].rr.Add(1)
+	default:
+		cl.routed[c].shed.Add(1)
+	}
+	cl.cfg.Metrics.routedDraw(c, route)
+}
+
+// Stream pushes coins to deliver, one per callback, until ctx is done, max
+// coins have been pushed (max ≤ 0 = unbounded), or deliver returns an
+// error. The tenant's stream quota is claimed for the duration; pushes are
+// paced by Config.StreamInterval. Each pushed coin names its (cell, seq)
+// position like any routed draw.
+func (cl *Cluster) Stream(ctx context.Context, tenant string, max int, deliver func(Coin) error) error {
+	if cl.closed.Load() {
+		return ErrClosed
+	}
+	release, ok := cl.tenants.acquireStream(tenant)
+	if !ok {
+		cl.streamQuota.Add(1)
+		cl.cfg.Metrics.rejected("stream-quota")
+		return ErrStreamQuota
+	}
+	defer release()
+	cl.streamsActive.Add(1)
+	defer cl.streamsActive.Add(-1)
+	var tick *time.Ticker
+	if cl.cfg.StreamInterval > 0 {
+		tick = time.NewTicker(cl.cfg.StreamInterval)
+		defer tick.Stop()
+	}
+	for i := 0; max <= 0 || i < max; i++ {
+		b, err := cl.drawRouted(ctx, tenant, 1)
+		if err != nil {
+			return err
+		}
+		if err := deliver(Coin{Cell: b.Cell, Seq: b.Seq, Val: b.Vals[0]}); err != nil {
+			return err
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// CellStats is the router's view of one cell.
+type CellStats struct {
+	Cell           int   `json:"cell"`
+	Down           bool  `json:"down"`
+	Remaining      int   `json:"remaining"`
+	QueueDepth     int   `json:"queue"`
+	RefillInFlight bool  `json:"refilling"`
+	RefillLag      int   `json:"refill_lag"` // coins below the high-water mark
+	Draws          int64 `json:"draws"`
+	Coins          int64 `json:"coins"`
+	BlockedDraws   int64 `json:"blocked_draws"`
+	Refills        int64 `json:"refills"`
+	RoutedHash     int64 `json:"routed_hash"`
+	RoutedRR       int64 `json:"routed_rr"`
+	RoutedShed     int64 `json:"routed_shed"` // draws served here after shedding from elsewhere
+	ShedAway       int64 `json:"shed_away"`   // draws this cell was primary for but lost
+}
+
+// CellStats snapshots every cell.
+func (cl *Cluster) CellStats() []CellStats {
+	out := make([]CellStats, len(cl.cells))
+	for i, svc := range cl.cells {
+		st := svc.Stats()
+		lag := cl.cfg.Cell.Core.HighWater - st.Remaining
+		if lag < 0 {
+			lag = 0
+		}
+		out[i] = CellStats{
+			Cell:           i,
+			Down:           cl.down[i].Load(),
+			Remaining:      st.Remaining,
+			QueueDepth:     st.QueueDepth,
+			RefillInFlight: st.RefillInFlight,
+			RefillLag:      lag,
+			Draws:          st.Draws,
+			Coins:          st.CoinsDelivered,
+			BlockedDraws:   st.BlockedDraws,
+			Refills:        st.Refills,
+			RoutedHash:     cl.routed[i].hash.Load(),
+			RoutedRR:       cl.routed[i].rr.Load(),
+			RoutedShed:     cl.routed[i].shed.Load(),
+			ShedAway:       cl.routed[i].shedAway.Load(),
+		}
+	}
+	return out
+}
+
+// RouterStats is the cluster-wide rejection and stream accounting.
+type RouterStats struct {
+	RateLimited   int64 `json:"rate_limited"`
+	Saturated     int64 `json:"saturated"`
+	StreamQuota   int64 `json:"stream_quota"`
+	StreamsActive int64 `json:"streams_active"`
+	CellsDown     int   `json:"cells_down"`
+}
+
+// RouterStats snapshots the router's own counters.
+func (cl *Cluster) RouterStats() RouterStats {
+	st := RouterStats{
+		RateLimited:   cl.rateLimited.Load(),
+		Saturated:     cl.saturated.Load(),
+		StreamQuota:   cl.streamQuota.Load(),
+		StreamsActive: cl.streamsActive.Load(),
+	}
+	for i := range cl.down {
+		if cl.down[i].Load() {
+			st.CellsDown++
+		}
+	}
+	return st
+}
+
+// CloseCell shuts one cell down (draining its queue); the router marks it
+// down immediately and routes around it. Used by operators to retire a
+// cell and by the degrade tests to kill one mid-load.
+func (cl *Cluster) CloseCell(ctx context.Context, cell int) error {
+	if cell < 0 || cell >= len(cl.cells) {
+		return fmt.Errorf("multicell: no cell %d", cell)
+	}
+	cl.markDown(cell)
+	return cl.cells[cell].Close(ctx)
+}
+
+// Close shuts every cell down gracefully.
+func (cl *Cluster) Close(ctx context.Context) error {
+	cl.closeOnce.Do(func() {
+		cl.closed.Store(true)
+		var wg sync.WaitGroup
+		errs := make([]error, len(cl.cells))
+		for i, svc := range cl.cells {
+			wg.Add(1)
+			go func(i int, svc *beacon.Service) {
+				defer wg.Done()
+				if err := svc.Close(ctx); err != nil {
+					errs[i] = fmt.Errorf("multicell: close cell %d: %w", i, err)
+				}
+			}(i, svc)
+		}
+		wg.Wait()
+		cl.closeErr = errors.Join(errs...)
+	})
+	return cl.closeErr
+}

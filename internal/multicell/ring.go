@@ -1,0 +1,101 @@
+package multicell
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over cell indices: every cell owns
+// `replicas` pseudo-random points on a 64-bit circle, and a key is routed
+// to the cell owning the first point at or after the key's hash. The
+// property that matters for a beacon front end is stability: adding or
+// removing one cell remaps only the keys that hashed to the segments that
+// cell owned — every other tenant keeps drawing from the same cell, so its
+// view of "its" coin stream stays contiguous across topology changes.
+// (TestRingStability pins this.)
+type Ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	cell int
+}
+
+// DefaultReplicas is the per-cell virtual-node count: 64 points per cell
+// keeps the largest/smallest ownership ratio within ~2× for small M, which
+// is plenty for cells that are themselves load-shedding.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over the given cell indices. Cells may be any
+// (possibly sparse) index set — the router rebuilds the ring without a
+// down cell to test stability, and an operator topology may skip indices.
+func NewRing(cells []int, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(cells)*replicas)}
+	for _, c := range cells {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("cell-%d-rep-%d", c, v)), cell: c})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].cell < r.points[j].cell
+	})
+	return r
+}
+
+// Lookup returns the cell owning key's hash point.
+func (r *Ring) Lookup(key string) int {
+	return r.points[r.search(hash64(key))].cell
+}
+
+// Successors returns every distinct cell in ring order starting at key's
+// point: the first entry is Lookup(key), the rest are the shed order — the
+// cells a router tries next when the primary is saturated. The order is a
+// pure function of the key, so every draw for one tenant sheds along the
+// same path and lands on the same secondary while the primary is degraded.
+func (r *Ring) Successors(key string) []int {
+	start := r.search(hash64(key))
+	out := make([]int, 0, 4)
+	seen := make(map[int]bool, 4)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.cell] {
+			seen[p.cell] = true
+			out = append(out, p.cell)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or after h (wrapping).
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. FNV keeps it stable
+// across processes and Go versions, so a tenant keeps its cell assignment
+// over gateway restarts (maphash would not); the finalizer avalanches the
+// low-entropy "cell-i-rep-v" vnode strings, whose raw FNV values cluster
+// enough to skew cell ownership 5× (TestRingBalance caught this).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,106 @@
+package multicell
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingStability is the consistent-hashing contract: removing one cell
+// remaps ONLY the keys that cell owned — every other key keeps its cell,
+// so tenants keep their contiguous streams across topology changes. A
+// naive `hash(key) % M` router fails this for ~ (M-1)/M of all keys.
+func TestRingStability(t *testing.T) {
+	const keys = 10_000
+	cells := []int{0, 1, 2, 3}
+	before := NewRing(cells, 0)
+	after := NewRing([]int{0, 1, 3}, 0) // cell 2 removed
+
+	moved, owned := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		b, a := before.Lookup(key), after.Lookup(key)
+		if b == 2 {
+			owned++
+			if a == 2 {
+				t.Fatalf("key %q still maps to removed cell 2", key)
+			}
+			continue
+		}
+		if a != b {
+			moved++
+			if moved <= 5 {
+				t.Errorf("key %q moved %d → %d though cell %d survives", key, b, a, b)
+			}
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d/%d keys whose cell survived were remapped", moved, keys)
+	}
+	// Sanity: the removed cell actually owned a meaningful share.
+	if owned < keys/10 {
+		t.Fatalf("cell 2 owned only %d/%d keys — virtual nodes are badly unbalanced", owned, keys)
+	}
+}
+
+// TestRingAddStability is the dual: adding a cell only steals keys, never
+// shuffles keys between pre-existing cells.
+func TestRingAddStability(t *testing.T) {
+	const keys = 10_000
+	before := NewRing([]int{0, 1, 2}, 0)
+	after := NewRing([]int{0, 1, 2, 3}, 0)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		b, a := before.Lookup(key), after.Lookup(key)
+		if a != b && a != 3 {
+			t.Fatalf("key %q moved %d → %d; only moves onto the new cell 3 are allowed", key, b, a)
+		}
+	}
+}
+
+// TestRingBalance: with DefaultReplicas virtual nodes, no cell's key share
+// may be pathologically small or large.
+func TestRingBalance(t *testing.T) {
+	const keys = 40_000
+	cells := []int{0, 1, 2, 3}
+	r := NewRing(cells, 0)
+	counts := make(map[int]int)
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	want := keys / len(cells)
+	for _, c := range cells {
+		if counts[c] < want/3 || counts[c] > want*3 {
+			t.Fatalf("cell %d owns %d of %d keys (fair share %d) — ring badly unbalanced: %v", c, counts[c], keys, want, counts)
+		}
+	}
+}
+
+// TestRingSuccessors: the shed chain starts at the primary, covers every
+// cell exactly once, and is deterministic per key.
+func TestRingSuccessors(t *testing.T) {
+	cells := []int{0, 1, 2, 3, 4}
+	r := NewRing(cells, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		succ := r.Successors(key)
+		if len(succ) != len(cells) {
+			t.Fatalf("key %q: successor chain %v misses cells", key, succ)
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("key %q: chain starts at %d, Lookup says %d", key, succ[0], r.Lookup(key))
+		}
+		seen := make(map[int]bool)
+		for _, c := range succ {
+			if seen[c] {
+				t.Fatalf("key %q: cell %d repeats in chain %v", key, c, succ)
+			}
+			seen[c] = true
+		}
+		again := r.Successors(key)
+		for j := range succ {
+			if succ[j] != again[j] {
+				t.Fatalf("key %q: successor chain not deterministic: %v vs %v", key, succ, again)
+			}
+		}
+	}
+}

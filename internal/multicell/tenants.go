@@ -1,0 +1,144 @@
+package multicell
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantTable owns the per-tenant serving state: a token-bucket rate
+// limiter and a live-stream count per tenant key. Isolation is the point —
+// one tenant exhausting its bucket or its stream quota must not affect any
+// other tenant's draws (TestTenantIsolation pins this under -race).
+//
+// The table is bounded: tenant keys arrive from the network, so an
+// attacker inventing fresh keys must not grow the map without limit. Past
+// maxTenants distinct keys, new tenants share one overflow bucket (they
+// are still rate-limited — collectively — and still count streams against
+// the shared slot), which degrades the attacker, not the established
+// tenants.
+type tenantTable struct {
+	mu         sync.Mutex
+	rate       float64
+	burst      int
+	maxStreams int
+	maxTenants int
+	now        func() time.Time
+	tenants    map[string]*tenantState
+	overflow   *tenantState
+}
+
+type tenantState struct {
+	bucket  *tokenBucket
+	streams int
+}
+
+func newTenantTable(rate float64, burst, maxStreams, maxTenants int, now func() time.Time) *tenantTable {
+	if rate > 0 && burst <= 0 {
+		burst = 1
+	}
+	return &tenantTable{
+		rate:       rate,
+		burst:      burst,
+		maxStreams: maxStreams,
+		maxTenants: maxTenants,
+		now:        now,
+		tenants:    make(map[string]*tenantState),
+	}
+}
+
+// state returns (creating on demand) the tenant's slot, or the shared
+// overflow slot once the table is full. The caller holds no lock.
+func (t *tenantTable) state(tenant string) *tenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.tenants[tenant]; ok {
+		return st
+	}
+	if len(t.tenants) >= t.maxTenants {
+		if t.overflow == nil {
+			t.overflow = t.newState()
+		}
+		return t.overflow
+	}
+	st := t.newState()
+	t.tenants[tenant] = st
+	return st
+}
+
+func (t *tenantTable) newState() *tenantState {
+	st := &tenantState{}
+	if t.rate > 0 {
+		st.bucket = newTokenBucket(t.rate, t.burst, t.now)
+	}
+	return st
+}
+
+// allow spends one rate-limit token for the tenant (always true when no
+// rate is configured).
+func (t *tenantTable) allow(tenant string) bool {
+	st := t.state(tenant)
+	if st.bucket == nil {
+		return true
+	}
+	return st.bucket.allow()
+}
+
+// acquireStream claims one live-stream slot for the tenant; the returned
+// release must be called exactly once when the stream ends. ok is false
+// when the tenant is at its quota.
+func (t *tenantTable) acquireStream(tenant string) (release func(), ok bool) {
+	st := t.state(tenant)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.maxStreams > 0 && st.streams >= t.maxStreams {
+		return nil, false
+	}
+	st.streams++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			st.streams--
+			t.mu.Unlock()
+		})
+	}, true
+}
+
+// tokenBucket is a classic token bucket: capacity `burst`, refilled
+// continuously at `rate` tokens/second. (internal/beacon has a private
+// twin guarding one Service's queue; this one guards a tenant across the
+// whole cluster, in front of routing.)
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	tb := &tokenBucket{rate: rate, burst: float64(burst), now: now}
+	tb.tokens = tb.burst
+	tb.last = tb.now()
+	return tb
+}
+
+func (tb *tokenBucket) allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
